@@ -1,0 +1,187 @@
+//! Breadth-first search.
+//!
+//! Frontier-driven BFS over the HMS-resident CSR. The distance array and
+//! every CSR access go through the accounted path; the frontier queues are
+//! small, sequentially-scanned host buffers (on the real testbeds they are
+//! cache-resident and never candidates for placement).
+
+use atmem::{Atmem, Result};
+
+use crate::graph_data::HmsGraph;
+use crate::kernel::Kernel;
+use atmem_hms::TrackedVec;
+
+/// Distance value for unreached vertices.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// BFS kernel state.
+#[derive(Debug)]
+pub struct Bfs {
+    graph: HmsGraph,
+    source: u32,
+    dist: TrackedVec<u32>,
+    /// Vertices reached by the last iteration (for assertions/reporting).
+    reached: usize,
+}
+
+impl Bfs {
+    /// Allocates BFS state over `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Allocation failures for the distance array.
+    pub fn new(rt: &mut Atmem, graph: HmsGraph, source: u32) -> Result<Self> {
+        let dist = rt.malloc::<u32>(graph.num_vertices(), "bfs.dist")?;
+        Ok(Bfs {
+            graph,
+            source,
+            dist,
+            reached: 0,
+        })
+    }
+
+    /// The graph being traversed.
+    pub fn graph(&self) -> &HmsGraph {
+        &self.graph
+    }
+
+    /// Vertices reached by the last completed iteration.
+    pub fn reached(&self) -> usize {
+        self.reached
+    }
+
+    /// Copies the distance array out of simulated memory (unaccounted).
+    pub fn distances(&self, rt: &mut Atmem) -> Vec<u32> {
+        self.dist.to_vec(rt.machine_mut())
+    }
+}
+
+impl Kernel for Bfs {
+    fn name(&self) -> &'static str {
+        "BFS"
+    }
+
+    fn reset(&mut self, rt: &mut Atmem) {
+        self.dist.fill(rt.machine_mut(), UNREACHED);
+        self.reached = 0;
+    }
+
+    fn run_iteration(&mut self, rt: &mut Atmem) {
+        let m = rt.machine_mut();
+        let mut frontier = vec![self.source];
+        self.dist.set(m, self.source as usize, 0);
+        let mut level = 0u32;
+        let mut reached = 1usize;
+        while !frontier.is_empty() {
+            level += 1;
+            let mut next = Vec::new();
+            for &v in &frontier {
+                let (start, end) = self.graph.edge_bounds(m, v as usize);
+                for e in start..end {
+                    let u = self.graph.neighbor(m, e);
+                    if self.dist.get(m, u as usize) == UNREACHED {
+                        self.dist.set(m, u as usize, level);
+                        next.push(u);
+                        reached += 1;
+                    }
+                }
+            }
+            frontier = next;
+        }
+        self.reached = reached;
+    }
+
+    fn checksum(&self, rt: &mut Atmem) -> f64 {
+        let m = rt.machine_mut();
+        let mut sum = 0.0;
+        for v in 0..self.graph.num_vertices() {
+            let d = self.dist.peek(m, v);
+            if d != UNREACHED {
+                sum += d as f64;
+            }
+        }
+        sum
+    }
+}
+
+/// Host-side reference BFS for validation.
+pub fn reference_bfs(csr: &atmem_graph::Csr, source: u32) -> Vec<u32> {
+    let mut dist = vec![UNREACHED; csr.num_vertices()];
+    dist[source as usize] = 0;
+    let mut frontier = vec![source];
+    let mut level = 0;
+    while !frontier.is_empty() {
+        level += 1;
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &u in csr.neighbors_of(v as usize) {
+                if dist[u as usize] == UNREACHED {
+                    dist[u as usize] = level;
+                    next.push(u);
+                }
+            }
+        }
+        frontier = next;
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atmem::AtmemConfig;
+    use atmem_graph::{Dataset, GraphBuilder};
+    use atmem_hms::Platform;
+
+    fn runtime() -> Atmem {
+        Atmem::new(Platform::testing(), AtmemConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn bfs_matches_reference_on_chain() {
+        let csr = GraphBuilder::new(4).edges([(0, 1), (1, 2), (2, 3)]).build();
+        let mut rt = runtime();
+        let g = HmsGraph::load(&mut rt, &csr).unwrap();
+        let mut bfs = Bfs::new(&mut rt, g, 0).unwrap();
+        bfs.reset(&mut rt);
+        bfs.run_iteration(&mut rt);
+        assert_eq!(bfs.distances(&mut rt), vec![0, 1, 2, 3]);
+        assert_eq!(bfs.reached(), 4);
+    }
+
+    #[test]
+    fn bfs_matches_reference_on_rmat() {
+        let csr = Dataset::Pokec.build_small(6); // 512 vertices
+        let mut rt = runtime();
+        let g = HmsGraph::load(&mut rt, &csr).unwrap();
+        let mut bfs = Bfs::new(&mut rt, g, 0).unwrap();
+        bfs.reset(&mut rt);
+        bfs.run_iteration(&mut rt);
+        assert_eq!(bfs.distances(&mut rt), reference_bfs(&csr, 0));
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_unreached() {
+        let csr = GraphBuilder::new(3).edges([(0, 1)]).build();
+        let mut rt = runtime();
+        let g = HmsGraph::load(&mut rt, &csr).unwrap();
+        let mut bfs = Bfs::new(&mut rt, g, 0).unwrap();
+        bfs.reset(&mut rt);
+        bfs.run_iteration(&mut rt);
+        assert_eq!(bfs.distances(&mut rt), vec![0, 1, UNREACHED]);
+    }
+
+    #[test]
+    fn reset_makes_iterations_repeatable() {
+        let csr = Dataset::Pokec.build_small(7);
+        let mut rt = runtime();
+        let g = HmsGraph::load(&mut rt, &csr).unwrap();
+        let mut bfs = Bfs::new(&mut rt, g, 0).unwrap();
+        bfs.reset(&mut rt);
+        bfs.run_iteration(&mut rt);
+        let first = bfs.checksum(&mut rt);
+        bfs.reset(&mut rt);
+        bfs.run_iteration(&mut rt);
+        assert_eq!(bfs.checksum(&mut rt), first);
+    }
+}

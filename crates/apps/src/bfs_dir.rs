@@ -1,0 +1,189 @@
+//! Direction-optimizing BFS (Beamer-style top-down / bottom-up switching).
+//!
+//! When the frontier is small, classic top-down expansion is cheapest; when
+//! it covers a large fraction of the graph, *bottom-up* — every unvisited
+//! vertex scanning its in-edges for a visited parent — touches far fewer
+//! edges. The two phases have opposite access patterns (scatter vs gather),
+//! so the kernel exercises both directions of the CSR and its transpose —
+//! a stress test for placement decisions that must serve both.
+
+use atmem::{Atmem, Result};
+use atmem_graph::{transpose, Csr};
+use atmem_hms::TrackedVec;
+
+use crate::bfs::UNREACHED;
+use crate::graph_data::HmsGraph;
+use crate::kernel::Kernel;
+
+/// Frontier-to-unvisited ratio above which the kernel switches bottom-up.
+const SWITCH_THRESHOLD: f64 = 0.05;
+
+/// Direction-optimizing BFS state. Holds both edge directions.
+#[derive(Debug)]
+pub struct BfsDir {
+    out_graph: HmsGraph,
+    in_graph: HmsGraph,
+    source: u32,
+    dist: TrackedVec<u32>,
+    /// (top-down levels, bottom-up levels) executed by the last iteration.
+    phases: (u32, u32),
+}
+
+impl BfsDir {
+    /// Builds the kernel from the original CSR (loads both the graph and
+    /// its transpose into simulated memory).
+    ///
+    /// # Errors
+    ///
+    /// Allocation failures for either direction or the distance array.
+    pub fn new(rt: &mut Atmem, csr: &Csr, source: u32) -> Result<Self> {
+        let out_graph = HmsGraph::load(rt, csr)?;
+        let in_graph = HmsGraph::load(rt, &transpose(csr))?;
+        let dist = rt.malloc::<u32>(csr.num_vertices(), "bfsdir.dist")?;
+        Ok(BfsDir {
+            out_graph,
+            in_graph,
+            source,
+            dist,
+            phases: (0, 0),
+        })
+    }
+
+    /// (top-down, bottom-up) level counts of the last iteration.
+    pub fn phases(&self) -> (u32, u32) {
+        self.phases
+    }
+
+    /// Copies the distance array out of simulated memory (unaccounted).
+    pub fn distances(&self, rt: &mut Atmem) -> Vec<u32> {
+        self.dist.to_vec(rt.machine_mut())
+    }
+}
+
+impl Kernel for BfsDir {
+    fn name(&self) -> &'static str {
+        "BFS-dir"
+    }
+
+    fn reset(&mut self, rt: &mut Atmem) {
+        self.dist.fill(rt.machine_mut(), UNREACHED);
+        self.phases = (0, 0);
+    }
+
+    fn run_iteration(&mut self, rt: &mut Atmem) {
+        let m = rt.machine_mut();
+        let n = self.out_graph.num_vertices();
+        self.dist.set(m, self.source as usize, 0);
+        let mut frontier = vec![self.source];
+        let mut unvisited = n - 1;
+        let mut level = 0u32;
+        let mut top_down_levels = 0u32;
+        let mut bottom_up_levels = 0u32;
+        while !frontier.is_empty() {
+            level += 1;
+            let go_bottom_up = frontier.len() as f64 > SWITCH_THRESHOLD * (unvisited.max(1)) as f64;
+            let mut next = Vec::new();
+            if go_bottom_up {
+                bottom_up_levels += 1;
+                // Bottom-up: every unvisited vertex gathers over in-edges.
+                for v in 0..n {
+                    if self.dist.get(m, v) != UNREACHED {
+                        continue;
+                    }
+                    let (s, e) = self.in_graph.edge_bounds(m, v);
+                    for edge in s..e {
+                        let u = self.in_graph.neighbor(m, edge) as usize;
+                        if self.dist.get(m, u) == level - 1 {
+                            self.dist.set(m, v, level);
+                            next.push(v as u32);
+                            break;
+                        }
+                    }
+                }
+            } else {
+                top_down_levels += 1;
+                for &v in &frontier {
+                    let (s, e) = self.out_graph.edge_bounds(m, v as usize);
+                    for edge in s..e {
+                        let u = self.out_graph.neighbor(m, edge) as usize;
+                        if self.dist.get(m, u) == UNREACHED {
+                            self.dist.set(m, u, level);
+                            next.push(u as u32);
+                        }
+                    }
+                }
+            }
+            unvisited -= next.len().min(unvisited);
+            frontier = next;
+        }
+        self.phases = (top_down_levels, bottom_up_levels);
+    }
+
+    fn checksum(&self, rt: &mut Atmem) -> f64 {
+        let m = rt.machine_mut();
+        let mut sum = 0.0;
+        for v in 0..self.out_graph.num_vertices() {
+            let d = self.dist.peek(m, v);
+            if d != UNREACHED {
+                sum += d as f64;
+            }
+        }
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::reference_bfs;
+    use atmem::AtmemConfig;
+    use atmem_graph::Dataset;
+    use atmem_hms::Platform;
+
+    fn runtime() -> Atmem {
+        Atmem::new(Platform::testing(), AtmemConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn matches_classic_bfs_on_rmat() {
+        let csr = Dataset::Rmat24.build_small(8);
+        let mut rt = runtime();
+        let mut bfs = BfsDir::new(&mut rt, &csr, 0).unwrap();
+        bfs.reset(&mut rt);
+        bfs.run_iteration(&mut rt);
+        assert_eq!(bfs.distances(&mut rt), reference_bfs(&csr, 0));
+    }
+
+    #[test]
+    fn uses_both_directions_on_dense_graphs() {
+        // Dense R-MAT: the frontier explodes quickly, forcing bottom-up.
+        let mut config = Dataset::Rmat24.config();
+        config.scale = 10;
+        config.edge_factor = 16;
+        let csr = atmem_graph::rmat(&config, 5);
+        let mut rt = runtime();
+        let mut bfs = BfsDir::new(&mut rt, &csr, 0).unwrap();
+        bfs.reset(&mut rt);
+        bfs.run_iteration(&mut rt);
+        let (td, bu) = bfs.phases();
+        assert!(td >= 1, "starts top-down");
+        assert!(
+            bu >= 1,
+            "dense graph must trigger bottom-up: td={td} bu={bu}"
+        );
+        assert_eq!(bfs.distances(&mut rt), reference_bfs(&csr, 0));
+    }
+
+    #[test]
+    fn reset_is_repeatable() {
+        let csr = Dataset::Pokec.build_small(7);
+        let mut rt = runtime();
+        let mut bfs = BfsDir::new(&mut rt, &csr, 0).unwrap();
+        bfs.reset(&mut rt);
+        bfs.run_iteration(&mut rt);
+        let a = bfs.checksum(&mut rt);
+        bfs.reset(&mut rt);
+        bfs.run_iteration(&mut rt);
+        assert_eq!(bfs.checksum(&mut rt), a);
+    }
+}

@@ -1,0 +1,186 @@
+//! Connected components (label propagation).
+//!
+//! Each iteration performs one full pass over every edge, lowering each
+//! endpoint's label to the minimum of the pair (treating edges as
+//! undirected for connectivity). Repeated iterations converge to the
+//! connected-component labelling; the harness times single passes.
+
+use atmem::{Atmem, Result};
+use atmem_hms::TrackedVec;
+
+use crate::graph_data::HmsGraph;
+use crate::kernel::Kernel;
+
+/// CC kernel state.
+#[derive(Debug)]
+pub struct Cc {
+    graph: HmsGraph,
+    labels: TrackedVec<u32>,
+    changed_last: u64,
+}
+
+impl Cc {
+    /// Allocates CC state over `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Allocation failures for the label array.
+    pub fn new(rt: &mut Atmem, graph: HmsGraph) -> Result<Self> {
+        let labels = rt.malloc::<u32>(graph.num_vertices(), "cc.labels")?;
+        Ok(Cc {
+            graph,
+            labels,
+            changed_last: 0,
+        })
+    }
+
+    /// Label updates performed by the last iteration (0 = converged).
+    pub fn changed_last(&self) -> u64 {
+        self.changed_last
+    }
+
+    /// Runs passes until convergence; returns the number of passes.
+    pub fn run_to_convergence(&mut self, rt: &mut Atmem, max_passes: usize) -> usize {
+        for pass in 1..=max_passes {
+            self.run_iteration(rt);
+            if self.changed_last == 0 {
+                return pass;
+            }
+        }
+        max_passes
+    }
+
+    /// Copies the label array out of simulated memory (unaccounted).
+    pub fn labels(&self, rt: &mut Atmem) -> Vec<u32> {
+        self.labels.to_vec(rt.machine_mut())
+    }
+}
+
+impl Kernel for Cc {
+    fn name(&self) -> &'static str {
+        "CC"
+    }
+
+    fn reset(&mut self, rt: &mut Atmem) {
+        let m = rt.machine_mut();
+        for v in 0..self.graph.num_vertices() {
+            self.labels.poke(m, v, v as u32);
+        }
+        self.changed_last = 0;
+    }
+
+    fn run_iteration(&mut self, rt: &mut Atmem) {
+        let m = rt.machine_mut();
+        let mut changed = 0u64;
+        for v in 0..self.graph.num_vertices() {
+            let (start, end) = self.graph.edge_bounds(m, v);
+            if start == end {
+                continue;
+            }
+            let mut lv = self.labels.get(m, v);
+            for e in start..end {
+                let u = self.graph.neighbor(m, e) as usize;
+                let lu = self.labels.get(m, u);
+                if lu < lv {
+                    lv = lu;
+                    changed += 1;
+                } else if lv < lu {
+                    self.labels.set(m, u, lv);
+                    changed += 1;
+                }
+            }
+            self.labels.set(m, v, lv);
+        }
+        self.changed_last = changed;
+    }
+
+    fn checksum(&self, rt: &mut Atmem) -> f64 {
+        let m = rt.machine_mut();
+        (0..self.graph.num_vertices())
+            .map(|v| self.labels.peek(m, v) as f64)
+            .sum()
+    }
+}
+
+/// Host-side reference components via union-find (ignoring direction).
+pub fn reference_components(csr: &atmem_graph::Csr) -> Vec<u32> {
+    let n = csr.num_vertices();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], v: u32) -> u32 {
+        let mut v = v;
+        while parent[v as usize] != v {
+            parent[v as usize] = parent[parent[v as usize] as usize];
+            v = parent[v as usize];
+        }
+        v
+    }
+    for (u, v) in csr.edges() {
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            parent[ru.max(rv) as usize] = ru.min(rv);
+        }
+    }
+    (0..n as u32).map(|v| find(&mut parent, v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atmem::AtmemConfig;
+    use atmem_graph::{Dataset, GraphBuilder};
+    use atmem_hms::Platform;
+
+    fn runtime() -> Atmem {
+        Atmem::new(Platform::testing(), AtmemConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn two_components_get_two_labels() {
+        let csr = GraphBuilder::new(5).edges([(0, 1), (1, 2), (3, 4)]).build();
+        let mut rt = runtime();
+        let g = HmsGraph::load(&mut rt, &csr).unwrap();
+        let mut cc = Cc::new(&mut rt, g).unwrap();
+        cc.reset(&mut rt);
+        let passes = cc.run_to_convergence(&mut rt, 50);
+        assert!(passes < 50);
+        let labels = cc.labels(&mut rt);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn matches_union_find_on_rmat() {
+        let csr = Dataset::Friendster.build_small(10); // 512 vertices
+        let mut rt = runtime();
+        let g = HmsGraph::load(&mut rt, &csr).unwrap();
+        let mut cc = Cc::new(&mut rt, g).unwrap();
+        cc.reset(&mut rt);
+        cc.run_to_convergence(&mut rt, 200);
+        let got = cc.labels(&mut rt);
+        let expect = reference_components(&csr);
+        // Same partition: labels equal iff reference labels equal.
+        for v in 0..got.len() {
+            for u in (v + 1)..got.len().min(v + 50) {
+                assert_eq!(
+                    got[v] == got[u],
+                    expect[v] == expect[u],
+                    "partition mismatch at ({v}, {u})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn converged_pass_reports_no_changes() {
+        let csr = GraphBuilder::new(3).edges([(0, 1), (1, 2)]).build();
+        let mut rt = runtime();
+        let g = HmsGraph::load(&mut rt, &csr).unwrap();
+        let mut cc = Cc::new(&mut rt, g).unwrap();
+        cc.reset(&mut rt);
+        cc.run_to_convergence(&mut rt, 10);
+        cc.run_iteration(&mut rt);
+        assert_eq!(cc.changed_last(), 0);
+    }
+}

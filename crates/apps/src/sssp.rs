@@ -1,0 +1,199 @@
+//! Single-source shortest paths.
+//!
+//! Frontier-based Bellman-Ford over the weighted HMS-resident CSR: each
+//! iteration relaxes outgoing edges of the active frontier until no
+//! distance improves. Distances and all CSR arrays (including weights) go
+//! through the accounted path.
+
+use atmem::{Atmem, Result};
+use atmem_hms::TrackedVec;
+
+use crate::graph_data::HmsGraph;
+use crate::kernel::Kernel;
+
+/// SSSP kernel state.
+#[derive(Debug)]
+pub struct Sssp {
+    graph: HmsGraph,
+    source: u32,
+    dist: TrackedVec<f32>,
+    relaxations: u64,
+}
+
+impl Sssp {
+    /// Allocates SSSP state over a weighted `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph was loaded without weights.
+    ///
+    /// # Errors
+    ///
+    /// Allocation failures for the distance array.
+    pub fn new(rt: &mut Atmem, graph: HmsGraph, source: u32) -> Result<Self> {
+        assert!(graph.is_weighted(), "SSSP requires a weighted graph");
+        let dist = rt.malloc::<f32>(graph.num_vertices(), "sssp.dist")?;
+        Ok(Sssp {
+            graph,
+            source,
+            dist,
+            relaxations: 0,
+        })
+    }
+
+    /// Edge relaxations performed by the last iteration.
+    pub fn relaxations(&self) -> u64 {
+        self.relaxations
+    }
+
+    /// Copies the distance array out of simulated memory (unaccounted).
+    pub fn distances(&self, rt: &mut Atmem) -> Vec<f32> {
+        self.dist.to_vec(rt.machine_mut())
+    }
+}
+
+impl Kernel for Sssp {
+    fn name(&self) -> &'static str {
+        "SSSP"
+    }
+
+    fn reset(&mut self, rt: &mut Atmem) {
+        self.dist.fill(rt.machine_mut(), f32::INFINITY);
+        self.relaxations = 0;
+    }
+
+    fn run_iteration(&mut self, rt: &mut Atmem) {
+        let m = rt.machine_mut();
+        self.dist.set(m, self.source as usize, 0.0);
+        let mut frontier = vec![self.source];
+        let mut relaxations = 0u64;
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            let mut in_next = std::collections::HashSet::new();
+            for &v in &frontier {
+                let dv = self.dist.get(m, v as usize);
+                let (start, end) = self.graph.edge_bounds(m, v as usize);
+                for e in start..end {
+                    let u = self.graph.neighbor(m, e);
+                    let w = self.graph.weight(m, e);
+                    let candidate = dv + w;
+                    if candidate < self.dist.get(m, u as usize) {
+                        self.dist.set(m, u as usize, candidate);
+                        relaxations += 1;
+                        if in_next.insert(u) {
+                            next.push(u);
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+        self.relaxations = relaxations;
+    }
+
+    fn checksum(&self, rt: &mut Atmem) -> f64 {
+        let m = rt.machine_mut();
+        let mut sum = 0.0;
+        for v in 0..self.graph.num_vertices() {
+            let d = self.dist.peek(m, v);
+            if d.is_finite() {
+                sum += d as f64;
+            }
+        }
+        sum
+    }
+}
+
+/// Host-side reference (Dijkstra via binary heap) for validation.
+pub fn reference_sssp(csr: &atmem_graph::Csr, source: u32) -> Vec<f32> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[derive(PartialEq)]
+    struct Entry(f32, u32);
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.partial_cmp(&other.0).expect("finite distances")
+        }
+    }
+
+    let mut dist = vec![f32::INFINITY; csr.num_vertices()];
+    dist[source as usize] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse(Entry(0.0, source)));
+    while let Some(Reverse(Entry(d, v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        let nbrs = csr.neighbors_of(v as usize);
+        let ws = csr.weights_of(v as usize);
+        for (&u, &w) in nbrs.iter().zip(ws) {
+            let nd = d + w;
+            if nd < dist[u as usize] {
+                dist[u as usize] = nd;
+                heap.push(Reverse(Entry(nd, u)));
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atmem::AtmemConfig;
+    use atmem_graph::{Dataset, GraphBuilder};
+    use atmem_hms::Platform;
+
+    fn runtime() -> Atmem {
+        Atmem::new(Platform::testing(), AtmemConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn sssp_finds_shorter_indirect_path() {
+        // 0->2 costs 10 direct, 3 via 1.
+        let csr = GraphBuilder::new(3)
+            .weighted_edges([(0, 2, 10.0), (0, 1, 1.0), (1, 2, 2.0)])
+            .build();
+        let mut rt = runtime();
+        let g = HmsGraph::load(&mut rt, &csr).unwrap();
+        let mut sssp = Sssp::new(&mut rt, g, 0).unwrap();
+        sssp.reset(&mut rt);
+        sssp.run_iteration(&mut rt);
+        assert_eq!(sssp.distances(&mut rt), vec![0.0, 1.0, 3.0]);
+        assert!(sssp.relaxations() >= 3);
+    }
+
+    #[test]
+    fn sssp_matches_dijkstra_on_rmat() {
+        let csr = Dataset::Pokec.build_small(6).with_random_weights(16.0, 3);
+        let mut rt = runtime();
+        let g = HmsGraph::load(&mut rt, &csr).unwrap();
+        let mut sssp = Sssp::new(&mut rt, g, 0).unwrap();
+        sssp.reset(&mut rt);
+        sssp.run_iteration(&mut rt);
+        let got = sssp.distances(&mut rt);
+        let expect = reference_sssp(&csr, 0);
+        for (v, (a, b)) in got.iter().zip(&expect).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-3 || (a.is_infinite() && b.is_infinite()),
+                "vertex {v}: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a weighted graph")]
+    fn unweighted_graph_rejected() {
+        let csr = GraphBuilder::new(2).edges([(0, 1)]).build();
+        let mut rt = runtime();
+        let g = HmsGraph::load(&mut rt, &csr).unwrap();
+        let _ = Sssp::new(&mut rt, g, 0);
+    }
+}

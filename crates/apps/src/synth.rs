@@ -1,0 +1,187 @@
+//! Synthetic access-pattern workloads.
+//!
+//! Graph kernels are the paper's evaluation vehicle, but controlled
+//! synthetic patterns are what isolate the runtime's behaviour in tests,
+//! examples, and microbenchmarks: a Zipf-distributed pointer chase, a
+//! hot-window pattern with a configurable skew, and a phased variant whose
+//! window moves. All run over a [`TrackedVec`] through the accounted path.
+
+use atmem::{Atmem, Result};
+use atmem_hms::TrackedVec;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Approximate Zipf(θ) sampler over `0..n` via inverse-CDF on a power-law
+/// envelope — standard for memory-trace synthesis (exact Zipf needs the
+/// harmonic normaliser; the envelope keeps the same tail shape).
+#[derive(Debug)]
+pub struct Zipf {
+    n: usize,
+    exponent: f64,
+    rng: SmallRng,
+}
+
+impl Zipf {
+    /// Creates a sampler over `0..n` with skew `theta` in `(0, 1)`
+    /// (higher = more skewed toward low indices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `theta` is outside `(0, 1)`.
+    pub fn new(n: usize, theta: f64, seed: u64) -> Self {
+        assert!(n > 0, "domain must be non-empty");
+        assert!(
+            (0.0..1.0).contains(&theta) && theta > 0.0,
+            "theta in (0, 1)"
+        );
+        Zipf {
+            n,
+            exponent: 1.0 / (1.0 - theta),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws the next index.
+    pub fn next_index(&mut self) -> usize {
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        // Inverse CDF of p(x) ~ x^(-theta) on [1, n].
+        let x = (self.n as f64).powf(1.0 - 1.0 / self.exponent);
+        let v = u.powf(self.exponent) * x.max(1.0);
+        ((v as usize).min(self.n - 1) * 2654435761) % self.n
+    }
+}
+
+/// A hot-window pattern: `hot_fraction` of accesses land uniformly in the
+/// window, the rest uniformly over the whole array.
+#[derive(Debug, Clone, Copy)]
+pub struct HotWindow {
+    /// First element of the window.
+    pub start: usize,
+    /// Window length in elements.
+    pub len: usize,
+    /// Fraction of accesses that stay inside the window, `[0, 1]`.
+    pub hot_fraction: f64,
+}
+
+impl HotWindow {
+    /// Runs `accesses` accounted reads over `v` with this pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window exceeds the array.
+    pub fn drive(&self, rt: &mut Atmem, v: &TrackedVec<u64>, accesses: usize, seed: u64) {
+        assert!(self.start + self.len <= v.len(), "window exceeds array");
+        assert!((0.0..=1.0).contains(&self.hot_fraction));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..accesses {
+            let idx = if rng.gen::<f64>() < self.hot_fraction {
+                self.start + rng.gen_range(0..self.len)
+            } else {
+                rng.gen_range(0..v.len())
+            };
+            let _ = v.get(rt.machine_mut(), idx);
+        }
+    }
+}
+
+/// Drives `accesses` Zipf-distributed reads over `v`.
+pub fn drive_zipf(
+    rt: &mut Atmem,
+    v: &TrackedVec<u64>,
+    accesses: usize,
+    theta: f64,
+    seed: u64,
+) -> Result<()> {
+    let mut zipf = Zipf::new(v.len(), theta, seed);
+    for _ in 0..accesses {
+        let idx = zipf.next_index();
+        let _ = v.get(rt.machine_mut(), idx);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atmem::AtmemConfig;
+    use atmem_hms::Platform;
+
+    fn runtime() -> Atmem {
+        Atmem::new(Platform::testing(), AtmemConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let mut z = Zipf::new(10_000, 0.8, 7);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..100_000 {
+            let i = z.next_index();
+            assert!(i < 10_000);
+            counts[i * 10 / 10_000] += 1;
+        }
+        let total: u32 = counts.iter().sum();
+        let max = *counts.iter().max().unwrap();
+        // Skew: some decile holds far more than its uniform share.
+        assert!(
+            max as f64 > 2.0 * total as f64 / 10.0,
+            "no skew visible: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn zipf_is_deterministic() {
+        let collect = |seed| {
+            let mut z = Zipf::new(1000, 0.7, seed);
+            (0..100).map(|_| z.next_index()).collect::<Vec<_>>()
+        };
+        assert_eq!(collect(3), collect(3));
+        assert_ne!(collect(3), collect(4));
+    }
+
+    #[test]
+    fn hot_window_concentrates_samples() {
+        let mut rt = runtime();
+        let v = rt.malloc::<u64>(64 * 1024, "synth").unwrap();
+        rt.profiling_start().unwrap();
+        HotWindow {
+            start: 8192,
+            len: 4096,
+            hot_fraction: 0.9,
+        }
+        .drive(&mut rt, &v, 100_000, 11);
+        rt.profiling_stop().unwrap();
+        let obj = rt.registry().iter().next().unwrap();
+        let geometry = obj.geometry();
+        let window_chunks =
+            (8192 * 8 / geometry.chunk_bytes)..((8192 + 4096) * 8 / geometry.chunk_bytes + 1);
+        let in_window: u64 = obj.samples()[window_chunks.clone()].iter().sum();
+        let total = obj.total_samples();
+        assert!(
+            in_window as f64 > 0.5 * total as f64,
+            "window {window_chunks:?} got {in_window}/{total}"
+        );
+    }
+
+    #[test]
+    fn drive_zipf_runs_through_the_accounted_path() {
+        let mut rt = runtime();
+        let v = rt.malloc::<u64>(16 * 1024, "zipf").unwrap();
+        let t0 = rt.now();
+        drive_zipf(&mut rt, &v, 10_000, 0.6, 3).unwrap();
+        assert!(rt.now() > t0);
+        assert_eq!(rt.machine().stats().reads, 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "window exceeds array")]
+    fn oversized_window_rejected() {
+        let mut rt = runtime();
+        let v = rt.malloc::<u64>(100, "tiny").unwrap();
+        HotWindow {
+            start: 50,
+            len: 100,
+            hot_fraction: 0.5,
+        }
+        .drive(&mut rt, &v, 1, 0);
+    }
+}

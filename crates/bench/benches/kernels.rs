@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks of one kernel iteration through the full
+//! simulated access path (wall-clock simulator throughput).
+
+use atmem::{Atmem, AtmemConfig};
+use atmem_apps::{App, HmsGraph};
+use atmem_graph::Dataset;
+use atmem_hms::Platform;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_kernel_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_iteration");
+    group.sample_size(10);
+    for app in [App::Bfs, App::PageRank, App::Cc] {
+        let csr = {
+            let g = Dataset::Rmat24.build_small(6);
+            if app.needs_weights() {
+                g.with_random_weights(16.0, 1)
+            } else {
+                g
+            }
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(app.name()), &app, |b, &app| {
+            b.iter_with_setup(
+                || {
+                    let mut rt =
+                        Atmem::new(Platform::testing(), AtmemConfig::default()).expect("runtime");
+                    let graph = HmsGraph::load(&mut rt, &csr).expect("load");
+                    let mut kernel = app.instantiate(&mut rt, graph).expect("kernel");
+                    kernel.reset(&mut rt);
+                    (rt, kernel)
+                },
+                |(mut rt, mut kernel)| {
+                    kernel.run_iteration(&mut rt);
+                    black_box(kernel.checksum(&mut rt));
+                },
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_extension_kernels(c: &mut Criterion) {
+    use atmem_apps::{KCore, Kernel, Triangles};
+    let mut group = c.benchmark_group("extension_kernels");
+    group.sample_size(10);
+    let csr = {
+        let mut config = Dataset::Pokec.config();
+        config.scale = 10;
+        config.symmetrize = true;
+        atmem_graph::rmat(&config, 3)
+    };
+    group.bench_function("TC", |b| {
+        b.iter_with_setup(
+            || {
+                let mut rt =
+                    Atmem::new(Platform::testing(), AtmemConfig::default()).expect("runtime");
+                let graph = HmsGraph::load(&mut rt, &csr).expect("load");
+                let kernel = Triangles::new(&mut rt, graph).expect("kernel");
+                (rt, kernel)
+            },
+            |(mut rt, mut kernel)| {
+                kernel.reset(&mut rt);
+                kernel.run_iteration(&mut rt);
+                black_box(kernel.checksum(&mut rt));
+            },
+        );
+    });
+    group.bench_function("kCore", |b| {
+        b.iter_with_setup(
+            || {
+                let mut rt =
+                    Atmem::new(Platform::testing(), AtmemConfig::default()).expect("runtime");
+                let graph = HmsGraph::load(&mut rt, &csr).expect("load");
+                let kernel = KCore::new(&mut rt, graph).expect("kernel");
+                (rt, kernel)
+            },
+            |(mut rt, mut kernel)| {
+                kernel.reset(&mut rt);
+                kernel.run_iteration(&mut rt);
+                black_box(kernel.checksum(&mut rt));
+            },
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel_iteration, bench_extension_kernels);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Runs the ablation studies (analyzer variants, granularity, sampling,
+//! migration mechanism, profiling overhead).
+
+fn main() -> atmem::Result<()> {
+    atmem_bench::experiments::ablation::run()?;
+    Ok(())
+}

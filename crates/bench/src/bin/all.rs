@@ -1,0 +1,16 @@
+//! Runs every experiment in paper order: Figure 1, Figures 5+7/Table 3,
+//! Figures 6+8, Figures 9 and 10, Table 4, then the ablations.
+
+fn main() -> atmem::Result<()> {
+    let t0 = std::time::Instant::now();
+    atmem_bench::experiments::fig1::run()?;
+    atmem_bench::experiments::overall::run_nvm()?;
+    atmem_bench::experiments::overall::run_mcdram()?;
+    atmem_bench::experiments::sweep::run_fig9()?;
+    atmem_bench::experiments::sweep::run_fig10()?;
+    atmem_bench::experiments::table4::run()?;
+    atmem_bench::experiments::ablation::run()?;
+    atmem_bench::experiments::variance::run()?;
+    eprintln!("all experiments done in {:.1}s", t0.elapsed().as_secs_f64());
+    Ok(())
+}

@@ -1,0 +1,236 @@
+//! `atmem-run` — run one experiment from the command line.
+//!
+//! ```text
+//! atmem_run [--app BFS|SSSP|PR|BC|CC|SpMV] [--dataset pokec|rmat24|twitter|rmat27|friendster]
+//!           [--platform nvm|knl|cxl] [--mode baseline|atmem|ideal|preferred]
+//!           [--epsilon F] [--arity M] [--chunks N] [--period P]
+//!           [--mechanism staged|direct|mbind] [--shrink S]
+//!           [--edge-list PATH] [--heatmap]
+//! ```
+//!
+//! Prints the two iteration times, the data ratio, migration statistics,
+//! a per-object residency report, and (with `--heatmap`) the chunk-level
+//! access heatmap with the analyzer's selection overlaid.
+
+use std::process::ExitCode;
+
+use atmem::{chunk_heatmap, AtmemConfig, MigrationMechanism, ResidencyReport};
+use atmem_apps::{App, HmsGraph, Mode};
+use atmem_graph::{Csr, Dataset};
+use atmem_hms::Platform;
+
+#[derive(Debug)]
+struct Options {
+    app: App,
+    dataset: Dataset,
+    platform_name: String,
+    mode: Mode,
+    config: AtmemConfig,
+    shrink: u32,
+    edge_list: Option<String>,
+    heatmap: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: atmem_run [--app BFS|SSSP|PR|BC|CC|SpMV] [--dataset NAME] \
+         [--platform nvm|knl|cxl] [--mode baseline|atmem|ideal|preferred] \
+         [--epsilon F] [--arity M] [--chunks N] [--period P] \
+         [--mechanism staged|direct|mbind] [--shrink S] [--edge-list PATH] [--heatmap]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options {
+        app: App::Bfs,
+        dataset: Dataset::Rmat24,
+        platform_name: "nvm".to_string(),
+        mode: Mode::Atmem,
+        config: AtmemConfig::default(),
+        shrink: 2,
+        edge_list: None,
+        heatmap: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {what}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--app" => {
+                let v = value("--app");
+                opts.app = match v.to_uppercase().as_str() {
+                    "BFS" => App::Bfs,
+                    "SSSP" => App::Sssp,
+                    "PR" => App::PageRank,
+                    "BC" => App::Bc,
+                    "CC" => App::Cc,
+                    "SPMV" => App::Spmv,
+                    _ => usage(),
+                };
+            }
+            "--dataset" => {
+                let v = value("--dataset");
+                opts.dataset = *Dataset::ALL
+                    .iter()
+                    .find(|d| d.name() == v)
+                    .unwrap_or_else(|| usage());
+            }
+            "--platform" => opts.platform_name = value("--platform"),
+            "--mode" => {
+                opts.mode = match value("--mode").as_str() {
+                    "baseline" => Mode::Baseline,
+                    "atmem" => Mode::Atmem,
+                    "ideal" => Mode::Ideal,
+                    "preferred" => Mode::Preferred,
+                    _ => usage(),
+                };
+            }
+            "--epsilon" => {
+                opts.config.analyzer.epsilon =
+                    Some(value("--epsilon").parse().unwrap_or_else(|_| usage()));
+            }
+            "--arity" => {
+                opts.config.analyzer.arity = value("--arity").parse().unwrap_or_else(|_| usage());
+            }
+            "--chunks" => {
+                opts.config.chunks.target_chunks =
+                    value("--chunks").parse().unwrap_or_else(|_| usage());
+            }
+            "--period" => {
+                opts.config.sampling.period =
+                    Some(value("--period").parse().unwrap_or_else(|_| usage()));
+            }
+            "--mechanism" => {
+                opts.config.migration.mechanism = match value("--mechanism").as_str() {
+                    "staged" => MigrationMechanism::Staged,
+                    "direct" => MigrationMechanism::Direct,
+                    "mbind" => MigrationMechanism::Mbind,
+                    _ => usage(),
+                };
+            }
+            "--shrink" => opts.shrink = value("--shrink").parse().unwrap_or_else(|_| usage()),
+            "--edge-list" => opts.edge_list = Some(value("--edge-list")),
+            "--heatmap" => opts.heatmap = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    opts
+}
+
+fn load_graph(opts: &Options) -> Result<Csr, Box<dyn std::error::Error>> {
+    let csr = match &opts.edge_list {
+        Some(path) => {
+            let file = std::fs::File::open(path)?;
+            atmem_graph::read_edge_list(std::io::BufReader::new(file))?
+        }
+        None => opts.dataset.build_small(opts.shrink),
+    };
+    Ok(if opts.app.needs_weights() && !csr.is_weighted() {
+        csr.with_random_weights(64.0, 7)
+    } else {
+        csr
+    })
+}
+
+fn main() -> ExitCode {
+    let opts = parse_options();
+    let platform = match opts.platform_name.as_str() {
+        "nvm" => Platform::nvm_dram(),
+        "knl" => Platform::mcdram_dram(),
+        "cxl" => Platform::cxl_dram(),
+        _ => usage(),
+    };
+    let csr = match load_graph(&opts) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("failed to load graph: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{} on {} ({} vertices, {} edges, {:.1} MiB) — platform {}, mode {}",
+        opts.app,
+        opts.edge_list.as_deref().unwrap_or(opts.dataset.name()),
+        csr.num_vertices(),
+        csr.num_edges(),
+        csr.simulated_footprint() as f64 / (1 << 20) as f64,
+        platform.name,
+        opts.mode.name(),
+    );
+
+    // Inline protocol (rather than runner::run_protocol) so the runtime
+    // stays available for the residency report and heatmap afterwards.
+    let mut config = opts.config.clone();
+    config.default_placement = match opts.mode {
+        Mode::Baseline | Mode::Atmem => atmem::PlacementPolicy::AllSlow,
+        Mode::Ideal => atmem::PlacementPolicy::AllFast,
+        Mode::Preferred => atmem::PlacementPolicy::PreferFast,
+    };
+    let run = || -> atmem::Result<()> {
+        let mut rt = atmem::Atmem::new(platform.clone(), config.clone())?;
+        let graph = HmsGraph::load(&mut rt, &csr)?;
+        let mut kernel = opts.app.instantiate(&mut rt, graph)?;
+
+        kernel.reset(&mut rt);
+        if opts.mode == Mode::Atmem {
+            rt.profiling_start()?;
+        }
+        let t0 = rt.now();
+        kernel.run_iteration(&mut rt);
+        let first = rt.now().as_ns() - t0.as_ns();
+        if opts.mode == Mode::Atmem {
+            let profile = rt.profiling_stop()?;
+            println!(
+                "iteration 1: {:9.3} ms   ({} samples @ period {})",
+                first / 1e6,
+                profile.samples,
+                profile.period
+            );
+            let report = rt.optimize()?;
+            println!(
+                "optimize   : moved {:.2} MiB in {} regions ({} skipped) in {} — data ratio {:.1}%",
+                report.migration.bytes_moved as f64 / (1 << 20) as f64,
+                report.migration.regions,
+                report.migration.regions_skipped,
+                report.migration.time,
+                report.data_ratio * 100.0,
+            );
+            if opts.heatmap {
+                print!(
+                    "{}",
+                    chunk_heatmap(rt.registry(), Some(&report.analysis), 64)
+                );
+            }
+        } else {
+            println!("iteration 1: {:9.3} ms", first / 1e6);
+        }
+
+        kernel.reset(&mut rt);
+        let t1 = rt.now();
+        kernel.run_iteration(&mut rt);
+        let second = rt.now().as_ns() - t1.as_ns();
+        println!(
+            "iteration 2: {:9.3} ms   (checksum {:.6e})",
+            second / 1e6,
+            kernel.checksum(&mut rt)
+        );
+        println!("\n{}", ResidencyReport::collect(&rt));
+        Ok(())
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 1 (motivating slowdown study). See `experiments::fig1`.
+
+fn main() -> atmem::Result<()> {
+    atmem_bench::experiments::fig1::run()?;
+    Ok(())
+}

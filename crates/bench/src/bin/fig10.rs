@@ -1,0 +1,6 @@
+//! Regenerates Figure 10 (BFS time vs data ratio, epsilon sweep, MCDRAM-DRAM).
+
+fn main() -> atmem::Result<()> {
+    atmem_bench::experiments::sweep::run_fig10()?;
+    Ok(())
+}

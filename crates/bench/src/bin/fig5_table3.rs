@@ -1,0 +1,6 @@
+//! Regenerates Figure 5, Table 3, and Figure 7 (NVM-DRAM overall results).
+
+fn main() -> atmem::Result<()> {
+    atmem_bench::experiments::overall::run_nvm()?;
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 6 and Figure 8 (MCDRAM-DRAM overall results).
+
+fn main() -> atmem::Result<()> {
+    atmem_bench::experiments::overall::run_mcdram()?;
+    Ok(())
+}

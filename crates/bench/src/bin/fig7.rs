@@ -1,0 +1,7 @@
+//! Regenerates Figure 7 (data ratio on DRAM). Shares the NVM-DRAM grid with
+//! fig5_table3; running either produces fig7.csv.
+
+fn main() -> atmem::Result<()> {
+    atmem_bench::experiments::overall::run_nvm()?;
+    Ok(())
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 8 (data ratio on MCDRAM). Shares the MCDRAM-DRAM grid
+//! with fig6; running either produces fig8.csv.
+
+fn main() -> atmem::Result<()> {
+    atmem_bench::experiments::overall::run_mcdram()?;
+    Ok(())
+}

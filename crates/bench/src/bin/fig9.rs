@@ -1,0 +1,6 @@
+//! Regenerates Figure 9 (BFS time vs data ratio, epsilon sweep, NVM-DRAM).
+
+fn main() -> atmem::Result<()> {
+    atmem_bench::experiments::sweep::run_fig9()?;
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 4 (mbind vs multi-stage multi-threaded migration).
+
+fn main() -> atmem::Result<()> {
+    atmem_bench::experiments::table4::run()?;
+    Ok(())
+}

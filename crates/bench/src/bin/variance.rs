@@ -1,0 +1,6 @@
+//! Runs the ten-seed variance study (the paper's repetition methodology).
+
+fn main() -> atmem::Result<()> {
+    atmem_bench::experiments::variance::run()?;
+    Ok(())
+}

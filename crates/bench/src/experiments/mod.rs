@@ -1,0 +1,10 @@
+//! Drivers for every table and figure of the paper's evaluation, plus the
+//! ablations DESIGN.md calls out. Each driver prints its tables and writes
+//! matching CSVs under `results/`.
+
+pub mod ablation;
+pub mod fig1;
+pub mod overall;
+pub mod sweep;
+pub mod table4;
+pub mod variance;

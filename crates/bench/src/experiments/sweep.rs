@@ -1,0 +1,72 @@
+//! Figures 9 and 10 — data-ratio sensitivity via the ε sweep (§7.2).
+//!
+//! The paper sweeps the tree-ratio floor ε (Eq. 5), producing different
+//! data ratios on the fast tier, and plots BFS time against the ratio. The
+//! shape to reproduce: time falls steeply up to an optimal region, then
+//! flattens — beyond it, extra fast-tier data buys nothing (and on the
+//! capacity-bound KNL testbed the curve stops well before ratio 1).
+
+use atmem::AtmemConfig;
+use atmem_apps::{run_protocol, App, Mode};
+use atmem_graph::Dataset;
+use atmem_hms::Platform;
+
+use crate::{build_dataset, emit, ResultTable};
+
+/// The ε values swept, from most selective to most permissive. ε = 0
+/// promotes every span with any criticality (the full-migration endpoint
+/// of the paper's x-axis).
+pub const EPSILONS: [f64; 11] = [0.98, 0.9, 0.75, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1, 0.02, 0.0];
+
+/// Runs the BFS ε sweep for one platform; emits `<name>.csv`.
+///
+/// # Errors
+///
+/// Propagates protocol and I/O failures.
+pub fn run_sweep(platform: &Platform, name: &str, title: &str) -> atmem::Result<ResultTable> {
+    let mut table = ResultTable::new(title, &["epsilon", "data_ratio", "time_ms"]);
+    for dataset in Dataset::ALL {
+        let csr = build_dataset(dataset, false);
+        for eps in EPSILONS {
+            let r = run_protocol(
+                platform.clone(),
+                AtmemConfig::default().with_epsilon(eps),
+                &csr,
+                App::Bfs,
+                Mode::Atmem,
+            )?;
+            table.push_row(
+                dataset.name(),
+                vec![eps, r.data_ratio, r.second_iter.as_ms()],
+            );
+        }
+    }
+    emit(&table, name).expect("write results");
+    Ok(table)
+}
+
+/// Figure 9: NVM-DRAM testbed.
+///
+/// # Errors
+///
+/// Propagates protocol and I/O failures.
+pub fn run_fig9() -> atmem::Result<Vec<ResultTable>> {
+    Ok(vec![run_sweep(
+        &Platform::nvm_dram(),
+        "fig9",
+        "Figure 9: BFS time vs data ratio in DRAM (epsilon sweep, NVM-DRAM testbed)",
+    )?])
+}
+
+/// Figure 10: MCDRAM-DRAM testbed (capacity-bound for large datasets).
+///
+/// # Errors
+///
+/// Propagates protocol and I/O failures.
+pub fn run_fig10() -> atmem::Result<Vec<ResultTable>> {
+    Ok(vec![run_sweep(
+        &Platform::mcdram_dram(),
+        "fig10",
+        "Figure 10: BFS time vs data ratio in MCDRAM (epsilon sweep, MCDRAM-DRAM testbed)",
+    )?])
+}

@@ -1,0 +1,102 @@
+//! Table 4 — `mbind` vs the multi-stage multi-threaded migration (§7.3).
+//!
+//! For PageRank on each dataset and testbed, two builds of the experiment
+//! differ only in the migration engine. The table reports, as ratios
+//! mbind/ATMem: TLB misses of the post-migration iteration, and migration
+//! time. Paper bands: NVM-DRAM time 1.3–2.7x (avg 2.07x), TLB up to ~74x;
+//! MCDRAM-DRAM time 3.0–8.2x (avg 5.32x), TLB ~1.2–2.5x.
+
+use atmem::{AtmemConfig, MigrationMechanism};
+use atmem_apps::{run_protocol, App, Mode};
+use atmem_graph::Dataset;
+use atmem_hms::Platform;
+
+use crate::{build_dataset, emit, geomean, ResultTable};
+
+/// One dataset's mbind/ATMem ratios.
+#[derive(Debug, Clone, Copy)]
+pub struct Table4Row {
+    /// Post-migration iteration TLB-miss ratio (mbind / ATMem).
+    pub tlb_ratio: f64,
+    /// Migration time ratio (mbind / ATMem).
+    pub time_ratio: f64,
+}
+
+/// Runs one testbed's comparison.
+///
+/// # Errors
+///
+/// Propagates protocol failures.
+pub fn run_platform(platform: &Platform) -> atmem::Result<Vec<(Dataset, Table4Row)>> {
+    let mut rows = Vec::new();
+    for dataset in Dataset::ALL {
+        let csr = build_dataset(dataset, false);
+        let mut staged_config = AtmemConfig::default();
+        staged_config.migration.mechanism = MigrationMechanism::Staged;
+        let staged = run_protocol(
+            platform.clone(),
+            staged_config,
+            &csr,
+            App::PageRank,
+            Mode::Atmem,
+        )?;
+        let mut mbind_config = AtmemConfig::default();
+        mbind_config.migration.mechanism = MigrationMechanism::Mbind;
+        let mbind = run_protocol(
+            platform.clone(),
+            mbind_config,
+            &csr,
+            App::PageRank,
+            Mode::Atmem,
+        )?;
+        assert_eq!(staged.checksum, mbind.checksum, "mechanisms must agree");
+        let staged_report = staged.optimize.as_ref().expect("atmem mode optimizes");
+        let mbind_report = mbind.optimize.as_ref().expect("atmem mode optimizes");
+        rows.push((
+            dataset,
+            Table4Row {
+                tlb_ratio: mbind.second_iter_stats.tlb_misses as f64
+                    / staged.second_iter_stats.tlb_misses.max(1) as f64,
+                time_ratio: mbind_report.migration.time.as_ns()
+                    / staged_report.migration.time.as_ns().max(1.0),
+            },
+        ));
+    }
+    Ok(rows)
+}
+
+/// Runs both testbeds; emits `table4.csv`.
+///
+/// # Errors
+///
+/// Propagates protocol and I/O failures.
+pub fn run() -> atmem::Result<Vec<ResultTable>> {
+    let mut table = ResultTable::new(
+        "Table 4: reduction in TLB misses and migration time (mbind / ATMem) for PR",
+        &[
+            "nvm_tlb_ratio",
+            "nvm_time_ratio",
+            "mcdram_tlb_ratio",
+            "mcdram_time_ratio",
+        ],
+    );
+    let nvm = run_platform(&Platform::nvm_dram())?;
+    let knl = run_platform(&Platform::mcdram_dram())?;
+    for ((dataset, n), (_, k)) in nvm.iter().zip(&knl) {
+        table.push_row(
+            dataset.name(),
+            vec![n.tlb_ratio, n.time_ratio, k.tlb_ratio, k.time_ratio],
+        );
+    }
+    table.push_row(
+        "avg(geomean)",
+        vec![
+            geomean(nvm.iter().map(|(_, r)| r.tlb_ratio)),
+            geomean(nvm.iter().map(|(_, r)| r.time_ratio)),
+            geomean(knl.iter().map(|(_, r)| r.tlb_ratio)),
+            geomean(knl.iter().map(|(_, r)| r.time_ratio)),
+        ],
+    );
+    emit(&table, "table4").expect("write results");
+    Ok(vec![table])
+}

@@ -1,0 +1,214 @@
+//! # atmem-bench — experiment harness for the ATMem reproduction
+//!
+//! Shared plumbing for the per-figure binaries (`fig1`, `fig5_table3`,
+//! `fig6`, `fig7`, `fig8`, `fig9`, `fig10`, `table4`, `ablation`): dataset
+//! sizing, result tables, CSV emission, and summary statistics.
+//!
+//! Every binary prints a human-readable table to stdout and writes a CSV
+//! with the same series under `results/` (see [`emit`]), so the
+//! figures can be re-plotted from the raw rows.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use atmem_graph::{Csr, Dataset};
+
+/// How many R-MAT scale levels to shrink the stand-in datasets for a
+/// harness run. The default 0 uses the full scaled stand-ins (a complete
+/// figure takes minutes); the `ATMEM_BENCH_SHRINK` environment variable
+/// overrides (smoke runs set a larger shrink to finish in seconds).
+pub fn dataset_shrink() -> u32 {
+    std::env::var("ATMEM_BENCH_SHRINK")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Builds a dataset stand-in at harness scale, weighted when `weighted`.
+pub fn build_dataset(dataset: Dataset, weighted: bool) -> Csr {
+    let csr = dataset.build_small(dataset_shrink());
+    if weighted {
+        csr.with_random_weights(64.0, dataset.seed() ^ 0x57ED5)
+    } else {
+        csr
+    }
+}
+
+/// A rectangular result table: row labels, column labels, f64 cells.
+#[derive(Debug, Clone)]
+pub struct ResultTable {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<(String, Vec<f64>)>,
+}
+
+impl ResultTable {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        ResultTable {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the column count.
+    pub fn push_row(&mut self, label: impl Into<String>, cells: Vec<f64>) {
+        assert_eq!(cells.len(), self.columns.len(), "cell/column mismatch");
+        self.rows.push((label.into(), cells));
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The rows appended so far.
+    pub fn rows(&self) -> &[(String, Vec<f64>)] {
+        &self.rows
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain([5])
+            .max()
+            .unwrap_or(5)
+            + 2;
+        let _ = writeln!(out, "# {}", self.title);
+        let _ = write!(out, "{:<label_w$}", "");
+        for c in &self.columns {
+            let _ = write!(out, "{c:>14}");
+        }
+        let _ = writeln!(out);
+        for (label, cells) in &self.rows {
+            let _ = write!(out, "{label:<label_w$}");
+            for v in cells {
+                if v.abs() >= 1000.0 || (*v != 0.0 && v.abs() < 0.01) {
+                    let _ = write!(out, "{v:>14.3e}");
+                } else {
+                    let _ = write!(out, "{v:>14.4}");
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Serialises the table as CSV (header row of column labels).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "label");
+        for c in &self.columns {
+            let _ = write!(out, ",{c}");
+        }
+        let _ = writeln!(out);
+        for (label, cells) in &self.rows {
+            if label.contains(',') || label.contains('"') {
+                let _ = write!(out, "\"{}\"", label.replace('"', "\"\""));
+            } else {
+                let _ = write!(out, "{label}");
+            }
+            for v in cells {
+                let _ = write!(out, ",{v}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+/// The results directory (`results/` beside the workspace root, overridable
+/// via `ATMEM_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("ATMEM_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results"))
+}
+
+/// Writes a table to `results/<name>.csv` and prints the text rendering.
+///
+/// # Errors
+///
+/// I/O failures creating the directory or writing the file.
+pub fn emit(table: &ResultTable, name: &str) -> std::io::Result<()> {
+    print!("{}", table.render());
+    println!();
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    std::fs::write(dir.join(format!("{name}.csv")), table.to_csv())?;
+    Ok(())
+}
+
+/// Geometric mean of positive values (ignores non-positive entries).
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let (sum, n) = values
+        .into_iter()
+        .filter(|v| *v > 0.0)
+        .fold((0.0, 0usize), |(s, n), v| (s + v.ln(), n + 1));
+    if n == 0 {
+        0.0
+    } else {
+        (sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_and_serialises() {
+        let mut t = ResultTable::new("demo", &["a", "b"]);
+        t.push_row("r1", vec![1.0, 2.0]);
+        t.push_row("r2", vec![3.5, 0.001]);
+        let text = t.render();
+        assert!(text.contains("demo") && text.contains("r1"));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("label,a,b\n"));
+        assert!(csv.contains("r1,1,2\n"));
+    }
+
+    #[test]
+    fn csv_quotes_labels_with_commas() {
+        let mut t = ResultTable::new("demo", &["a"]);
+        t.push_row("x, y", vec![1.0]);
+        assert!(t.to_csv().contains("\"x, y\",1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell/column mismatch")]
+    fn wrong_arity_rejected() {
+        let mut t = ResultTable::new("demo", &["a"]);
+        t.push_row("r", vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean([]), 0.0);
+        assert!((geomean([5.0, 0.0, -1.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dataset_builders_respect_shrink_env() {
+        // Do not mutate the env (tests run in parallel); just exercise the
+        // builder at the current shrink.
+        let g = build_dataset(Dataset::Pokec, false);
+        assert!(g.num_vertices() >= 1 << 8);
+        let w = build_dataset(Dataset::Pokec, true);
+        assert!(w.is_weighted());
+    }
+}
+
+pub mod experiments;

@@ -1,0 +1,254 @@
+//! Hybrid local selection (paper §4.2, Eq. 1–3).
+//!
+//! Stage one of the analyzer ranks chunks *within* each data object:
+//!
+//! * Eq. 1 — local priority `PR(DC) = LLC_mr(DC) / Size(DC)`: sampled LLC
+//!   read misses normalised by chunk size (normalisation makes priorities
+//!   comparable across objects with different chunk sizes, which the global
+//!   stage relies on);
+//! * Eq. 2 — the threshold `θ(DO)` is the maximum of three candidates:
+//!   the top-N percentile `P_n`, a derivative-based knee relative to
+//!   `max PR` (a 1-D analogue of 2-means clustering), and a theoretical
+//!   floor derived from the sampling frequency (a chunk observed fewer
+//!   times than `min_samples` carries no signal);
+//! * Eq. 3 — `CAT(DC) = 1` iff `PR(DC) > θ`.
+//!
+//! The hybrid of percentile and knee handles both failure modes of a fixed
+//! top-N: highly skewed objects (where top-N would drag in cold chunks) and
+//! flat objects (where more than N% deserve selection).
+
+use crate::config::AnalyzerConfig;
+use crate::object::DataObject;
+
+/// Per-object outcome of the local selection stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalSelection {
+    /// Eq. 1 priority of every chunk (misses per byte).
+    pub priorities: Vec<f64>,
+    /// The threshold chosen by Eq. 2.
+    pub theta: f64,
+    /// Eq. 3 classification: `true` = sampled critical.
+    pub critical: Vec<bool>,
+}
+
+impl LocalSelection {
+    /// Number of sampled-critical chunks.
+    pub fn critical_count(&self) -> usize {
+        self.critical.iter().filter(|&&c| c).count()
+    }
+}
+
+/// Runs the local selection for one object.
+pub fn local_selection(object: &DataObject, config: &AnalyzerConfig) -> LocalSelection {
+    let n = object.num_chunks();
+    // The sampling floor is count-based: a chunk observed fewer than
+    // `min_samples` times carries no signal, *whatever its size*. Applying
+    // the floor to the normalised priority would let a tiny final partial
+    // chunk turn one stray sample into an enormous priority.
+    let priorities: Vec<f64> = (0..n)
+        .map(|i| {
+            let samples = object.samples()[i];
+            if samples < config.min_samples {
+                0.0
+            } else {
+                samples as f64 / object.chunk_bytes(i) as f64
+            }
+        })
+        .collect();
+
+    let theta = select_threshold(&priorities, config);
+    let critical = priorities.iter().map(|&p| p > theta).collect();
+    LocalSelection {
+        priorities,
+        theta,
+        critical,
+    }
+}
+
+/// Eq. 2: `θ = max(P_n, derivative knee, sampling floor)`. The floor has
+/// already been applied (floor-failing chunks carry priority zero).
+fn select_threshold(priorities: &[f64], config: &AnalyzerConfig) -> f64 {
+    let max_pr = priorities.iter().cloned().fold(0.0, f64::max);
+    if max_pr == 0.0 {
+        // No samples: nothing can be critical. Any positive threshold works.
+        return f64::INFINITY;
+    }
+
+    // Signal-bearing chunks, hottest first.
+    let mut sorted: Vec<f64> = priorities.iter().copied().filter(|&p| p > 0.0).collect();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("priorities are finite"));
+    if sorted.is_empty() {
+        return f64::INFINITY;
+    }
+    let n = priorities.len();
+
+    // The derivative-based search walks the descending priority curve
+    // looking for a *cliff*: the first chunk whose marginal priority falls
+    // below `derivative_alpha` of the running average — the hot-cluster
+    // boundary, a 1-D analogue of a 2-means split. Along the way it also
+    // notes where the prefix covers `mass_coverage` of the total priority
+    // mass — beyond that point, extra chunks buy almost no gain per byte
+    // (§1's objective), so selection never extends past it.
+    let total_mass: f64 = sorted.iter().sum();
+    let mut cliff: Option<usize> = None;
+    let mut k_mass = sorted.len();
+    let mut mass = sorted[0];
+    for (i, &p) in sorted.iter().enumerate().skip(1) {
+        if k_mass == sorted.len() && mass >= config.mass_coverage * total_mass {
+            k_mass = i;
+        }
+        if cliff.is_none() && p < config.derivative_alpha * (mass / i as f64) {
+            cliff = Some(i);
+            break;
+        }
+        mass += p;
+    }
+
+    // The percentile candidate bounds how far a *cliff-less* (flat)
+    // selection may extend: at least the top-N count, at most
+    // `max_select_frac`. A detected cliff is trusted even beyond the cap —
+    // truncating a real hot cluster would strand critical chunks on the
+    // slow tier — but never past the mass bound.
+    let k_pn = ((n as f64) * config.top_n_frac).floor() as usize;
+    let cap = k_pn
+        .max((n as f64 * config.max_select_frac) as usize)
+        .max(1);
+    let mut k = match cliff {
+        Some(c) => c.min(k_mass),
+        None => k_mass.min(cap),
+    }
+    .max(1)
+    .min(sorted.len());
+
+    // Boundary ties are included: chunks with identical priority deserve
+    // identical treatment (and for a perfectly flat object this selects the
+    // whole structure — the coarse-grained degeneration of paper §9).
+    while k < sorted.len() && sorted[k] == sorted[k - 1] {
+        k += 1;
+    }
+
+    let kth = sorted[k - 1];
+    let next = sorted.get(k).copied().unwrap_or(0.0);
+    // Any θ in [next, kth) selects exactly the top k; use the midpoint.
+    (next + kth) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::chunk_geometry;
+    use crate::config::ChunkConfig;
+    use atmem_hms::{VirtAddr, VirtRange};
+
+    /// Builds an object with the given per-chunk sample counts (chunk size
+    /// 4 KiB).
+    fn object_with_samples(counts: &[u64]) -> DataObject {
+        let bytes = counts.len() * 4096;
+        let g = chunk_geometry(
+            bytes,
+            &ChunkConfig {
+                target_chunks: counts.len(),
+                min_chunk_bytes: 4096,
+            },
+        );
+        assert_eq!(g.num_chunks, counts.len());
+        let mut o = DataObject::new(
+            crate::object::ObjectId(0),
+            "t",
+            VirtRange::new(VirtAddr::new(0x100000), bytes),
+            g,
+        );
+        for (i, &c) in counts.iter().enumerate() {
+            for _ in 0..c {
+                assert!(o.record_sample(o.chunk_range(i).start));
+            }
+        }
+        o
+    }
+
+    fn config() -> AnalyzerConfig {
+        AnalyzerConfig::default()
+    }
+
+    #[test]
+    fn unsampled_object_selects_nothing() {
+        let o = object_with_samples(&[0; 16]);
+        let sel = local_selection(&o, &config());
+        assert_eq!(sel.critical_count(), 0);
+    }
+
+    #[test]
+    fn skewed_distribution_selects_only_the_cliff_top() {
+        // Two hot chunks far above the rest; top-10% of 20 chunks would be
+        // 2 anyway, but the knee keeps the cold ones out even with a larger
+        // percentile.
+        let mut counts = vec![1u64; 20];
+        counts[3] = 500;
+        counts[11] = 450;
+        let o = object_with_samples(&counts);
+        let sel = local_selection(&o, &config());
+        assert!(sel.critical[3] && sel.critical[11]);
+        assert_eq!(sel.critical_count(), 2);
+    }
+
+    #[test]
+    fn flat_distribution_extends_to_the_cap() {
+        // A smooth gradient: no cliff, so selection extends past the
+        // percentile up to the max_select_frac cap (the paper's "more than
+        // N% should be selected" case for even distributions).
+        let counts: Vec<u64> = (0..100u64).map(|i| 100 + i).collect();
+        let o = object_with_samples(&counts);
+        let sel = local_selection(&o, &config());
+        let picked = sel.critical_count();
+        assert!(
+            (10..=16).contains(&picked),
+            "expected ~12% selected, got {picked}"
+        );
+        // The selected ones are the highest.
+        for (i, (&selected, &count)) in sel.critical.iter().zip(&counts).enumerate() {
+            if selected {
+                assert!(count > 180, "chunk {i} selected with count {count}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_equal_distribution_selects_everything() {
+        // Perfectly uniform heat degenerates to whole-structure placement
+        // (paper §9): boundary ties extend selection to the full object.
+        let counts = vec![50u64; 64];
+        let o = object_with_samples(&counts);
+        let sel = local_selection(&o, &config());
+        assert_eq!(sel.critical_count(), 64);
+    }
+
+    #[test]
+    fn sampling_floor_suppresses_noise() {
+        // Every chunk saw at most one sample: nothing is significant.
+        let counts = vec![1u64, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0];
+        let o = object_with_samples(&counts);
+        let sel = local_selection(&o, &config());
+        assert_eq!(
+            sel.critical_count(),
+            0,
+            "single-sample chunks are noise under min_samples=2"
+        );
+    }
+
+    #[test]
+    fn priorities_are_normalized_by_size() {
+        let o = object_with_samples(&[10, 0, 0, 0]);
+        let sel = local_selection(&o, &config());
+        assert!((sel.priorities[0] - 10.0 / 4096.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_is_infinite_only_when_unsampled() {
+        let o = object_with_samples(&[0; 8]);
+        let sel = local_selection(&o, &config());
+        assert!(sel.theta.is_infinite());
+        let o = object_with_samples(&[9; 8]);
+        let sel = local_selection(&o, &config());
+        assert!(sel.theta.is_finite());
+    }
+}

@@ -1,0 +1,82 @@
+//! Error types for the ATMem runtime.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use atmem_hms::{HmsError, VirtAddr};
+
+/// Errors produced by the ATMem runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AtmemError {
+    /// Propagated failure from the memory system.
+    Hms(HmsError),
+    /// The address does not belong to any registered data object.
+    Unregistered(VirtAddr),
+    /// `optimize()` was called while profiling was still enabled.
+    ProfilingActive,
+    /// `profiling_stop()` without a matching `profiling_start()`.
+    ProfilingNotActive,
+    /// A configuration value is out of range.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        what: &'static str,
+        /// Explanation of the constraint.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for AtmemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtmemError::Hms(e) => write!(f, "memory system error: {e}"),
+            AtmemError::Unregistered(va) => {
+                write!(f, "address {va} is not part of a registered data object")
+            }
+            AtmemError::ProfilingActive => {
+                write!(f, "cannot optimize while profiling is active")
+            }
+            AtmemError::ProfilingNotActive => write!(f, "profiling is not active"),
+            AtmemError::InvalidConfig { what, reason } => {
+                write!(f, "invalid configuration {what}: {reason}")
+            }
+        }
+    }
+}
+
+impl StdError for AtmemError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            AtmemError::Hms(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HmsError> for AtmemError {
+    fn from(e: HmsError) -> Self {
+        AtmemError::Hms(e)
+    }
+}
+
+/// Convenience alias used by all fallible operations in this crate.
+pub type Result<T> = std::result::Result<T, AtmemError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = AtmemError::from(HmsError::ZeroSizedAllocation);
+        assert!(e.to_string().contains("memory system"));
+        assert!(StdError::source(&e).is_some());
+        assert!(StdError::source(&AtmemError::ProfilingActive).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AtmemError>();
+    }
+}

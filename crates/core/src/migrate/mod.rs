@@ -1,0 +1,7 @@
+//! Migration planning and execution (paper §4.4).
+
+pub mod plan;
+pub mod staged;
+
+pub use plan::{build_demotion_plan, build_plan, MigrationPlan, PlannedRegion};
+pub use staged::{execute_plan, MigrationOutcome};

@@ -1,0 +1,310 @@
+//! Migration planning: chunks → page-aligned regions under a budget.
+//!
+//! The analyzer hands back per-chunk criticality. The planner turns that
+//! into concrete migratable work: adjacent critical chunks of an object are
+//! coalesced into contiguous regions (one launch per region, amortising
+//! per-migration overhead — a benefit the paper attributes to promotion's
+//! gap patching), regions are page-aligned, split at a configurable cap,
+//! ranked by priority density, and selected greedily until the fast-tier
+//! budget runs out.
+
+use atmem_hms::addr::PAGE_SIZE;
+use atmem_hms::VirtRange;
+
+use crate::analyzer::Analysis;
+use crate::config::MigrationConfig;
+use crate::object::ObjectId;
+use crate::registry::Registry;
+
+/// One planned contiguous migration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannedRegion {
+    /// The object the region belongs to.
+    pub object: ObjectId,
+    /// Page-aligned virtual range to migrate.
+    pub range: VirtRange,
+    /// Mean chunk priority over the region (misses per byte).
+    pub priority: f64,
+}
+
+/// The full plan.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MigrationPlan {
+    /// Regions in execution order (highest priority density first).
+    pub regions: Vec<PlannedRegion>,
+    /// Total bytes the plan will move.
+    pub total_bytes: usize,
+    /// Bytes selected by the analyzer that did not fit the budget.
+    pub dropped_bytes: usize,
+}
+
+impl MigrationPlan {
+    /// Whether the plan moves anything.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+}
+
+/// Builds the plan for `analysis` under `budget_bytes` of fast-tier space.
+pub fn build_plan(
+    registry: &Registry,
+    analysis: &Analysis,
+    config: &MigrationConfig,
+    budget_bytes: usize,
+) -> MigrationPlan {
+    let mut candidates: Vec<PlannedRegion> = Vec::new();
+    for oa in &analysis.objects {
+        let obj = match registry.get(oa.id) {
+            Some(o) => o,
+            None => continue,
+        };
+        // Coalesce runs of critical chunks.
+        let mut run_start: Option<usize> = None;
+        for i in 0..=oa.critical.len() {
+            let is_critical = i < oa.critical.len() && oa.critical[i];
+            match (run_start, is_critical) {
+                (None, true) => run_start = Some(i),
+                (Some(s), false) => {
+                    candidates.extend(region_from_run(obj, &oa.selection.priorities, s, i, config));
+                    run_start = None;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Highest priority density first; ties broken by address for
+    // determinism.
+    candidates.sort_by(|a, b| {
+        b.priority
+            .partial_cmp(&a.priority)
+            .expect("priorities are finite")
+            .then(a.range.start.cmp(&b.range.start))
+    });
+
+    let mut plan = MigrationPlan::default();
+    for region in candidates {
+        if plan.total_bytes + region.range.len <= budget_bytes {
+            plan.total_bytes += region.range.len;
+            plan.regions.push(region);
+        } else {
+            plan.dropped_bytes += region.range.len;
+        }
+    }
+    plan
+}
+
+/// Builds a *demotion* plan: regions of currently-fast-resident chunks
+/// that the latest analysis no longer classifies as critical. Executing it
+/// with the slow tier as destination frees fast-tier space for a shifted
+/// hot set — the phase-adaptivity extension the paper leaves as future
+/// work (§9).
+pub fn build_demotion_plan(
+    registry: &Registry,
+    analysis: &Analysis,
+    machine: &atmem_hms::Machine,
+    config: &MigrationConfig,
+) -> MigrationPlan {
+    let mut plan = MigrationPlan::default();
+    for oa in &analysis.objects {
+        let obj = match registry.get(oa.id) {
+            Some(o) => o,
+            None => continue,
+        };
+        // Runs of non-critical chunks with any fast-resident bytes.
+        let demotable = |i: usize| {
+            !oa.critical[i]
+                && machine.resident_bytes(obj.chunk_range(i), atmem_hms::TierId::FAST) > 0
+        };
+        let mut run_start: Option<usize> = None;
+        for i in 0..=oa.critical.len() {
+            let in_run = i < oa.critical.len() && demotable(i);
+            match (run_start, in_run) {
+                (None, true) => run_start = Some(i),
+                (Some(s), false) => {
+                    let regions = region_from_run(obj, &oa.selection.priorities, s, i, config);
+                    for r in &regions {
+                        plan.total_bytes += r.range.len;
+                    }
+                    plan.regions.extend(regions);
+                    run_start = None;
+                }
+                _ => {}
+            }
+        }
+    }
+    plan
+}
+
+/// Converts the chunk run `[first, last)` of `obj` into one or more
+/// page-aligned regions no larger than `config.max_region_bytes`.
+fn region_from_run(
+    obj: &crate::object::DataObject,
+    priorities: &[f64],
+    first: usize,
+    last: usize,
+    config: &MigrationConfig,
+) -> Vec<PlannedRegion> {
+    let run_start_byte = obj.chunk_range(first).start;
+    let run_end_byte = obj.chunk_range(last - 1).end();
+
+    // Page-align outward, clamped to the object's page-aligned footprint
+    // (the allocation itself is page-aligned, so expanding to page borders
+    // never leaves the allocation).
+    let aligned_start = run_start_byte.raw() & !(PAGE_SIZE as u64 - 1);
+    let aligned_end = (run_end_byte.raw()).next_multiple_of(PAGE_SIZE as u64);
+    let total = (aligned_end - aligned_start) as usize;
+
+    // Split at the cap (cap rounded down to a page multiple, at least one
+    // page). Each piece carries the mean priority of the chunks *it*
+    // covers — a promoted run can mix a hot window with cold estimated
+    // chunks, and a run-wide mean would let the budget pick the cold half.
+    let cap = (config.max_region_bytes / PAGE_SIZE).max(1) * PAGE_SIZE;
+    let obj_start = obj.range().start.raw();
+    let geometry = obj.geometry();
+    let mut out = Vec::new();
+    let mut offset = 0usize;
+    while offset < total {
+        let len = (total - offset).min(cap);
+        let piece_start = aligned_start + offset as u64;
+        // Chunks overlapping this piece, clamped to the run.
+        let lo = ((piece_start - obj_start) as usize / geometry.chunk_bytes).max(first);
+        let hi = ((piece_start + len as u64 - 1 - obj_start) as usize / geometry.chunk_bytes)
+            .min(last - 1);
+        let priority = if lo <= hi {
+            priorities[lo..=hi].iter().sum::<f64>() / (hi - lo + 1) as f64
+        } else {
+            0.0
+        };
+        out.push(PlannedRegion {
+            object: obj.id(),
+            range: VirtRange::new(atmem_hms::VirtAddr::new(piece_start), len),
+            priority,
+        });
+        offset += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::local::LocalSelection;
+    use crate::analyzer::ObjectAnalysis;
+    use crate::chunk::chunk_geometry;
+    use crate::config::ChunkConfig;
+    use atmem_hms::VirtAddr;
+
+    /// One object of `chunks` 4 KiB chunks with the given criticality and
+    /// uniform priorities.
+    fn fixture(chunks: usize, critical: Vec<bool>) -> (Registry, Analysis) {
+        let mut registry = Registry::new();
+        let bytes = chunks * 4096;
+        let g = chunk_geometry(
+            bytes,
+            &ChunkConfig {
+                target_chunks: chunks,
+                min_chunk_bytes: 4096,
+            },
+        );
+        let id = registry.register("o", VirtRange::new(VirtAddr::new(0x40000000), bytes), g);
+        let priorities = critical
+            .iter()
+            .map(|&c| if c { 1.0 } else { 0.0 })
+            .collect();
+        let analysis = Analysis {
+            objects: vec![ObjectAnalysis {
+                id,
+                selection: LocalSelection {
+                    priorities,
+                    theta: 0.5,
+                    critical: critical.clone(),
+                },
+                weight: 1.0,
+                tr_threshold: 0.5,
+                critical,
+                promoted_chunks: 0,
+            }],
+        };
+        (registry, analysis)
+    }
+
+    #[test]
+    fn adjacent_chunks_coalesce() {
+        let (r, a) = fixture(8, vec![false, true, true, true, false, false, true, false]);
+        let plan = build_plan(&r, &a, &MigrationConfig::default(), usize::MAX);
+        assert_eq!(plan.regions.len(), 2);
+        assert_eq!(plan.total_bytes, 4 * 4096);
+        // First region is 3 chunks, the second 1.
+        let lens: Vec<usize> = plan.regions.iter().map(|p| p.range.len).collect();
+        assert!(lens.contains(&(3 * 4096)) && lens.contains(&4096));
+    }
+
+    #[test]
+    fn budget_drops_lowest_priority() {
+        let (r, mut a) = fixture(4, vec![true, false, true, false]);
+        // Make chunk 0 hotter than chunk 2.
+        a.objects[0].selection.priorities = vec![5.0, 0.0, 1.0, 0.0];
+        let plan = build_plan(&r, &a, &MigrationConfig::default(), 4096);
+        assert_eq!(plan.regions.len(), 1);
+        assert_eq!(plan.regions[0].range.start, VirtAddr::new(0x40000000));
+        assert_eq!(plan.dropped_bytes, 4096);
+    }
+
+    #[test]
+    fn regions_split_at_cap() {
+        let (r, a) = fixture(16, vec![true; 16]);
+        let config = MigrationConfig {
+            max_region_bytes: 4 * 4096,
+            ..MigrationConfig::default()
+        };
+        let plan = build_plan(&r, &a, &config, usize::MAX);
+        assert_eq!(plan.regions.len(), 4);
+        assert!(plan.regions.iter().all(|p| p.range.len == 4 * 4096));
+        assert_eq!(plan.total_bytes, 16 * 4096);
+    }
+
+    #[test]
+    fn split_pieces_carry_their_own_priorities() {
+        // One promoted run mixing a cold promoted half (chunks 0..8) and a
+        // hot sampled half (chunks 8..16). Under a budget of half the run,
+        // the HOT half must win — a run-wide mean priority would tie the
+        // pieces and let address order pick the cold half.
+        let (r, mut a) = fixture(16, vec![true; 16]);
+        a.objects[0].selection.priorities =
+            (0..16).map(|i| if i < 8 { 0.0 } else { 1.0 }).collect();
+        let config = MigrationConfig {
+            max_region_bytes: 4 * 4096,
+            ..MigrationConfig::default()
+        };
+        let plan = build_plan(&r, &a, &config, 8 * 4096);
+        assert_eq!(plan.total_bytes, 8 * 4096);
+        for p in &plan.regions {
+            let off = p.range.start.offset_from(VirtAddr::new(0x40000000));
+            assert!(
+                off >= 8 * 4096,
+                "cold piece at offset {off} selected over the hot half"
+            );
+            assert!(p.priority > 0.9);
+        }
+        assert_eq!(plan.dropped_bytes, 8 * 4096);
+    }
+
+    #[test]
+    fn empty_analysis_empty_plan() {
+        let (r, a) = fixture(4, vec![false; 4]);
+        let plan = build_plan(&r, &a, &MigrationConfig::default(), usize::MAX);
+        assert!(plan.is_empty());
+        assert_eq!(plan.total_bytes, 0);
+    }
+
+    #[test]
+    fn ranges_are_page_aligned() {
+        let (r, a) = fixture(6, vec![false, true, true, false, true, true]);
+        let plan = build_plan(&r, &a, &MigrationConfig::default(), usize::MAX);
+        for p in &plan.regions {
+            assert_eq!(p.range.start.page_offset(), 0);
+            assert_eq!(p.range.len % PAGE_SIZE, 0);
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Multi-stage multi-threaded migration (paper §4.4, Figure 4).
+//!
+//! For each planned region the engine performs three stages:
+//!
+//! 1. **Staging** — multiple threads copy the source region into a staging
+//!    buffer physically located on the *target* tier;
+//! 2. **Remapping** — the virtual pages of the region are remapped onto
+//!    fresh frames on the target tier (huge mappings where alignment
+//!    allows), with a single range TLB shootdown; no data moves;
+//! 3. **Moving** — multiple threads copy the staged bytes into the final
+//!    frames (a same-tier copy).
+//!
+//! Data crosses the tier boundary exactly once (stage 1); stage 3 runs at
+//! the target tier's bandwidth. Compared to the `mbind` baseline the engine
+//! exploits copy parallelism and leaves the region covered by a handful of
+//! huge mappings instead of hundreds of splintered base mappings, which is
+//! where the TLB wins of Table 4 come from.
+
+use atmem_hms::addr::PAGE_SIZE;
+use atmem_hms::{HmsError, Machine, SimDuration, TierId};
+
+use crate::config::{MigrationConfig, MigrationMechanism};
+use crate::error::Result;
+use crate::migrate::plan::MigrationPlan;
+
+/// Outcome of executing one migration plan.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MigrationOutcome {
+    /// Bytes moved onto the target tier.
+    pub bytes_moved: usize,
+    /// Regions migrated.
+    pub regions: usize,
+    /// Regions skipped because the target tier could not fit them (plus
+    /// staging) at execution time.
+    pub regions_skipped: usize,
+    /// Total simulated migration time.
+    pub time: SimDuration,
+}
+
+/// Executes `plan`, migrating each region to `dst_tier`.
+///
+/// Regions that no longer fit (the budget is computed before staging
+/// buffers are accounted) are skipped and counted, not fatal.
+///
+/// # Errors
+///
+/// Propagates unexpected memory-system failures (unmapped holes,
+/// invalid ranges) — conditions that indicate a bug rather than pressure.
+pub fn execute_plan(
+    machine: &mut Machine,
+    plan: &MigrationPlan,
+    config: &MigrationConfig,
+    dst_tier: TierId,
+) -> Result<MigrationOutcome> {
+    let threads = config
+        .threads
+        .unwrap_or(machine.platform().migration_threads);
+    let mut outcome = MigrationOutcome::default();
+    let start = machine.now();
+    for region in &plan.regions {
+        let moved = match config.mechanism {
+            MigrationMechanism::Staged => {
+                migrate_region_staged(machine, region.range, dst_tier, threads)?
+            }
+            MigrationMechanism::Direct => {
+                migrate_region_direct(machine, region.range, dst_tier, threads)?
+            }
+            MigrationMechanism::Mbind => {
+                match machine.migrate_mbind(region.range, dst_tier) {
+                    // migrate_mbind already accounts bytes and time.
+                    Ok(_) => {
+                        outcome.regions += 1;
+                        outcome.bytes_moved += region.range.len;
+                        continue;
+                    }
+                    Err(HmsError::OutOfMemory { .. }) | Err(HmsError::Fragmented { .. }) => {
+                        outcome.regions_skipped += 1;
+                        continue;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        };
+        if moved {
+            outcome.bytes_moved += region.range.len;
+            outcome.regions += 1;
+            machine.note_migrated(region.range.len);
+        } else {
+            outcome.regions_skipped += 1;
+        }
+    }
+    outcome.time = SimDuration::from_ns(machine.now().as_ns() - start.as_ns());
+    Ok(outcome)
+}
+
+/// The three-stage migration of one region. Returns `Ok(false)` when the
+/// target tier lacks space for the region plus its staging buffer.
+fn migrate_region_staged(
+    machine: &mut Machine,
+    range: atmem_hms::VirtRange,
+    dst_tier: TierId,
+    threads: usize,
+) -> Result<bool> {
+    let pages = range.len / PAGE_SIZE;
+    // Stage 0: reserve the staging buffer on the target tier.
+    let staging = match machine.alloc_frames(dst_tier, pages) {
+        Ok(run) => run,
+        Err(HmsError::OutOfMemory { .. }) | Err(HmsError::Fragmented { .. }) => return Ok(false),
+        Err(e) => return Err(e.into()),
+    };
+    // Stage 1: parallel copy source -> staging (crosses the tier link).
+    machine.copy_region_to_frames(range, dst_tier, staging, threads)?;
+    // Stage 2: remap the region onto fresh target frames.
+    match machine.remap_region(range, dst_tier) {
+        Ok(_mappings) => {}
+        Err(HmsError::OutOfMemory { .. }) | Err(HmsError::Fragmented { .. }) => {
+            machine.free_frames(dst_tier, staging);
+            return Ok(false);
+        }
+        Err(e) => {
+            machine.free_frames(dst_tier, staging);
+            return Err(e.into());
+        }
+    }
+    // A small fixed remap cost: page-table update + one range shootdown.
+    machine.advance_clock(SimDuration::from_ns(2_000.0));
+    // Stage 3: parallel copy staging -> final frames (same-tier copy).
+    machine.copy_frames_to_region(dst_tier, staging, range, threads)?;
+    machine.free_frames(dst_tier, staging);
+    Ok(true)
+}
+
+/// Ablation variant: a single-stage direct copy into freshly mapped target
+/// frames. One copy instead of two, but on real hardware the region would
+/// be unreadable during the remap window; the simulator has no concurrent
+/// readers, so this bounds the cost of the staging design.
+fn migrate_region_direct(
+    machine: &mut Machine,
+    range: atmem_hms::VirtRange,
+    dst_tier: TierId,
+    threads: usize,
+) -> Result<bool> {
+    let pages = range.len / PAGE_SIZE;
+    let fresh = match machine.alloc_frames(dst_tier, pages) {
+        Ok(run) => run,
+        Err(HmsError::OutOfMemory { .. }) | Err(HmsError::Fragmented { .. }) => return Ok(false),
+        Err(e) => return Err(e.into()),
+    };
+    // Copy source -> fresh frames, then remap and immediately copy the
+    // fresh frames into the (newly mapped) region. The second copy is
+    // within-tier and frame-identical, so we emulate "adopting" the fresh
+    // frames by copying into whatever frames the remap chose; the extra
+    // cost versus true adoption is the same-tier copy, which we do charge.
+    machine.copy_region_to_frames(range, dst_tier, fresh, threads)?;
+    match machine.remap_region(range, dst_tier) {
+        Ok(_) => {}
+        Err(HmsError::OutOfMemory { .. }) | Err(HmsError::Fragmented { .. }) => {
+            machine.free_frames(dst_tier, fresh);
+            return Ok(false);
+        }
+        Err(e) => {
+            machine.free_frames(dst_tier, fresh);
+            return Err(e.into());
+        }
+    }
+    machine.advance_clock(SimDuration::from_ns(2_000.0));
+    machine.copy_frames_to_region(dst_tier, fresh, range, threads)?;
+    machine.free_frames(dst_tier, fresh);
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::migrate::plan::PlannedRegion;
+    use crate::object::ObjectId;
+    use atmem_hms::{Placement, Platform, VirtRange};
+
+    fn plan_for(range: VirtRange) -> MigrationPlan {
+        MigrationPlan {
+            regions: vec![PlannedRegion {
+                object: ObjectId(0),
+                range,
+                priority: 1.0,
+            }],
+            total_bytes: range.len,
+            dropped_bytes: 0,
+        }
+    }
+
+    fn setup(bytes: usize) -> (Machine, VirtRange) {
+        let mut m = Machine::new(Platform::testing());
+        let r = m.alloc(bytes, Placement::Slow).unwrap();
+        for i in 0..(bytes / 8) as u64 {
+            m.poke::<u64>(r.start.add(i * 8), i.wrapping_mul(0x9E37_79B9))
+                .unwrap();
+        }
+        (m, VirtRange::new(r.start, bytes))
+    }
+
+    #[test]
+    fn staged_migration_preserves_data_and_moves_tier() {
+        let (mut m, range) = setup(2 * 1024 * 1024);
+        let out = execute_plan(
+            &mut m,
+            &plan_for(range),
+            &MigrationConfig::default(),
+            TierId::FAST,
+        )
+        .unwrap();
+        assert_eq!(out.regions, 1);
+        assert_eq!(out.bytes_moved, range.len);
+        assert!(out.time.as_ns() > 0.0);
+        assert_eq!(m.resident_bytes(range, TierId::FAST), range.len);
+        for i in 0..(range.len / 8) as u64 {
+            assert_eq!(
+                m.peek::<u64>(range.start.add(i * 8)).unwrap(),
+                i.wrapping_mul(0x9E37_79B9)
+            );
+        }
+    }
+
+    #[test]
+    fn staged_is_much_faster_than_mbind() {
+        let (mut m1, range1) = setup(4 * 1024 * 1024);
+        let staged = execute_plan(
+            &mut m1,
+            &plan_for(range1),
+            &MigrationConfig::default(),
+            TierId::FAST,
+        )
+        .unwrap();
+        let (mut m2, range2) = setup(4 * 1024 * 1024);
+        let mbind = m2.migrate_mbind(range2, TierId::FAST).unwrap();
+        assert!(
+            mbind.time.as_ns() > 1.3 * staged.time.as_ns(),
+            "mbind {} vs staged {}",
+            mbind.time,
+            staged.time
+        );
+    }
+
+    #[test]
+    fn staged_keeps_huge_mappings_where_mbind_splinters() {
+        let (mut m, range) = setup(2 * 1024 * 1024);
+        execute_plan(
+            &mut m,
+            &plan_for(range),
+            &MigrationConfig::default(),
+            TierId::FAST,
+        )
+        .unwrap();
+        let maps = m.mappings_in(range);
+        assert!(
+            maps.len() <= 2,
+            "staged migration should keep few mappings, got {}",
+            maps.len()
+        );
+    }
+
+    #[test]
+    fn oversized_region_is_skipped_not_fatal() {
+        let mut m = Machine::new(Platform::testing());
+        let fast_cap = m.capacity(TierId::FAST);
+        let r = m.alloc(fast_cap, Placement::Slow).unwrap();
+        // Staging (fast_cap) + remap (fast_cap) cannot both fit.
+        let range = VirtRange::new(r.start, fast_cap);
+        let out = execute_plan(
+            &mut m,
+            &plan_for(range),
+            &MigrationConfig::default(),
+            TierId::FAST,
+        )
+        .unwrap();
+        assert_eq!(out.regions, 0);
+        assert_eq!(out.regions_skipped, 1);
+        // Data still intact on the slow tier.
+        assert_eq!(m.resident_bytes(range, TierId::SLOW), fast_cap);
+    }
+
+    #[test]
+    fn direct_variant_also_preserves_data() {
+        let (mut m, range) = setup(1024 * 1024);
+        let config = MigrationConfig {
+            mechanism: MigrationMechanism::Direct,
+            ..MigrationConfig::default()
+        };
+        let out = execute_plan(&mut m, &plan_for(range), &config, TierId::FAST).unwrap();
+        assert_eq!(out.regions, 1);
+        for i in 0..(range.len / 8) as u64 {
+            assert_eq!(
+                m.peek::<u64>(range.start.add(i * 8)).unwrap(),
+                i.wrapping_mul(0x9E37_79B9)
+            );
+        }
+    }
+
+    #[test]
+    fn single_thread_migration_is_slower() {
+        let (mut m1, r1) = setup(4 * 1024 * 1024);
+        let multi = execute_plan(
+            &mut m1,
+            &plan_for(r1),
+            &MigrationConfig::default(),
+            TierId::FAST,
+        )
+        .unwrap();
+        let (mut m2, r2) = setup(4 * 1024 * 1024);
+        let single = execute_plan(
+            &mut m2,
+            &plan_for(r2),
+            &MigrationConfig {
+                threads: Some(1),
+                ..MigrationConfig::default()
+            },
+            TierId::FAST,
+        )
+        .unwrap();
+        assert!(
+            single.time.as_ns() > multi.time.as_ns() * 1.5,
+            "single {} multi {}",
+            single.time,
+            multi.time
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! Registered data objects and their per-chunk sample counters.
+
+use atmem_hms::{VirtAddr, VirtRange};
+
+use crate::chunk::ChunkGeometry;
+
+/// Identifier of a registered data object, stable for the lifetime of the
+/// runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub(crate) u32);
+
+impl ObjectId {
+    /// Creates an identifier from a raw index. Useful when constructing
+    /// migration plans by hand (e.g. harnesses that bypass the analyzer);
+    /// ids handed to a [`Registry`](crate::registry::Registry) must come
+    /// from registration.
+    pub fn from_index(index: u32) -> Self {
+        ObjectId(index)
+    }
+
+    /// The numeric index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One data object registered through `atmem_malloc` (paper Listing 1):
+/// a virtual range, its adaptive chunk geometry, and the LLC-miss sample
+/// counter of every chunk.
+#[derive(Debug, Clone)]
+pub struct DataObject {
+    id: ObjectId,
+    name: String,
+    range: VirtRange,
+    geometry: ChunkGeometry,
+    /// Sampled LLC read misses attributed to each chunk.
+    samples: Vec<u64>,
+}
+
+impl DataObject {
+    pub(crate) fn new(
+        id: ObjectId,
+        name: impl Into<String>,
+        range: VirtRange,
+        geometry: ChunkGeometry,
+    ) -> Self {
+        DataObject {
+            id,
+            name: name.into(),
+            range,
+            samples: vec![0; geometry.num_chunks],
+            geometry,
+        }
+    }
+
+    /// The object's identifier.
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+
+    /// The registration name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The registered virtual range.
+    pub fn range(&self) -> VirtRange {
+        self.range
+    }
+
+    /// Total size in bytes.
+    pub fn size(&self) -> usize {
+        self.range.len
+    }
+
+    /// Chunk geometry.
+    pub fn geometry(&self) -> ChunkGeometry {
+        self.geometry
+    }
+
+    /// Number of chunks.
+    pub fn num_chunks(&self) -> usize {
+        self.geometry.num_chunks
+    }
+
+    /// Size in bytes of chunk `idx` (the final chunk may be short).
+    pub fn chunk_bytes(&self, idx: usize) -> usize {
+        let (s, e) = self.geometry.chunk_span(idx, self.range.len);
+        e - s
+    }
+
+    /// Virtual range of chunk `idx`.
+    pub fn chunk_range(&self, idx: usize) -> VirtRange {
+        let (s, e) = self.geometry.chunk_span(idx, self.range.len);
+        VirtRange::new(self.range.start.add(s as u64), e - s)
+    }
+
+    /// The chunk containing `va`, if `va` lies in this object.
+    pub fn chunk_of(&self, va: VirtAddr) -> Option<usize> {
+        if !self.range.contains(va) {
+            return None;
+        }
+        Some(
+            self.geometry
+                .chunk_of(va.offset_from(self.range.start) as usize),
+        )
+    }
+
+    /// Records one sampled miss at `va`. Returns `false` if `va` is outside
+    /// the object.
+    pub(crate) fn record_sample(&mut self, va: VirtAddr) -> bool {
+        match self.chunk_of(va) {
+            Some(c) => {
+                self.samples[c] += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Per-chunk sampled miss counts.
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+
+    /// Total samples attributed to the object.
+    pub fn total_samples(&self) -> u64 {
+        self.samples.iter().sum()
+    }
+
+    /// Clears the sample counters (between profiling rounds).
+    pub(crate) fn reset_samples(&mut self) {
+        self.samples.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::chunk_geometry;
+    use crate::config::ChunkConfig;
+
+    fn object(bytes: usize) -> DataObject {
+        let g = chunk_geometry(bytes, &ChunkConfig::default());
+        DataObject::new(
+            ObjectId(0),
+            "test",
+            VirtRange::new(VirtAddr::new(0x10_0000), bytes),
+            g,
+        )
+    }
+
+    #[test]
+    fn chunk_of_boundaries() {
+        let o = object(64 * 4096);
+        assert_eq!(o.chunk_of(VirtAddr::new(0x10_0000)), Some(0));
+        assert_eq!(o.chunk_of(VirtAddr::new(0x10_0000 - 1)), None);
+        let last = o.range().end().raw() - 1;
+        assert_eq!(o.chunk_of(VirtAddr::new(last)), Some(o.num_chunks() - 1));
+        assert_eq!(o.chunk_of(o.range().end()), None);
+    }
+
+    #[test]
+    fn record_sample_increments_right_chunk() {
+        let mut o = object(16 * 4096);
+        let chunk_bytes = o.geometry().chunk_bytes;
+        assert!(o.record_sample(VirtAddr::new(0x10_0000 + chunk_bytes as u64)));
+        assert_eq!(o.samples()[1], 1);
+        assert_eq!(o.total_samples(), 1);
+        assert!(!o.record_sample(VirtAddr::new(0x0)));
+        o.reset_samples();
+        assert_eq!(o.total_samples(), 0);
+    }
+
+    #[test]
+    fn chunk_ranges_tile_the_object() {
+        let o = object(10 * 4096 + 123);
+        let mut covered = 0usize;
+        for i in 0..o.num_chunks() {
+            let r = o.chunk_range(i);
+            assert_eq!(
+                r.start.offset_from(o.range().start) as usize,
+                covered,
+                "chunks must tile contiguously"
+            );
+            covered += r.len;
+        }
+        assert_eq!(covered, o.size());
+    }
+}

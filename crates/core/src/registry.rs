@@ -1,0 +1,162 @@
+//! The data-object registry behind `atmem_malloc`.
+
+use std::collections::BTreeMap;
+
+use atmem_hms::{VirtAddr, VirtRange};
+
+use crate::chunk::ChunkGeometry;
+use crate::object::{DataObject, ObjectId};
+
+/// All registered data objects, with address-based attribution.
+#[derive(Debug, Default)]
+pub struct Registry {
+    objects: Vec<Option<DataObject>>,
+    /// Range start -> object id, for sample attribution.
+    by_start: BTreeMap<u64, ObjectId>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers an object covering `range` and returns its id.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        range: VirtRange,
+        geometry: ChunkGeometry,
+    ) -> ObjectId {
+        let id = ObjectId(self.objects.len() as u32);
+        self.objects
+            .push(Some(DataObject::new(id, name, range, geometry)));
+        self.by_start.insert(range.start.raw(), id);
+        id
+    }
+
+    /// Unregisters an object, returning it.
+    pub fn unregister(&mut self, id: ObjectId) -> Option<DataObject> {
+        let slot = self.objects.get_mut(id.index())?;
+        let obj = slot.take()?;
+        self.by_start.remove(&obj.range().start.raw());
+        Some(obj)
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.by_start.len()
+    }
+
+    /// Whether there are no live objects.
+    pub fn is_empty(&self) -> bool {
+        self.by_start.is_empty()
+    }
+
+    /// The object with id `id`, if alive.
+    pub fn get(&self, id: ObjectId) -> Option<&DataObject> {
+        self.objects.get(id.index()).and_then(|o| o.as_ref())
+    }
+
+    /// Mutable access to the object with id `id`.
+    pub fn get_mut(&mut self, id: ObjectId) -> Option<&mut DataObject> {
+        self.objects.get_mut(id.index()).and_then(|o| o.as_mut())
+    }
+
+    /// Finds the live object containing `va`.
+    pub fn object_at(&self, va: VirtAddr) -> Option<ObjectId> {
+        let (_, &id) = self.by_start.range(..=va.raw()).next_back()?;
+        let obj = self.get(id)?;
+        obj.range().contains(va).then_some(id)
+    }
+
+    /// Attributes one sampled address to its object and chunk; returns the
+    /// pair on success.
+    pub fn attribute(&mut self, va: VirtAddr) -> Option<(ObjectId, usize)> {
+        let id = self.object_at(va)?;
+        let obj = self.get_mut(id).expect("object_at returned a live id");
+        let chunk = obj.chunk_of(va)?;
+        obj.record_sample(va);
+        Some((id, chunk))
+    }
+
+    /// Iterates over live objects in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &DataObject> {
+        self.objects.iter().filter_map(|o| o.as_ref())
+    }
+
+    /// Total registered bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.iter().map(|o| o.size()).sum()
+    }
+
+    /// Total chunks across live objects.
+    pub fn total_chunks(&self) -> usize {
+        self.iter().map(|o| o.num_chunks()).sum()
+    }
+
+    /// Clears all sample counters.
+    pub fn reset_samples(&mut self) {
+        for obj in self.objects.iter_mut().flatten() {
+            obj.reset_samples();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::chunk_geometry;
+    use crate::config::ChunkConfig;
+
+    fn reg_with(ranges: &[(u64, usize)]) -> Registry {
+        let mut r = Registry::new();
+        for (i, &(start, len)) in ranges.iter().enumerate() {
+            let g = chunk_geometry(len, &ChunkConfig::default());
+            r.register(
+                format!("o{i}"),
+                VirtRange::new(VirtAddr::new(start), len),
+                g,
+            );
+        }
+        r
+    }
+
+    #[test]
+    fn attribution_picks_the_containing_object() {
+        let mut r = reg_with(&[(0x10000, 0x4000), (0x40000, 0x8000)]);
+        assert_eq!(r.object_at(VirtAddr::new(0x10001)), Some(ObjectId(0)));
+        assert_eq!(r.object_at(VirtAddr::new(0x47fff)), Some(ObjectId(1)));
+        assert_eq!(r.object_at(VirtAddr::new(0x30000)), None);
+        let (id, _chunk) = r.attribute(VirtAddr::new(0x40010)).unwrap();
+        assert_eq!(id, ObjectId(1));
+        assert_eq!(r.get(id).unwrap().total_samples(), 1);
+    }
+
+    #[test]
+    fn unregister_removes_attribution() {
+        let mut r = reg_with(&[(0x10000, 0x4000)]);
+        let obj = r.unregister(ObjectId(0)).unwrap();
+        assert_eq!(obj.name(), "o0");
+        assert!(r.object_at(VirtAddr::new(0x10001)).is_none());
+        assert!(r.is_empty());
+        assert!(r.unregister(ObjectId(0)).is_none());
+    }
+
+    #[test]
+    fn totals_sum_over_live_objects() {
+        let mut r = reg_with(&[(0x10000, 0x4000), (0x40000, 0x8000)]);
+        assert_eq!(r.total_bytes(), 0xC000);
+        assert_eq!(r.len(), 2);
+        r.unregister(ObjectId(0));
+        assert_eq!(r.total_bytes(), 0x8000);
+    }
+
+    #[test]
+    fn reset_samples_clears_everything() {
+        let mut r = reg_with(&[(0x10000, 0x4000)]);
+        r.attribute(VirtAddr::new(0x10000)).unwrap();
+        r.reset_samples();
+        assert_eq!(r.get(ObjectId(0)).unwrap().total_samples(), 0);
+    }
+}

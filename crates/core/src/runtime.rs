@@ -1,0 +1,426 @@
+//! The ATMem runtime facade.
+//!
+//! [`Atmem`] mirrors the paper's minimal API (Listing 1):
+//!
+//! | paper                     | here                         |
+//! |---------------------------|------------------------------|
+//! | `atmem_malloc(size)`      | [`Atmem::malloc`]            |
+//! | `atmem_free(ptr)`         | [`Atmem::free`]              |
+//! | `atmem_profiling_start()` | [`Atmem::profiling_start`]   |
+//! | `atmem_profiling_stop()`  | [`Atmem::profiling_stop`]    |
+//! | `atmem_optimize()`        | [`Atmem::optimize`]          |
+//!
+//! The runtime owns the simulated [`Machine`]; applications allocate their
+//! data structures through it (registering them as data objects), run one
+//! iteration under profiling, call [`Atmem::optimize`], and keep running —
+//! the paper's experimental protocol (§6).
+
+use atmem_hms::{Machine, Platform, Scalar, SimDuration, TierId, TrackedVec, VirtRange};
+
+use crate::analyzer::{analyze, Analysis};
+use crate::chunk::chunk_geometry;
+use crate::config::AtmemConfig;
+use crate::error::{AtmemError, Result};
+use crate::migrate::{
+    build_demotion_plan, build_plan, execute_plan, MigrationOutcome, MigrationPlan,
+};
+use crate::profiler::{ProfileSummary, Profiler};
+use crate::registry::Registry;
+
+/// Report returned by [`Atmem::optimize`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeReport {
+    /// Analyzer outcome per object.
+    pub analysis: Analysis,
+    /// The plan that was executed.
+    pub plan: MigrationPlan,
+    /// Migration execution outcome.
+    pub migration: MigrationOutcome,
+    /// Demotion outcome, when `migration.allow_demotion` evicted stale
+    /// regions before promotion.
+    pub demotion: Option<MigrationOutcome>,
+    /// Bytes registered across all data objects.
+    pub total_bytes: usize,
+    /// Fraction of registered bytes now resident on the fast tier
+    /// (the paper's "data ratio", Figures 7–10).
+    pub data_ratio: f64,
+    /// Profiling summary of the session feeding this optimization.
+    pub profile: ProfileSummary,
+}
+
+impl std::fmt::Display for OptimizeReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "optimize: {} sampled + {} promoted chunks -> {} regions, \
+             {:.2} MiB moved in {} ({} skipped, {:.2} MiB over budget)",
+            self.analysis.sampled_chunks(),
+            self.analysis.promoted_chunks(),
+            self.migration.regions,
+            self.migration.bytes_moved as f64 / (1 << 20) as f64,
+            self.migration.time,
+            self.migration.regions_skipped,
+            self.plan.dropped_bytes as f64 / (1 << 20) as f64,
+        )?;
+        if let Some(d) = &self.demotion {
+            writeln!(
+                f,
+                "demotion: {:.2} MiB evicted in {}",
+                d.bytes_moved as f64 / (1 << 20) as f64,
+                d.time
+            )?;
+        }
+        write!(
+            f,
+            "placement: {:.1}% of {:.2} MiB registered data on the fast tier \
+             ({} samples at period {})",
+            self.data_ratio * 100.0,
+            self.total_bytes as f64 / (1 << 20) as f64,
+            self.profile.samples,
+            self.profile.period,
+        )
+    }
+}
+
+/// The ATMem runtime: registry + profiler + analyzer + optimizer over one
+/// simulated machine.
+#[derive(Debug)]
+pub struct Atmem {
+    machine: Machine,
+    registry: Registry,
+    profiler: Profiler,
+    config: AtmemConfig,
+    handles: Vec<VirtRange>,
+}
+
+impl Atmem {
+    /// Creates a runtime on a fresh machine.
+    ///
+    /// # Errors
+    ///
+    /// [`AtmemError::InvalidConfig`] if `config` fails validation.
+    pub fn new(platform: Platform, config: AtmemConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Atmem {
+            machine: Machine::new(platform),
+            registry: Registry::new(),
+            profiler: Profiler::new(),
+            config,
+            handles: Vec::new(),
+        })
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &AtmemConfig {
+        &self.config
+    }
+
+    /// Shared access to the underlying machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable access to the underlying machine (kernels pass this to
+    /// [`TrackedVec`] accessors).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// The data-object registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Allocates and registers a typed array of `len` elements
+    /// (`atmem_malloc`). Placement follows the configured policy; the
+    /// runtime chooses the adaptive chunk granularity from the object size
+    /// (§4.1).
+    ///
+    /// # Errors
+    ///
+    /// Allocation failures from the memory system.
+    pub fn malloc<T: Scalar>(&mut self, len: usize, name: &str) -> Result<TrackedVec<T>> {
+        let placement = self.config.default_placement.placement();
+        let vec = TrackedVec::<T>::new(&mut self.machine, len, placement)?;
+        let geometry = chunk_geometry(vec.range().len, &self.config.chunks);
+        self.registry.register(name, vec.range(), geometry);
+        self.handles.push(vec.range());
+        Ok(vec)
+    }
+
+    /// Frees and unregisters an array (`atmem_free`).
+    ///
+    /// # Errors
+    ///
+    /// [`AtmemError::Unregistered`] if the array was not allocated through
+    /// this runtime; memory-system failures otherwise.
+    pub fn free<T: Scalar>(&mut self, vec: TrackedVec<T>) -> Result<()> {
+        let id = self
+            .registry
+            .object_at(vec.range().start)
+            .ok_or(AtmemError::Unregistered(vec.range().start))?;
+        self.registry.unregister(id);
+        self.handles.retain(|r| r.start != vec.range().start);
+        vec.free(&mut self.machine)?;
+        Ok(())
+    }
+
+    /// Starts hardware sampling (`atmem_profiling_start`).
+    ///
+    /// # Errors
+    ///
+    /// [`AtmemError::ProfilingActive`] if already profiling.
+    pub fn profiling_start(&mut self) -> Result<()> {
+        if self.profiler.is_active() {
+            return Err(AtmemError::ProfilingActive);
+        }
+        self.registry.reset_samples();
+        self.profiler
+            .start(&mut self.machine, &self.registry, &self.config.sampling);
+        Ok(())
+    }
+
+    /// Stops sampling and attributes samples (`atmem_profiling_stop`).
+    ///
+    /// # Errors
+    ///
+    /// [`AtmemError::ProfilingNotActive`] if not profiling.
+    pub fn profiling_stop(&mut self) -> Result<ProfileSummary> {
+        if !self.profiler.is_active() {
+            return Err(AtmemError::ProfilingNotActive);
+        }
+        Ok(self.profiler.stop(&mut self.machine, &mut self.registry))
+    }
+
+    /// Analyzes the profile and migrates critical regions to the fast tier
+    /// (`atmem_optimize`).
+    ///
+    /// # Errors
+    ///
+    /// [`AtmemError::ProfilingActive`] if called mid-profiling; migration
+    /// failures otherwise.
+    pub fn optimize(&mut self) -> Result<OptimizeReport> {
+        if self.profiler.is_active() {
+            return Err(AtmemError::ProfilingActive);
+        }
+        let analysis = analyze(&self.registry, &self.config.analyzer);
+        // Phase adaptivity (extension): evict fast-resident regions that
+        // are no longer critical, making room for the new selection.
+        let demotion = if self.config.migration.allow_demotion {
+            let demote = build_demotion_plan(
+                &self.registry,
+                &analysis,
+                &self.machine,
+                &self.config.migration,
+            );
+            Some(execute_plan(
+                &mut self.machine,
+                &demote,
+                &self.config.migration,
+                TierId::SLOW,
+            )?)
+        } else {
+            None
+        };
+        // The budget covers the final placement; the staging transient is
+        // bounded separately by max_region_bytes.
+        let headroom = (self.machine.free_bytes(TierId::FAST) as f64
+            * self.config.migration.budget_frac) as usize;
+        // Reserve room for one staging buffer (the transient of the staged
+        // mechanism), but never more than half the headroom on small tiers.
+        let staging_reserve = self.config.migration.max_region_bytes.min(headroom / 2);
+        let budget = headroom - staging_reserve;
+        let plan = build_plan(&self.registry, &analysis, &self.config.migration, budget);
+        let migration = execute_plan(
+            &mut self.machine,
+            &plan,
+            &self.config.migration,
+            TierId::FAST,
+        )?;
+        let total_bytes = self.registry.total_bytes();
+        Ok(OptimizeReport {
+            data_ratio: self.fast_data_ratio(),
+            analysis,
+            plan,
+            migration,
+            demotion,
+            total_bytes,
+            profile: self.profiler.last_summary(),
+        })
+    }
+
+    /// Fraction of registered bytes currently resident on the fast tier.
+    pub fn fast_data_ratio(&self) -> f64 {
+        let total = self.registry.total_bytes();
+        if total == 0 {
+            return 0.0;
+        }
+        let fast: usize = self
+            .registry
+            .iter()
+            .map(|o| self.machine.resident_bytes(o.range(), TierId::FAST))
+            .sum();
+        fast as f64 / total as f64
+    }
+
+    /// Current simulated time (convenience passthrough).
+    pub fn now(&self) -> SimDuration {
+        self.machine.now()
+    }
+
+    /// Consumes the runtime, returning the machine (for post-mortem
+    /// inspection in tests and harnesses).
+    pub fn into_machine(self) -> Machine {
+        self.machine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PlacementPolicy;
+
+    fn runtime() -> Atmem {
+        Atmem::new(Platform::testing(), AtmemConfig::default()).unwrap()
+    }
+
+    /// Drives a skewed access pattern over one array: 90% of reads hit the
+    /// first `hot_frac` of the elements.
+    fn skewed_reads(rt: &mut Atmem, v: &TrackedVec<u64>, reads: usize, hot_frac: f64) {
+        let n = v.len();
+        let hot = ((n as f64 * hot_frac) as usize).max(1);
+        for i in 0..reads {
+            let idx = if i % 10 < 9 {
+                (i * 7919) % hot
+            } else {
+                hot + (i * 104729) % (n - hot)
+            };
+            let _ = v.get(rt.machine_mut(), idx);
+        }
+    }
+
+    #[test]
+    fn full_pipeline_selects_and_migrates_the_hot_region() {
+        let mut rt = runtime();
+        let v = rt.malloc::<u64>(512 * 1024, "data").unwrap(); // 4 MiB
+        rt.profiling_start().unwrap();
+        skewed_reads(&mut rt, &v, 200_000, 0.10);
+        let summary = rt.profiling_stop().unwrap();
+        assert!(summary.attributed > 0);
+
+        let report = rt.optimize().unwrap();
+        assert!(
+            report.migration.bytes_moved > 0,
+            "hot region should migrate: {report:?}"
+        );
+        let ratio = report.data_ratio;
+        assert!(
+            ratio > 0.05 && ratio < 0.5,
+            "expected a selective ratio, got {ratio}"
+        );
+        // The hot prefix should now be fast.
+        let hot_addr = v.addr_of(100);
+        assert_eq!(rt.machine_mut().tier_of(hot_addr).unwrap(), TierId::FAST);
+    }
+
+    #[test]
+    fn optimize_speeds_up_the_next_iteration() {
+        let mut rt = runtime();
+        let v = rt.malloc::<u64>(512 * 1024, "data").unwrap();
+        rt.profiling_start().unwrap();
+        skewed_reads(&mut rt, &v, 100_000, 0.08);
+        rt.profiling_stop().unwrap();
+
+        // Unoptimized iteration time.
+        let t0 = rt.now();
+        skewed_reads(&mut rt, &v, 100_000, 0.08);
+        let before = rt.now().as_ns() - t0.as_ns();
+
+        rt.optimize().unwrap();
+
+        let t1 = rt.now();
+        skewed_reads(&mut rt, &v, 100_000, 0.08);
+        let after = rt.now().as_ns() - t1.as_ns();
+        assert!(
+            after < 0.8 * before,
+            "optimized iteration {after} vs baseline {before}"
+        );
+    }
+
+    #[test]
+    fn data_intact_after_optimize() {
+        let mut rt = runtime();
+        let v = rt.malloc::<u64>(64 * 1024, "data").unwrap();
+        for i in 0..v.len() {
+            v.poke(rt.machine_mut(), i, (i as u64) << 7 | 1);
+        }
+        rt.profiling_start().unwrap();
+        skewed_reads(&mut rt, &v, 50_000, 0.15);
+        rt.profiling_stop().unwrap();
+        rt.optimize().unwrap();
+        for i in 0..v.len() {
+            assert_eq!(v.peek(rt.machine_mut(), i), (i as u64) << 7 | 1);
+        }
+    }
+
+    #[test]
+    fn optimize_report_displays_a_summary() {
+        let mut rt = runtime();
+        let v = rt.malloc::<u64>(256 * 1024, "data").unwrap();
+        rt.profiling_start().unwrap();
+        skewed_reads(&mut rt, &v, 80_000, 0.1);
+        rt.profiling_stop().unwrap();
+        let report = rt.optimize().unwrap();
+        let text = report.to_string();
+        assert!(text.contains("optimize:"), "{text}");
+        assert!(text.contains("placement:"), "{text}");
+        assert!(text.contains("fast tier"), "{text}");
+    }
+
+    #[test]
+    fn api_misuse_is_rejected() {
+        let mut rt = runtime();
+        assert!(matches!(
+            rt.profiling_stop(),
+            Err(AtmemError::ProfilingNotActive)
+        ));
+        rt.profiling_start().unwrap();
+        assert!(matches!(
+            rt.profiling_start(),
+            Err(AtmemError::ProfilingActive)
+        ));
+        assert!(matches!(rt.optimize(), Err(AtmemError::ProfilingActive)));
+        rt.profiling_stop().unwrap();
+    }
+
+    #[test]
+    fn malloc_respects_placement_policy() {
+        let mut rt = Atmem::new(
+            Platform::testing(),
+            AtmemConfig::default().with_placement(PlacementPolicy::AllFast),
+        )
+        .unwrap();
+        let v = rt.malloc::<u32>(1024, "x").unwrap();
+        assert_eq!(rt.fast_data_ratio(), 1.0);
+        rt.free(v).unwrap();
+        assert_eq!(rt.registry().len(), 0);
+    }
+
+    #[test]
+    fn optimize_without_profiling_is_a_noop_plan() {
+        let mut rt = runtime();
+        let _v = rt.malloc::<u64>(64 * 1024, "cold").unwrap();
+        let report = rt.optimize().unwrap();
+        assert!(report.plan.is_empty());
+        assert_eq!(report.migration.bytes_moved, 0);
+        assert_eq!(report.data_ratio, 0.0);
+    }
+
+    #[test]
+    fn free_unknown_vec_is_an_error() {
+        let mut rt = runtime();
+        let mut other = Machine::new(Platform::testing());
+        let foreign = TrackedVec::<u32>::new(&mut other, 16, atmem_hms::Placement::Slow).unwrap();
+        assert!(matches!(rt.free(foreign), Err(AtmemError::Unregistered(_))));
+    }
+}

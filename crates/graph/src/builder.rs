@@ -1,0 +1,230 @@
+//! Edge-list to CSR construction.
+
+use crate::csr::Csr;
+
+/// Policy for self-loop edges (`u -> u`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelfLoops {
+    /// Drop self loops (the default; graph kernels assume none).
+    #[default]
+    Remove,
+    /// Keep them.
+    Keep,
+}
+
+/// Builds a [`Csr`] from an edge list with configurable clean-up.
+///
+/// ```
+/// use atmem_graph::builder::GraphBuilder;
+///
+/// let g = GraphBuilder::new(4)
+///     .edges([(0, 1), (1, 2), (2, 3), (0, 1)]) // duplicate collapsed
+///     .deduplicate(true)
+///     .symmetrize(true)
+///     .build();
+/// assert_eq!(g.num_edges(), 6); // three undirected edges
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    edges: Vec<(u32, u32)>,
+    weights: Option<Vec<f32>>,
+    symmetrize: bool,
+    deduplicate: bool,
+    self_loops: SelfLoops,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph with `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        GraphBuilder {
+            num_vertices,
+            edges: Vec::new(),
+            weights: None,
+            symmetrize: false,
+            deduplicate: false,
+            self_loops: SelfLoops::default(),
+        }
+    }
+
+    /// Appends unweighted edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if weighted edges were added before (mixing is not allowed).
+    pub fn edges(mut self, edges: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        assert!(
+            self.weights.is_none(),
+            "cannot mix weighted and unweighted edges"
+        );
+        self.edges.extend(edges);
+        self
+    }
+
+    /// Appends weighted edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if unweighted edges were added before.
+    pub fn weighted_edges(mut self, edges: impl IntoIterator<Item = (u32, u32, f32)>) -> Self {
+        let weights = self.weights.get_or_insert_with(Vec::new);
+        assert_eq!(
+            weights.len(),
+            self.edges.len(),
+            "cannot mix weighted and unweighted edges"
+        );
+        for (u, v, w) in edges {
+            self.edges.push((u, v));
+            weights.push(w);
+        }
+        self
+    }
+
+    /// Adds the reverse of every edge (undirected graph).
+    pub fn symmetrize(mut self, yes: bool) -> Self {
+        self.symmetrize = yes;
+        self
+    }
+
+    /// Collapses duplicate `(u, v)` pairs (keeping the first weight).
+    pub fn deduplicate(mut self, yes: bool) -> Self {
+        self.deduplicate = yes;
+        self
+    }
+
+    /// Sets the self-loop policy.
+    pub fn self_loops(mut self, policy: SelfLoops) -> Self {
+        self.self_loops = policy;
+        self
+    }
+
+    /// Builds the CSR. Neighbour lists are sorted by destination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= num_vertices`.
+    pub fn build(self) -> Csr {
+        let n = self.num_vertices;
+        let mut triples: Vec<(u32, u32, f32)> = self
+            .edges
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v))| {
+                assert!(
+                    (u as usize) < n && (v as usize) < n,
+                    "edge ({u}, {v}) out of range for {n} vertices"
+                );
+                let w = self.weights.as_ref().map_or(1.0, |ws| ws[i]);
+                (u, v, w)
+            })
+            .collect();
+
+        if self.self_loops == SelfLoops::Remove {
+            triples.retain(|&(u, v, _)| u != v);
+        }
+        if self.symmetrize {
+            let mirrored: Vec<_> = triples.iter().map(|&(u, v, w)| (v, u, w)).collect();
+            triples.extend(mirrored);
+        }
+        triples.sort_by_key(|&(u, v, _)| (u, v));
+        if self.deduplicate {
+            triples.dedup_by_key(|t| (t.0, t.1));
+        }
+
+        let mut offsets = vec![0u64; n + 1];
+        for &(u, _, _) in &triples {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let neighbors: Vec<u32> = triples.iter().map(|&(_, v, _)| v).collect();
+        let weights = self
+            .weights
+            .is_some()
+            .then(|| triples.iter().map(|&(_, _, w)| w).collect());
+        Csr::from_parts(n, offsets, neighbors, weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_sorted_adjacency() {
+        let g = GraphBuilder::new(3).edges([(0, 2), (0, 1), (2, 0)]).build();
+        assert_eq!(g.neighbors_of(0), &[1, 2]);
+        assert_eq!(g.neighbors_of(2), &[0]);
+        assert_eq!(g.degree(1), 0);
+    }
+
+    #[test]
+    fn symmetrize_doubles_edges() {
+        let g = GraphBuilder::new(3)
+            .edges([(0, 1), (1, 2)])
+            .symmetrize(true)
+            .build();
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors_of(1), &[0, 2]);
+    }
+
+    #[test]
+    fn deduplicate_collapses() {
+        let g = GraphBuilder::new(2)
+            .edges([(0, 1), (0, 1), (0, 1)])
+            .deduplicate(true)
+            .build();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn self_loops_removed_by_default() {
+        let g = GraphBuilder::new(2).edges([(0, 0), (0, 1)]).build();
+        assert_eq!(g.num_edges(), 1);
+        let g = GraphBuilder::new(2)
+            .edges([(0, 0), (0, 1)])
+            .self_loops(SelfLoops::Keep)
+            .build();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn weights_follow_edges_through_sort() {
+        let g = GraphBuilder::new(3)
+            .weighted_edges([(0, 2, 2.5), (0, 1, 1.5)])
+            .build();
+        assert_eq!(g.neighbors_of(0), &[1, 2]);
+        assert_eq!(g.weights_of(0), &[1.5, 2.5]);
+    }
+
+    #[test]
+    fn symmetrized_weights_mirror() {
+        let g = GraphBuilder::new(2)
+            .weighted_edges([(0, 1, 3.0)])
+            .symmetrize(true)
+            .build();
+        assert_eq!(g.weights_of(1), &[3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let _ = GraphBuilder::new(2).edges([(0, 5)]).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot mix")]
+    fn mixing_weighted_and_unweighted_panics() {
+        let _ = GraphBuilder::new(3)
+            .edges([(0, 1)])
+            .weighted_edges([(1, 2, 1.0)]);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = GraphBuilder::new(5).build();
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.num_vertices(), 5);
+    }
+}

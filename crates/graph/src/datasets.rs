@@ -1,0 +1,210 @@
+//! Scaled stand-ins for the paper's five evaluation graphs.
+//!
+//! The original datasets (Table 2 of the paper) range from 30.6 M to 2.1 B
+//! edges and are either proprietary snapshots (Twitter, Friendster, Pokec)
+//! or Graph500 R-MAT instances. We generate synthetic stand-ins from
+//! scratch, scaled down ~128–512x so a full figure sweep runs in minutes,
+//! with R-MAT skew parameters chosen to mimic each original's degree
+//! distribution character:
+//!
+//! | stand-in    | paper original        | vertices | edges (dir.) | skew    |
+//! |-------------|-----------------------|----------|--------------|---------|
+//! | pokec       | 1.6 M / 30.6 M        | 32 Ki    | ~256 Ki      | mild    |
+//! | rmat24      | 16.8 M / 268.4 M      | 128 Ki   | ~1 Mi        | G500    |
+//! | twitter     | 41.7 M / 1.5 B        | 256 Ki   | ~2 Mi        | extreme |
+//! | rmat27      | 134.2 M / 2.1 B       | 512 Ki   | ~4 Mi        | G500    |
+//! | friendster  | 68.3 M / 2.1 B        | 512 Ki   | ~4 Mi        | social  |
+//!
+//! What the placement experiments need from an input is (a) its skew — how
+//! concentrated accesses are in hot vertex regions — and (b) its footprint
+//! relative to the fast-tier capacity (which the platform presets scale by
+//! the same factor, so "fits in MCDRAM" is preserved per dataset: pokec and
+//! rmat24 fit in the 16 MiB scaled MCDRAM, twitter/rmat27/friendster do
+//! not, exactly as in the paper's Figure 10).
+
+use std::fmt;
+
+use crate::csr::Csr;
+use crate::gen::rmat::{rmat, RmatConfig};
+
+/// The five evaluation inputs of the paper, as scaled stand-ins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Pokec social network stand-in (mild skew; smallest input).
+    Pokec,
+    /// Graph500 R-MAT scale-24 stand-in.
+    Rmat24,
+    /// Twitter follower graph stand-in (extreme skew).
+    Twitter,
+    /// Graph500 R-MAT scale-27 stand-in (largest R-MAT).
+    Rmat27,
+    /// Friendster social network stand-in (large, social skew).
+    Friendster,
+}
+
+impl Dataset {
+    /// All datasets in the paper's presentation order.
+    pub const ALL: [Dataset; 5] = [
+        Dataset::Pokec,
+        Dataset::Rmat24,
+        Dataset::Twitter,
+        Dataset::Rmat27,
+        Dataset::Friendster,
+    ];
+
+    /// Canonical lowercase name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Pokec => "pokec",
+            Dataset::Rmat24 => "rmat24",
+            Dataset::Twitter => "twitter",
+            Dataset::Rmat27 => "rmat27",
+            Dataset::Friendster => "friendster",
+        }
+    }
+
+    /// Generation recipe for the stand-in.
+    pub fn config(self) -> RmatConfig {
+        match self {
+            // Pokec: a real social network with comparatively mild skew.
+            Dataset::Pokec => RmatConfig {
+                scale: 15,
+                edge_factor: 8,
+                a: 0.45,
+                b: 0.22,
+                c: 0.22,
+                noise: 0.05,
+                symmetrize: false,
+            },
+            Dataset::Rmat24 => RmatConfig::graph500(17, 8),
+            // Twitter: celebrity hubs concentrate a huge fraction of edges.
+            Dataset::Twitter => RmatConfig {
+                scale: 18,
+                edge_factor: 8,
+                a: 0.65,
+                b: 0.15,
+                c: 0.15,
+                noise: 0.05,
+                symmetrize: false,
+            },
+            Dataset::Rmat27 => RmatConfig::graph500(19, 8),
+            // Friendster: large social graph, skew between pokec and twitter.
+            Dataset::Friendster => RmatConfig {
+                scale: 19,
+                edge_factor: 8,
+                a: 0.55,
+                b: 0.19,
+                c: 0.19,
+                noise: 0.05,
+                symmetrize: false,
+            },
+        }
+    }
+
+    /// Deterministic per-dataset generation seed.
+    pub fn seed(self) -> u64 {
+        match self {
+            Dataset::Pokec => 0x9F0C,
+            Dataset::Rmat24 => 0x24,
+            Dataset::Twitter => 0x7717,
+            Dataset::Rmat27 => 0x27,
+            Dataset::Friendster => 0xF12D,
+        }
+    }
+
+    /// Generates the unweighted stand-in graph.
+    pub fn build(self) -> Csr {
+        rmat(&self.config(), self.seed())
+    }
+
+    /// Generates the stand-in with uniform random edge weights in
+    /// `[1, 64)` (for SSSP and SpMV).
+    pub fn build_weighted(self) -> Csr {
+        self.build()
+            .with_random_weights(64.0, self.seed() ^ WEIGHT_SEED)
+    }
+
+    /// A reduced-size variant (scale shrunk by `shrink` levels) with the
+    /// same skew character, for fast tests.
+    pub fn build_small(self, shrink: u32) -> Csr {
+        let mut c = self.config();
+        c.scale = c.scale.saturating_sub(shrink).max(8);
+        rmat(&c, self.seed())
+    }
+}
+
+/// Seed perturbation for weight generation, so weights are independent of
+/// the structure RNG stream.
+const WEIGHT_SEED: u64 = 0x57ED5;
+
+impl fmt::Display for Dataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::degree_stats;
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<_> = Dataset::ALL.iter().map(|d| d.name()).collect();
+        assert_eq!(
+            names,
+            ["pokec", "rmat24", "twitter", "rmat27", "friendster"]
+        );
+    }
+
+    #[test]
+    fn sizes_are_ordered_like_the_paper() {
+        // pokec < rmat24 < twitter < rmat27 ~= friendster (by edges).
+        let e: Vec<usize> = Dataset::ALL
+            .iter()
+            .map(|d| d.config().num_edges())
+            .collect();
+        assert!(e[0] < e[1] && e[1] < e[2] && e[2] < e[3] && e[3] == e[4]);
+    }
+
+    #[test]
+    fn twitter_is_most_skewed() {
+        let tw = degree_stats(&Dataset::Twitter.build_small(4));
+        let pk = degree_stats(&Dataset::Pokec.build_small(1));
+        assert!(
+            tw.gini > pk.gini + 0.15,
+            "twitter {} pokec {}",
+            tw.gini,
+            pk.gini
+        );
+    }
+
+    #[test]
+    fn weighted_build_has_weights() {
+        let g = Dataset::Pokec.build_small(4).with_random_weights(64.0, 1);
+        assert!(g.is_weighted());
+    }
+
+    #[test]
+    fn build_weighted_is_deterministic_and_structured_like_build() {
+        // Full-scale generation is slow in debug; verify on the smallest
+        // stand-in that the weighted build shares the unweighted structure.
+        let mut config = Dataset::Pokec.config();
+        config.scale = 9;
+        let plain = crate::gen::rmat::rmat(&config, Dataset::Pokec.seed());
+        let weighted = plain.clone().with_random_weights(64.0, Dataset::Pokec.seed() ^ 0x57ED5);
+        assert_eq!(plain.neighbors(), weighted.neighbors());
+        assert!(weighted.is_weighted());
+        assert!(weighted
+            .weights()
+            .unwrap()
+            .iter()
+            .all(|&w| (1.0..64.0).contains(&w)));
+    }
+
+    #[test]
+    fn build_small_shrinks() {
+        let small = Dataset::Rmat24.build_small(5);
+        assert_eq!(small.num_vertices(), 1 << 12);
+    }
+}

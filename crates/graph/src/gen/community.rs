@@ -1,0 +1,177 @@
+//! Planted-partition (community-structured) graph generator.
+//!
+//! Degree skew is one source of hot regions; *community structure* is
+//! another — a few dense communities attract most of the traffic while
+//! edges mostly stay local. This generator plants `communities` groups of
+//! equal size and draws each edge within its community with probability
+//! `p_in` (otherwise the endpoint is uniform over the graph). Community
+//! sizes follow a power-ish activity profile, so low-index communities are
+//! both denser and hotter — hot *regions* without extreme hub degrees,
+//! the complement of R-MAT for placement-generality experiments.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::csr::Csr;
+
+/// Parameters of a planted-partition generation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommunityConfig {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Directed edges to draw.
+    pub edges: usize,
+    /// Number of planted communities.
+    pub communities: usize,
+    /// Probability that an edge stays inside its source's community.
+    pub p_in: f64,
+    /// Skew of community activity: community `c` sources edges with
+    /// weight `(c + 1)^-activity_skew`. Zero = uniform.
+    pub activity_skew: f64,
+}
+
+impl CommunityConfig {
+    /// A reasonable default: 64 communities, 85% internal edges, mild skew.
+    pub fn new(vertices: usize, edges: usize) -> Self {
+        CommunityConfig {
+            vertices,
+            edges,
+            communities: 64,
+            p_in: 0.85,
+            activity_skew: 1.0,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes are zero, there are more communities than vertices,
+    /// or `p_in` is outside `[0, 1]`.
+    pub fn validate(&self) {
+        assert!(self.vertices > 0, "graph must have vertices");
+        assert!(self.communities > 0, "need at least one community");
+        assert!(
+            self.communities <= self.vertices,
+            "more communities than vertices"
+        );
+        assert!((0.0..=1.0).contains(&self.p_in), "p_in must be in [0, 1]");
+        assert!(self.activity_skew >= 0.0, "skew must be non-negative");
+    }
+}
+
+/// Generates a planted-partition graph. Deterministic for a fixed `seed`.
+/// Self loops are removed; duplicates kept.
+pub fn community(config: &CommunityConfig, seed: u64) -> Csr {
+    config.validate();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = config.vertices;
+    let per_community = n / config.communities;
+
+    // Cumulative activity distribution over communities.
+    let weights: Vec<f64> = (0..config.communities)
+        .map(|c| 1.0 / ((c + 1) as f64).powf(config.activity_skew))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(config.communities);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+
+    let community_of_draw = |rng: &mut SmallRng| -> usize {
+        let x: f64 = rng.gen();
+        cdf.partition_point(|&c| c < x).min(config.communities - 1)
+    };
+    let vertex_in = |rng: &mut SmallRng, c: usize| -> u32 {
+        let lo = c * per_community;
+        let hi = if c + 1 == config.communities {
+            n
+        } else {
+            lo + per_community
+        };
+        rng.gen_range(lo as u32..hi as u32)
+    };
+
+    let mut edges = Vec::with_capacity(config.edges);
+    for _ in 0..config.edges {
+        let c = community_of_draw(&mut rng);
+        let src = vertex_in(&mut rng, c);
+        let dst = if rng.gen::<f64>() < config.p_in {
+            vertex_in(&mut rng, c)
+        } else {
+            rng.gen_range(0..n as u32)
+        };
+        edges.push((src, dst));
+    }
+    GraphBuilder::new(n).edges(edges).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::degree_stats;
+
+    fn config() -> CommunityConfig {
+        CommunityConfig::new(4096, 32768)
+    }
+
+    #[test]
+    fn size_and_determinism() {
+        let g = community(&config(), 5);
+        assert_eq!(g.num_vertices(), 4096);
+        assert!(g.num_edges() <= 32768 && g.num_edges() > 31000);
+        assert_eq!(g, community(&config(), 5));
+        assert_ne!(g, community(&config(), 6));
+    }
+
+    #[test]
+    fn edges_stay_mostly_internal() {
+        let cfg = config();
+        let g = community(&cfg, 7);
+        let per = cfg.vertices / cfg.communities;
+        let internal = g
+            .edges()
+            .filter(|&(u, v)| (u as usize / per) == (v as usize / per))
+            .count();
+        let frac = internal as f64 / g.num_edges() as f64;
+        // p_in plus the chance a uniform endpoint lands home.
+        assert!(frac > 0.8, "internal fraction {frac}");
+    }
+
+    #[test]
+    fn activity_is_skewed_toward_low_communities() {
+        let cfg = config();
+        let g = community(&cfg, 9);
+        let per = cfg.vertices / cfg.communities;
+        let first_quarter: usize = (0..cfg.vertices / 4).map(|v| g.degree(v)).sum();
+        assert!(
+            first_quarter * 2 > g.num_edges(),
+            "first quarter of communities should source most edges: {first_quarter}/{}",
+            g.num_edges()
+        );
+        let _ = per;
+    }
+
+    #[test]
+    fn degree_skew_is_mild_compared_to_rmat() {
+        // Communities concentrate *regions*, not individual hubs.
+        let g = community(&config(), 11);
+        let s = degree_stats(&g);
+        assert!(s.max_degree < 200, "no extreme hubs: {}", s.max_degree);
+    }
+
+    #[test]
+    #[should_panic(expected = "more communities than vertices")]
+    fn too_many_communities_rejected() {
+        community(
+            &CommunityConfig {
+                communities: 10,
+                ..CommunityConfig::new(5, 10)
+            },
+            0,
+        );
+    }
+}

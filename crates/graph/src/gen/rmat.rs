@@ -1,0 +1,205 @@
+//! R-MAT (recursive matrix) graph generator.
+//!
+//! R-MAT recursively subdivides the adjacency matrix into quadrants with
+//! probabilities `(a, b, c, d)` and drops each edge into one quadrant per
+//! level, producing power-law degree distributions. The ATMem paper
+//! evaluates on `rMat24` and `rMat27` Graph500-style inputs (`a = 0.57,
+//! b = c = 0.19, d = 0.05`); the other datasets are mimicked by varying the
+//! skew (see `datasets`).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::csr::Csr;
+
+/// Parameters of an R-MAT generation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RmatConfig {
+    /// log2 of the vertex count.
+    pub scale: u32,
+    /// Directed edges generated = `edge_factor << scale`.
+    pub edge_factor: usize,
+    /// Quadrant probabilities; must sum to 1 within 1e-6.
+    pub a: f64,
+    /// Upper-right quadrant probability.
+    pub b: f64,
+    /// Lower-left quadrant probability.
+    pub c: f64,
+    /// Per-level multiplicative noise applied to `a` (Graph500-style
+    /// smoothing that avoids exactly repeated bit patterns). Zero disables.
+    pub noise: f64,
+    /// Whether to add the reverse of every edge.
+    pub symmetrize: bool,
+}
+
+impl RmatConfig {
+    /// Graph500 reference parameters (`a=0.57, b=c=0.19, d=0.05`).
+    pub fn graph500(scale: u32, edge_factor: usize) -> Self {
+        RmatConfig {
+            scale,
+            edge_factor,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            noise: 0.05,
+            symmetrize: false,
+        }
+    }
+
+    /// Remaining quadrant probability `d = 1 - a - b - c`.
+    pub fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probabilities are out of range or `scale` exceeds 31.
+    pub fn validate(&self) {
+        assert!(
+            self.scale >= 1 && self.scale <= 31,
+            "scale must be in 1..=31"
+        );
+        assert!(self.edge_factor > 0, "edge factor must be positive");
+        let d = self.d();
+        assert!(
+            self.a > 0.0 && self.b >= 0.0 && self.c >= 0.0 && d >= -1e-9,
+            "quadrant probabilities must be non-negative with a > 0"
+        );
+        assert!((self.a + self.b + self.c + d - 1.0).abs() < 1e-6);
+        assert!(
+            (0.0..0.5).contains(&self.noise),
+            "noise must be in [0, 0.5)"
+        );
+    }
+
+    /// Number of vertices (`1 << scale`).
+    pub fn num_vertices(&self) -> usize {
+        1usize << self.scale
+    }
+
+    /// Number of generated directed edges before clean-up.
+    pub fn num_edges(&self) -> usize {
+        self.edge_factor << self.scale
+    }
+}
+
+/// Generates an R-MAT graph. Self loops are removed and duplicates kept
+/// (multi-edges are normal in Graph500 inputs and harmless to the kernels).
+/// Deterministic for a fixed `seed`.
+pub fn rmat(config: &RmatConfig, seed: u64) -> Csr {
+    config.validate();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n_edges = config.num_edges();
+    let mut edges = Vec::with_capacity(n_edges);
+    for _ in 0..n_edges {
+        edges.push(rmat_edge(config, &mut rng));
+    }
+    GraphBuilder::new(config.num_vertices())
+        .edges(edges)
+        .symmetrize(config.symmetrize)
+        .build()
+}
+
+/// Draws one edge by recursive quadrant descent.
+fn rmat_edge(config: &RmatConfig, rng: &mut SmallRng) -> (u32, u32) {
+    let mut src = 0u32;
+    let mut dst = 0u32;
+    for level in 0..config.scale {
+        let bit = 1u32 << (config.scale - 1 - level);
+        // Per-level noise keeps the distribution from being exactly
+        // self-similar, like the Graph500 reference implementation.
+        let jitter = if config.noise > 0.0 {
+            1.0 + config.noise * (rng.gen::<f64>() * 2.0 - 1.0)
+        } else {
+            1.0
+        };
+        let a = (config.a * jitter).clamp(0.0, 1.0);
+        let ab = a + config.b;
+        let abc = ab + config.c;
+        let r: f64 = rng.gen();
+        if r < a {
+            // upper-left: neither bit set
+        } else if r < ab {
+            dst |= bit;
+        } else if r < abc {
+            src |= bit;
+        } else {
+            src |= bit;
+            dst |= bit;
+        }
+    }
+    (src, dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::degree_stats;
+
+    #[test]
+    fn generates_requested_sizes() {
+        let g = rmat(&RmatConfig::graph500(10, 8), 1);
+        assert_eq!(g.num_vertices(), 1024);
+        // Self loops removed, so slightly fewer edges than requested.
+        assert!(g.num_edges() <= 8 * 1024);
+        assert!(g.num_edges() > 7 * 1024);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let c = RmatConfig::graph500(8, 4);
+        assert_eq!(rmat(&c, 42), rmat(&c, 42));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let c = RmatConfig::graph500(8, 4);
+        assert_ne!(rmat(&c, 1), rmat(&c, 2));
+    }
+
+    #[test]
+    fn skewed_parameters_give_skewed_degrees() {
+        let skewed = rmat(&RmatConfig::graph500(12, 8), 3);
+        let uniform = rmat(
+            &RmatConfig {
+                a: 0.25,
+                b: 0.25,
+                c: 0.25,
+                noise: 0.0,
+                ..RmatConfig::graph500(12, 8)
+            },
+            3,
+        );
+        let s = degree_stats(&skewed);
+        let u = degree_stats(&uniform);
+        assert!(
+            s.max_degree > 3 * u.max_degree,
+            "skewed max {} vs uniform max {}",
+            s.max_degree,
+            u.max_degree
+        );
+        assert!(s.gini > u.gini + 0.2, "gini {} vs {}", s.gini, u.gini);
+    }
+
+    #[test]
+    fn symmetrize_produces_reverse_edges() {
+        let mut c = RmatConfig::graph500(6, 2);
+        c.symmetrize = true;
+        let g = rmat(&c, 5);
+        for (u, v) in g.edges() {
+            assert!(
+                g.neighbors_of(v as usize).contains(&u),
+                "missing reverse of ({u}, {v})"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn zero_scale_rejected() {
+        rmat(&RmatConfig::graph500(0, 2), 0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Plain-text edge-list input and output.
+//!
+//! Format: one edge per line, `src dst` or `src dst weight`, `#` comments
+//! and blank lines ignored. This is the common denominator of SNAP and
+//! Graph500 tooling and lets examples load user-provided graphs.
+
+use std::error::Error as StdError;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use crate::builder::{GraphBuilder, SelfLoops};
+use crate::csr::Csr;
+
+/// Errors produced when parsing an edge list.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ParseGraphError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line could not be parsed.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ParseGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseGraphError::Io(e) => write!(f, "i/o error reading edge list: {e}"),
+            ParseGraphError::BadLine { line, reason } => {
+                write!(f, "bad edge list line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl StdError for ParseGraphError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            ParseGraphError::Io(e) => Some(e),
+            ParseGraphError::BadLine { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseGraphError {
+    fn from(e: std::io::Error) -> Self {
+        ParseGraphError::Io(e)
+    }
+}
+
+/// Reads an edge list into a CSR. The vertex count is one more than the
+/// largest id seen (or zero for an empty list). Weighted and unweighted
+/// lines must not be mixed.
+///
+/// # Errors
+///
+/// Returns [`ParseGraphError`] for I/O failures or malformed lines.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Csr, ParseGraphError> {
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut weights: Vec<f32> = Vec::new();
+    let mut weighted: Option<bool> = None;
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_no = i + 1;
+        let body = line.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            continue;
+        }
+        let mut parts = body.split_whitespace();
+        let src = parse_field(parts.next(), "source", line_no)?;
+        let dst = parse_field(parts.next(), "destination", line_no)?;
+        let w = parts.next();
+        let has_w = w.is_some();
+        match weighted {
+            None => weighted = Some(has_w),
+            Some(expected) if expected != has_w => {
+                return Err(ParseGraphError::BadLine {
+                    line: line_no,
+                    reason: "mixed weighted and unweighted lines".to_string(),
+                })
+            }
+            _ => {}
+        }
+        if let Some(w) = w {
+            let w: f32 = w.parse().map_err(|_| ParseGraphError::BadLine {
+                line: line_no,
+                reason: format!("invalid weight {w:?}"),
+            })?;
+            weights.push(w);
+        }
+        if parts.next().is_some() {
+            return Err(ParseGraphError::BadLine {
+                line: line_no,
+                reason: "too many fields".to_string(),
+            });
+        }
+        edges.push((src, dst));
+    }
+    let n = edges
+        .iter()
+        .map(|&(u, v)| u.max(v) as usize + 1)
+        .max()
+        .unwrap_or(0);
+    // I/O is faithful: self loops in the input are kept (kernels that
+    // cannot handle them clean up at build time, not parse time).
+    let builder = GraphBuilder::new(n).self_loops(SelfLoops::Keep);
+    let builder = if weighted == Some(true) {
+        builder.weighted_edges(edges.into_iter().zip(weights).map(|((u, v), w)| (u, v, w)))
+    } else {
+        builder.edges(edges)
+    };
+    Ok(builder.build())
+}
+
+fn parse_field(field: Option<&str>, what: &str, line: usize) -> Result<u32, ParseGraphError> {
+    let s = field.ok_or_else(|| ParseGraphError::BadLine {
+        line,
+        reason: format!("missing {what}"),
+    })?;
+    s.parse().map_err(|_| ParseGraphError::BadLine {
+        line,
+        reason: format!("invalid {what} {s:?}"),
+    })
+}
+
+/// Writes the graph as an edge list (with weights when present).
+///
+/// # Errors
+///
+/// Propagates I/O failures from `writer`.
+pub fn write_edge_list<W: Write>(g: &Csr, mut writer: W) -> std::io::Result<()> {
+    for v in 0..g.num_vertices() {
+        let nbrs = g.neighbors_of(v);
+        if let Some(_w) = g.weights() {
+            let ws = g.weights_of(v);
+            for (u, w) in nbrs.iter().zip(ws) {
+                writeln!(writer, "{v} {u} {w}")?;
+            }
+        } else {
+            for u in nbrs {
+                writeln!(writer, "{v} {u}")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trip_unweighted() {
+        let text = "0 1\n1 2\n# comment\n\n2 0\n";
+        let g = read_edge_list(Cursor::new(text)).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        let mut out = Vec::new();
+        write_edge_list(&g, &mut out).unwrap();
+        let g2 = read_edge_list(Cursor::new(out)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn round_trip_weighted() {
+        let text = "0 1 2.5\n1 0 1.5\n";
+        let g = read_edge_list(Cursor::new(text)).unwrap();
+        assert!(g.is_weighted());
+        assert_eq!(g.weights_of(0), &[2.5]);
+        let mut out = Vec::new();
+        write_edge_list(&g, &mut out).unwrap();
+        assert_eq!(g, read_edge_list(Cursor::new(out)).unwrap());
+    }
+
+    #[test]
+    fn inline_comments_are_stripped() {
+        let g = read_edge_list(Cursor::new("0 1 # the only edge\n")).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn mixed_weighting_rejected() {
+        let err = read_edge_list(Cursor::new("0 1\n1 2 3.0\n")).unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn garbage_rejected_with_line_number() {
+        let err = read_edge_list(Cursor::new("0 1\nx y\n")).unwrap_err();
+        assert!(matches!(err, ParseGraphError::BadLine { line: 2, .. }));
+    }
+
+    #[test]
+    fn too_many_fields_rejected() {
+        assert!(read_edge_list(Cursor::new("0 1 2.0 9\n")).is_err());
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = read_edge_list(Cursor::new("")).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

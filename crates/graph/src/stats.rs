@@ -1,0 +1,102 @@
+//! Degree-distribution statistics.
+//!
+//! Placement quality in ATMem derives from skew: dense (hot) regions of the
+//! vertex space attract most accesses. These statistics quantify the skew
+//! of generated inputs so tests can assert the stand-in datasets reproduce
+//! the character of the originals.
+
+use crate::csr::Csr;
+
+/// Summary statistics of an out-degree distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Maximum out-degree.
+    pub max_degree: usize,
+    /// Mean out-degree.
+    pub mean_degree: f64,
+    /// Gini coefficient of the degree distribution, in `[0, 1)`:
+    /// 0 = perfectly uniform, →1 = extremely skewed.
+    pub gini: f64,
+    /// Fraction of edges owned by the top 10% highest-degree vertices.
+    pub top10_edge_share: f64,
+}
+
+/// Computes [`DegreeStats`] for a graph.
+pub fn degree_stats(g: &Csr) -> DegreeStats {
+    let n = g.num_vertices();
+    let mut degrees: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+    degrees.sort_unstable();
+    let total: usize = degrees.iter().sum();
+    let max_degree = degrees.last().copied().unwrap_or(0);
+    let mean_degree = if n == 0 { 0.0 } else { total as f64 / n as f64 };
+
+    // Gini over the sorted degrees: G = (2 * sum(i * d_i) / (n * sum d)) -
+    // (n + 1) / n, with i starting at 1.
+    let gini = if total == 0 || n == 0 {
+        0.0
+    } else {
+        let weighted: f64 = degrees
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (i as f64 + 1.0) * d as f64)
+            .sum();
+        (2.0 * weighted / (n as f64 * total as f64)) - (n as f64 + 1.0) / n as f64
+    };
+
+    let top = n.div_ceil(10);
+    let top_edges: usize = degrees.iter().rev().take(top).sum();
+    let top10_edge_share = if total == 0 {
+        0.0
+    } else {
+        top_edges as f64 / total as f64
+    };
+
+    DegreeStats {
+        max_degree,
+        mean_degree,
+        gini,
+        top10_edge_share,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn uniform_graph_has_low_gini() {
+        // A ring: every vertex has out-degree 1.
+        let n = 100u32;
+        let g = GraphBuilder::new(n as usize)
+            .edges((0..n).map(|v| (v, (v + 1) % n)))
+            .build();
+        let s = degree_stats(&g);
+        assert_eq!(s.max_degree, 1);
+        assert!((s.mean_degree - 1.0).abs() < 1e-12);
+        assert!(s.gini.abs() < 1e-9);
+        assert!((s.top10_edge_share - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn star_graph_has_high_gini() {
+        // One hub pointing at everyone.
+        let n = 100;
+        let g = GraphBuilder::new(n)
+            .edges((1..n as u32).map(|v| (0, v)))
+            .build();
+        let s = degree_stats(&g);
+        assert_eq!(s.max_degree, n - 1);
+        assert!(s.gini > 0.95);
+        assert!((s.top10_edge_share - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_is_zeroes() {
+        let g = GraphBuilder::new(10).build();
+        let s = degree_stats(&g);
+        assert_eq!(s.max_degree, 0);
+        assert_eq!(s.gini, 0.0);
+        assert_eq!(s.top10_edge_share, 0.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests of the graph substrate invariants.
+
+use atmem_graph::{degree_stats, erdos_renyi, rmat, GraphBuilder, RmatConfig, SelfLoops};
+use proptest::prelude::*;
+
+proptest! {
+    /// The builder always produces a structurally valid CSR with sorted
+    /// adjacency, whatever edges and options it is given.
+    #[test]
+    fn builder_output_is_valid_and_sorted(
+        n in 1usize..64,
+        edges in prop::collection::vec((0u32..64, 0u32..64), 0..200),
+        symmetrize in any::<bool>(),
+        dedup in any::<bool>(),
+        keep_loops in any::<bool>(),
+    ) {
+        let edges: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(u, v)| (u % n as u32, v % n as u32))
+            .collect();
+        let g = GraphBuilder::new(n)
+            .edges(edges.clone())
+            .symmetrize(symmetrize)
+            .deduplicate(dedup)
+            .self_loops(if keep_loops { SelfLoops::Keep } else { SelfLoops::Remove })
+            .build();
+        g.validate();
+        for v in 0..n {
+            let nbrs = g.neighbors_of(v);
+            prop_assert!(nbrs.windows(2).all(|w| w[0] <= w[1]), "unsorted adjacency");
+            if dedup {
+                prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "duplicate survived dedup");
+            }
+            if !keep_loops {
+                prop_assert!(!nbrs.contains(&(v as u32)), "self loop survived");
+            }
+        }
+        // Every input edge (mod clean-up) is present.
+        for (u, v) in edges {
+            if u == v && !keep_loops {
+                continue;
+            }
+            prop_assert!(g.neighbors_of(u as usize).contains(&v), "lost edge ({u},{v})");
+            if symmetrize {
+                prop_assert!(g.neighbors_of(v as usize).contains(&u), "lost mirror ({v},{u})");
+            }
+        }
+    }
+
+    /// Generators are deterministic and respect requested sizes.
+    #[test]
+    fn generators_are_deterministic(scale in 4u32..10, ef in 1usize..8, seed in any::<u64>()) {
+        let config = RmatConfig::graph500(scale, ef);
+        let a = rmat(&config, seed);
+        let b = rmat(&config, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.num_vertices(), 1 << scale);
+        prop_assert!(a.num_edges() <= ef << scale);
+
+        let e = erdos_renyi(1 << scale, ef << scale, seed);
+        prop_assert_eq!(&e, &erdos_renyi(1 << scale, ef << scale, seed));
+    }
+
+    /// Degree statistics are internally consistent for arbitrary graphs.
+    #[test]
+    fn degree_stats_consistency(
+        n in 1usize..64,
+        edges in prop::collection::vec((0u32..64, 0u32..64), 0..200),
+    ) {
+        let edges: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(u, v)| (u % n as u32, v % n as u32))
+            .collect();
+        let g = GraphBuilder::new(n).edges(edges).self_loops(SelfLoops::Keep).build();
+        let s = degree_stats(&g);
+        prop_assert!((0.0..1.0).contains(&s.gini) || s.gini.abs() < 1e-9);
+        prop_assert!((s.mean_degree - g.num_edges() as f64 / n as f64).abs() < 1e-9);
+        prop_assert!(s.max_degree <= g.num_edges());
+        prop_assert!(s.top10_edge_share <= 1.0 + 1e-9);
+        if g.num_edges() > 0 {
+            prop_assert!(s.top10_edge_share > 0.0);
+        }
+    }
+
+    /// Text round trips preserve the graph exactly.
+    #[test]
+    fn io_round_trip(
+        n in 1usize..32,
+        edges in prop::collection::vec((0u32..32, 0u32..32), 1..80),
+        weighted in any::<bool>(),
+    ) {
+        let edges: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(u, v)| (u % n as u32, v % n as u32))
+            .collect();
+        let builder = GraphBuilder::new(n).self_loops(SelfLoops::Keep);
+        let g = if weighted {
+            builder
+                .weighted_edges(edges.iter().map(|&(u, v)| (u, v, (u + 2 * v) as f32 + 0.5)))
+                .build()
+        } else {
+            builder.edges(edges).build()
+        };
+        let mut bytes = Vec::new();
+        atmem_graph::write_edge_list(&g, &mut bytes).unwrap();
+        let parsed = atmem_graph::read_edge_list(std::io::Cursor::new(bytes)).unwrap();
+        // Vertex count may shrink if trailing vertices have no edges; the
+        // edge multiset must survive exactly.
+        let mut a: Vec<_> = g.edges().collect();
+        let mut b: Vec<_> = parsed.edges().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+        if weighted {
+            prop_assert!(parsed.is_weighted());
+        }
+    }
+}

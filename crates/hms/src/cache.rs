@@ -1,0 +1,244 @@
+//! Set-associative last-level cache model.
+//!
+//! The LLC is indexed by *physical* address, so a migrated page starts cold
+//! in the cache (its lines had the old physical tags), matching real
+//! hardware. ATMem's profiler samples LLC *read misses* (paper Eq. 1), which
+//! this model produces as an event stream.
+
+use crate::addr::PhysAddr;
+
+/// Geometry of the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size: usize,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+    /// Line size in bytes.
+    pub line: usize,
+}
+
+impl CacheConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `size` is divisible by `assoc * line` and the resulting
+    /// set count is a power of two.
+    pub fn new(size: usize, assoc: usize, line: usize) -> Self {
+        assert!(
+            size > 0 && assoc > 0 && line > 0,
+            "cache geometry must be positive"
+        );
+        assert_eq!(
+            size % (assoc * line),
+            0,
+            "size must be a multiple of assoc*line"
+        );
+        let sets = size / (assoc * line);
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        CacheConfig { size, assoc, line }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.size / (self.assoc * self.line)
+    }
+}
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was absent and has been filled.
+    Miss,
+}
+
+impl CacheOutcome {
+    /// Whether the outcome is a hit.
+    pub fn is_hit(self) -> bool {
+        matches!(self, CacheOutcome::Hit)
+    }
+}
+
+/// Set-associative write-allocate LLC with per-set LRU replacement.
+#[derive(Debug)]
+pub struct Cache {
+    config: CacheConfig,
+    /// `tags[set * assoc + way]`; `u64::MAX` marks an empty way.
+    tags: Vec<u64>,
+    /// Per-way last-use tick for LRU.
+    ages: Vec<u64>,
+    tick: u64,
+    set_mask: u64,
+    line_shift: u32,
+    read_hits: u64,
+    read_misses: u64,
+    write_hits: u64,
+    write_misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        let ways = config.sets() * config.assoc;
+        Cache {
+            config,
+            tags: vec![u64::MAX; ways],
+            ages: vec![0; ways],
+            tick: 0,
+            set_mask: (config.sets() - 1) as u64,
+            line_shift: config.line.trailing_zeros(),
+            read_hits: 0,
+            read_misses: 0,
+            write_hits: 0,
+            write_misses: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Accesses the line containing `pa`; fills it on a miss.
+    pub fn access(&mut self, pa: PhysAddr, write: bool) -> CacheOutcome {
+        self.tick += 1;
+        let line_id = pa.raw() >> self.line_shift;
+        let set = (line_id & self.set_mask) as usize;
+        let tag = line_id >> self.set_mask.count_ones();
+        let base = set * self.config.assoc;
+        let ways = &mut self.tags[base..base + self.config.assoc];
+
+        let mut victim = 0usize;
+        let mut victim_age = u64::MAX;
+        for (w, &t) in ways.iter().enumerate() {
+            if t == tag {
+                self.ages[base + w] = self.tick;
+                if write {
+                    self.write_hits += 1;
+                } else {
+                    self.read_hits += 1;
+                }
+                return CacheOutcome::Hit;
+            }
+            let age = self.ages[base + w];
+            if age < victim_age {
+                victim_age = age;
+                victim = w;
+            }
+        }
+        self.tags[base + victim] = tag;
+        self.ages[base + victim] = self.tick;
+        if write {
+            self.write_misses += 1;
+        } else {
+            self.read_misses += 1;
+        }
+        CacheOutcome::Miss
+    }
+
+    /// Drops every line (used when a machine resets between experiments).
+    pub fn flush(&mut self) {
+        self.tags.fill(u64::MAX);
+        self.ages.fill(0);
+    }
+
+    /// Read hits since creation or the last counter reset.
+    pub fn read_hits(&self) -> u64 {
+        self.read_hits
+    }
+
+    /// Read misses since creation or the last counter reset.
+    pub fn read_misses(&self) -> u64 {
+        self.read_misses
+    }
+
+    /// Write hits since creation or the last counter reset.
+    pub fn write_hits(&self) -> u64 {
+        self.write_hits
+    }
+
+    /// Write misses since creation or the last counter reset.
+    pub fn write_misses(&self) -> u64 {
+        self.write_misses
+    }
+
+    /// Zeroes all hit/miss counters, keeping contents.
+    pub fn reset_counters(&mut self) {
+        self.read_hits = 0;
+        self.read_misses = 0;
+        self.write_hits = 0;
+        self.write_misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets x 2 ways x 64B lines = 512 B.
+        Cache::new(CacheConfig::new(512, 2, 64))
+    }
+
+    #[test]
+    fn config_validates_geometry() {
+        let c = CacheConfig::new(2 * 1024 * 1024, 16, 64);
+        assert_eq!(c.sets(), 2048);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_sets_panics() {
+        let _ = CacheConfig::new(3 * 64 * 2, 2, 64);
+    }
+
+    #[test]
+    fn second_access_hits() {
+        let mut c = small();
+        let pa = PhysAddr::new(0x1000);
+        assert_eq!(c.access(pa, false), CacheOutcome::Miss);
+        assert_eq!(c.access(pa, false), CacheOutcome::Hit);
+        // Same line, different byte.
+        assert_eq!(c.access(PhysAddr::new(0x103f), false), CacheOutcome::Hit);
+        assert_eq!(c.read_hits(), 2);
+        assert_eq!(c.read_misses(), 1);
+    }
+
+    #[test]
+    fn conflict_evicts_lru() {
+        let mut c = small();
+        // Three lines mapping to the same set (stride = sets*line = 256).
+        let a = PhysAddr::new(0x0);
+        let b = PhysAddr::new(0x100);
+        let d = PhysAddr::new(0x200);
+        c.access(a, false);
+        c.access(b, false);
+        c.access(a, false); // b becomes LRU
+        c.access(d, false); // evicts b
+        assert_eq!(c.access(a, false), CacheOutcome::Hit);
+        assert_eq!(c.access(b, false), CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn writes_are_counted_separately() {
+        let mut c = small();
+        let pa = PhysAddr::new(0x40);
+        c.access(pa, true);
+        c.access(pa, true);
+        assert_eq!(c.write_misses(), 1);
+        assert_eq!(c.write_hits(), 1);
+        assert_eq!(c.read_misses(), 0);
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut c = small();
+        let pa = PhysAddr::new(0x40);
+        c.access(pa, false);
+        c.flush();
+        assert_eq!(c.access(pa, false), CacheOutcome::Miss);
+    }
+}

@@ -1,0 +1,96 @@
+//! Error types for the HMS simulator.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use crate::addr::VirtAddr;
+use crate::tier::TierId;
+
+/// Errors produced by the heterogeneous-memory-system simulator.
+///
+/// Every fallible public operation in this crate returns [`HmsError`] through
+/// the [`Result`] alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HmsError {
+    /// A tier ran out of physical frames while servicing an allocation.
+    OutOfMemory {
+        /// Tier on which the allocation was attempted.
+        tier: TierId,
+        /// Number of bytes that could not be allocated.
+        requested: usize,
+    },
+    /// No contiguous frame run of the requested length exists, even though
+    /// enough total frames are free (external fragmentation).
+    Fragmented {
+        /// Tier on which the allocation was attempted.
+        tier: TierId,
+        /// Number of contiguous frames requested.
+        frames: usize,
+    },
+    /// The virtual address is not mapped by any allocation.
+    Unmapped(VirtAddr),
+    /// The virtual range does not correspond to a live allocation created by
+    /// [`Machine::alloc`](crate::Machine::alloc).
+    UnknownAllocation(VirtAddr),
+    /// An access or migration range is empty or exceeds its allocation.
+    InvalidRange {
+        /// Start of the offending range.
+        start: VirtAddr,
+        /// Length of the offending range in bytes.
+        len: usize,
+    },
+    /// The requested tier identifier does not exist on this machine.
+    UnknownTier(TierId),
+    /// An allocation request of zero bytes was made.
+    ZeroSizedAllocation,
+}
+
+impl fmt::Display for HmsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HmsError::OutOfMemory { tier, requested } => {
+                write!(f, "tier {tier} out of memory allocating {requested} bytes")
+            }
+            HmsError::Fragmented { tier, frames } => {
+                write!(f, "tier {tier} has no contiguous run of {frames} frames")
+            }
+            HmsError::Unmapped(va) => write!(f, "virtual address {va} is not mapped"),
+            HmsError::UnknownAllocation(va) => {
+                write!(f, "no allocation starts at virtual address {va}")
+            }
+            HmsError::InvalidRange { start, len } => {
+                write!(f, "invalid range: start {start}, length {len} bytes")
+            }
+            HmsError::UnknownTier(tier) => write!(f, "unknown tier {tier}"),
+            HmsError::ZeroSizedAllocation => write!(f, "zero-sized allocation"),
+        }
+    }
+}
+
+impl StdError for HmsError {}
+
+/// Convenience alias used by all fallible operations in this crate.
+pub type Result<T> = std::result::Result<T, HmsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = HmsError::OutOfMemory {
+            tier: TierId::FAST,
+            requested: 4096,
+        };
+        let msg = e.to_string();
+        assert!(msg.starts_with("tier"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HmsError>();
+    }
+}

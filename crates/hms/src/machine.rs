@@ -1,0 +1,1244 @@
+//! The simulated heterogeneous-memory machine.
+//!
+//! [`Machine`] is the single entry point applications use: allocate regions
+//! with a [`Placement`] policy, read and write scalars through the full
+//! virtual-memory + TLB + LLC + cost-model path, and migrate regions between
+//! tiers. All simulated state (clock, counters, PEBS buffer) lives here.
+
+use std::collections::BTreeMap;
+
+use crate::addr::{VirtAddr, VirtRange, HUGE_PAGE_FRAMES, PAGE_SHIFT, PAGE_SIZE};
+use crate::cache::Cache;
+use crate::cost::{SimClock, SimDuration};
+use crate::error::{HmsError, Result};
+use crate::frame::FrameRun;
+use crate::mapping::{huge_eligible, Mapping, MappingTable, PageKind};
+use crate::pebs::{Pebs, SampleRecord};
+use crate::platform::Platform;
+use crate::stats::MachineStats;
+use crate::tier::{Tier, TierId};
+use crate::tlb::Tlb;
+use crate::trace::{AccessKind, TraceRecord, Tracer};
+
+/// Where an allocation's physical frames should come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// All frames on the fast tier; fails if it does not fit.
+    Fast,
+    /// All frames on the slow tier; fails if it does not fit.
+    Slow,
+    /// Fill the given tier first, spill the remainder to the other tier.
+    /// This models `numactl --preferred` (the paper's `MCDRAM-p` reference).
+    Preferred(TierId),
+}
+
+/// Bookkeeping for one live allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocationInfo {
+    /// The allocated virtual range (byte-exact, as requested).
+    pub range: VirtRange,
+    /// Pages reserved for the allocation (rounded up).
+    pub pages: usize,
+}
+
+/// Result of a migration operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationReport {
+    /// Bytes moved between tiers.
+    pub bytes: usize,
+    /// 4 KiB pages moved.
+    pub pages: usize,
+    /// Simulated time the migration took.
+    pub time: SimDuration,
+    /// Mappings present for the moved range afterwards (1 per huge unit for
+    /// a remap, 1 per page for an `mbind` splinter).
+    pub mappings_after: usize,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    accesses: u64,
+    reads: u64,
+    writes: u64,
+    bytes_migrated: u64,
+}
+
+/// The simulated machine. See the [crate docs](crate) for an overview.
+#[derive(Debug)]
+pub struct Machine {
+    platform: Platform,
+    tiers: Vec<Tier>,
+    mappings: MappingTable,
+    allocations: BTreeMap<u64, AllocationInfo>,
+    next_vaddr: u64,
+    tlb: Tlb,
+    llc: Cache,
+    clock: SimClock,
+    pebs: Pebs,
+    tracer: Tracer,
+    counters: Counters,
+}
+
+impl Machine {
+    /// Builds a machine from a platform description.
+    pub fn new(platform: Platform) -> Self {
+        let tiers = vec![
+            Tier::new(platform.fast.clone()),
+            Tier::new(platform.slow.clone()),
+        ];
+        Machine {
+            tlb: Tlb::new(platform.tlb_entries),
+            llc: Cache::new(platform.llc),
+            clock: SimClock::new(),
+            pebs: Pebs::new(0xA7_3E3),
+            tracer: Tracer::new(1 << 24),
+            mappings: MappingTable::new(),
+            allocations: BTreeMap::new(),
+            // Arbitrary non-zero base, 2 MiB aligned.
+            next_vaddr: 0x4000_0000,
+            counters: Counters::default(),
+            tiers,
+            platform,
+        }
+    }
+
+    /// The platform this machine was built from.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimDuration {
+        self.clock.now()
+    }
+
+    /// Advances the simulated clock by `d` (used by migration engines and
+    /// tests that model off-path work).
+    pub fn advance_clock(&mut self, d: SimDuration) {
+        self.clock.advance(d);
+    }
+
+    /// Free bytes remaining on `tier`.
+    pub fn free_bytes(&self, tier: TierId) -> usize {
+        self.tiers[tier.index()].frames.free_frames() * PAGE_SIZE
+    }
+
+    /// Capacity in bytes of `tier`.
+    pub fn capacity(&self, tier: TierId) -> usize {
+        self.tiers[tier.index()].spec.capacity
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation
+    // ------------------------------------------------------------------
+
+    /// Allocates `bytes` with the given placement policy and returns the
+    /// virtual range. The range start is 2 MiB aligned.
+    ///
+    /// # Errors
+    ///
+    /// [`HmsError::ZeroSizedAllocation`] for `bytes == 0`;
+    /// [`HmsError::OutOfMemory`] when the policy cannot be satisfied.
+    pub fn alloc(&mut self, bytes: usize, placement: Placement) -> Result<VirtRange> {
+        if bytes == 0 {
+            return Err(HmsError::ZeroSizedAllocation);
+        }
+        let pages = bytes.div_ceil(PAGE_SIZE);
+        let vstart = self.next_vaddr;
+        debug_assert_eq!(vstart % (HUGE_PAGE_FRAMES << PAGE_SHIFT) as u64, 0);
+
+        let plan: Vec<(TierId, usize)> = match placement {
+            Placement::Fast => vec![(TierId::FAST, pages)],
+            Placement::Slow => vec![(TierId::SLOW, pages)],
+            Placement::Preferred(t) => {
+                let other = if t == TierId::FAST {
+                    TierId::SLOW
+                } else {
+                    TierId::FAST
+                };
+                let fit = self.tiers[t.index()].frames.free_frames().min(pages);
+                if fit == pages {
+                    vec![(t, pages)]
+                } else {
+                    vec![(t, fit), (other, pages - fit)]
+                }
+            }
+        };
+
+        let mut created: Vec<Mapping> = Vec::new();
+        let mut vpage = vstart >> PAGE_SHIFT;
+        for (tier, tier_pages) in plan {
+            if tier_pages == 0 {
+                continue;
+            }
+            match self.map_pages(tier, vpage, tier_pages, &mut created) {
+                Ok(()) => vpage += tier_pages as u64,
+                Err(e) => {
+                    // Roll back everything created so far.
+                    for m in created {
+                        self.unmap_one(&m);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+
+        for m in created {
+            self.mappings.insert(m);
+        }
+        let range = VirtRange::new(VirtAddr::new(vstart), bytes);
+        self.allocations
+            .insert(vstart, AllocationInfo { range, pages });
+        // Leave a 2 MiB guard gap between allocations.
+        self.next_vaddr = vstart
+            + ((pages as u64).next_multiple_of(HUGE_PAGE_FRAMES as u64) << PAGE_SHIFT)
+            + (HUGE_PAGE_FRAMES << PAGE_SHIFT) as u64;
+        Ok(range)
+    }
+
+    /// Maps `pages` pages starting at `vpage` onto frames of `tier`,
+    /// pushing created mappings into `out` (not yet inserted).
+    fn map_pages(
+        &mut self,
+        tier: TierId,
+        mut vpage: u64,
+        mut pages: usize,
+        out: &mut Vec<Mapping>,
+    ) -> Result<()> {
+        let huge_ok = self.platform.huge_pages;
+        while pages > 0 {
+            // Walk up to the next 2 MiB boundary with base pages so the
+            // remainder becomes huge-eligible (remapped regions start at
+            // arbitrary page offsets; real THP re-forms huge pages on the
+            // aligned middle the same way).
+            if huge_ok && pages >= HUGE_PAGE_FRAMES {
+                let misalign = (vpage % HUGE_PAGE_FRAMES as u64) as usize;
+                if misalign != 0 {
+                    let head = HUGE_PAGE_FRAMES - misalign;
+                    if pages - head >= HUGE_PAGE_FRAMES {
+                        let run = self
+                            .try_alloc_base_run(tier, head)
+                            .ok_or_else(|| self.oom_error(tier, head * PAGE_SIZE))?;
+                        out.push(Mapping {
+                            vpage_start: vpage,
+                            pages: run.count,
+                            tier,
+                            frame_start: run.start,
+                            kind: PageKind::Base4K,
+                        });
+                        vpage += run.count as u64;
+                        pages -= run.count as usize;
+                        continue;
+                    }
+                }
+            }
+            if huge_ok && huge_eligible(vpage, pages) {
+                let units = pages / HUGE_PAGE_FRAMES;
+                // Grab as many contiguous aligned huge units as possible in
+                // one mapping; fall back unit-by-unit, then to base pages.
+                if let Some(run) = self.try_alloc_huge_run(tier, units) {
+                    let mapped_pages = run.count as usize;
+                    out.push(Mapping {
+                        vpage_start: vpage,
+                        pages: run.count,
+                        tier,
+                        frame_start: run.start,
+                        kind: PageKind::Huge2M,
+                    });
+                    vpage += mapped_pages as u64;
+                    pages -= mapped_pages;
+                    continue;
+                }
+            }
+            // Base mapping: largest contiguous run we can get, else single
+            // pages.
+            let want = pages.min(HUGE_PAGE_FRAMES);
+            let run = self
+                .try_alloc_base_run(tier, want)
+                .ok_or_else(|| self.oom_error(tier, pages * PAGE_SIZE))?;
+            out.push(Mapping {
+                vpage_start: vpage,
+                pages: run.count,
+                tier,
+                frame_start: run.start,
+                kind: PageKind::Base4K,
+            });
+            vpage += run.count as u64;
+            pages -= run.count as usize;
+        }
+        Ok(())
+    }
+
+    /// Tries to allocate `units` aligned huge units as one run, halving on
+    /// failure; returns the largest run obtained (a multiple of 512 frames).
+    fn try_alloc_huge_run(&mut self, tier: TierId, units: usize) -> Option<FrameRun> {
+        let frames = &mut self.tiers[tier.index()].frames;
+        let mut n = units;
+        while n > 0 {
+            if let Some(run) = frames.alloc_run_aligned(n * HUGE_PAGE_FRAMES, HUGE_PAGE_FRAMES) {
+                return Some(run);
+            }
+            n /= 2;
+        }
+        None
+    }
+
+    /// Tries to allocate up to `want` contiguous base frames, halving on
+    /// failure down to a single frame.
+    fn try_alloc_base_run(&mut self, tier: TierId, want: usize) -> Option<FrameRun> {
+        let frames = &mut self.tiers[tier.index()].frames;
+        let mut n = want;
+        while n > 0 {
+            if let Some(run) = frames.alloc_run(n) {
+                return Some(run);
+            }
+            n /= 2;
+        }
+        None
+    }
+
+    fn oom_error(&self, tier: TierId, requested: usize) -> HmsError {
+        if self.tiers[tier.index()].frames.free_frames() * PAGE_SIZE >= requested {
+            HmsError::Fragmented {
+                tier,
+                frames: requested / PAGE_SIZE,
+            }
+        } else {
+            HmsError::OutOfMemory { tier, requested }
+        }
+    }
+
+    fn unmap_one(&mut self, m: &Mapping) {
+        self.tiers[m.tier.index()]
+            .frames
+            .free_run(FrameRun::new(m.frame_start, m.pages));
+    }
+
+    /// Frees the allocation starting at `range.start`.
+    ///
+    /// # Errors
+    ///
+    /// [`HmsError::UnknownAllocation`] if no allocation starts there.
+    pub fn free(&mut self, range: VirtRange) -> Result<()> {
+        let info = self
+            .allocations
+            .remove(&range.start.raw())
+            .ok_or(HmsError::UnknownAllocation(range.start))?;
+        let full = VirtRange::new(info.range.start, info.pages * PAGE_SIZE);
+        let taken = self.mappings.take_overlapping(full);
+        for m in &taken {
+            self.unmap_one(m);
+        }
+        self.invalidate_tlb_range(full);
+        self.mappings.flush_cache();
+        Ok(())
+    }
+
+    /// The allocation registry entry starting at `start`, if any.
+    pub fn allocation(&self, start: VirtAddr) -> Option<AllocationInfo> {
+        self.allocations.get(&start.raw()).copied()
+    }
+
+    /// All live allocations in address order.
+    pub fn allocations(&self) -> impl Iterator<Item = &AllocationInfo> {
+        self.allocations.values()
+    }
+
+    // ------------------------------------------------------------------
+    // Accounted access path
+    // ------------------------------------------------------------------
+
+    /// Performs an accounted access of `len` bytes at `va` and returns the
+    /// (tier, storage offset) servicing it. The access must not cross a page
+    /// boundary (guaranteed for naturally aligned scalars).
+    #[inline]
+    fn access(&mut self, va: VirtAddr, len: usize, write: bool) -> Result<(TierId, usize)> {
+        debug_assert!(len > 0 && va.page_offset() + len <= PAGE_SIZE);
+        let mapping = self.mappings.lookup(va)?;
+        self.counters.accesses += 1;
+        if write {
+            self.counters.writes += 1;
+        } else {
+            self.counters.reads += 1;
+        }
+
+        let mut cost = SimDuration::ZERO;
+        if !self
+            .tlb
+            .access(mapping.tlb_key(va, self.platform.tlb_coalesce))
+        {
+            cost += self.platform.cost.walk_cost();
+        }
+        let (frame, offset) = mapping.translate(va);
+        let pa = frame.phys_addr(offset).line_aligned();
+        let hit = self.llc.access(pa, write).is_hit();
+        if hit {
+            cost += self.platform.cost.hit_cost();
+        } else {
+            let spec = &self.tiers[frame.tier.index()].spec;
+            cost += self.platform.cost.miss_cost(spec, write);
+            if !write && self.pebs.on_read_miss(va) {
+                cost += self.platform.cost.sample_cost();
+            }
+        }
+        if self.tracer.is_enabled() {
+            let kind = match (write, hit) {
+                (false, true) => AccessKind::ReadHit,
+                (false, false) => AccessKind::ReadMiss,
+                (true, true) => AccessKind::WriteHit,
+                (true, false) => AccessKind::WriteMiss,
+            };
+            self.tracer.record(va, kind);
+        }
+        self.clock.advance(cost);
+        Ok((frame.tier, frame.byte_offset() + offset))
+    }
+
+    /// Reads a little-endian scalar through the full accounted path.
+    ///
+    /// # Errors
+    ///
+    /// [`HmsError::Unmapped`] if `va` is not mapped.
+    #[inline]
+    pub fn read<T: Scalar>(&mut self, va: VirtAddr) -> Result<T> {
+        let (tier, off) = self.access(va, T::SIZE, false)?;
+        let bytes = self.tiers[tier.index()].storage.slice(off, T::SIZE);
+        Ok(T::from_le_slice(bytes))
+    }
+
+    /// Writes a little-endian scalar through the full accounted path.
+    ///
+    /// # Errors
+    ///
+    /// [`HmsError::Unmapped`] if `va` is not mapped.
+    #[inline]
+    pub fn write<T: Scalar>(&mut self, va: VirtAddr, value: T) -> Result<()> {
+        let (tier, off) = self.access(va, T::SIZE, true)?;
+        let bytes = self.tiers[tier.index()].storage.slice_mut(off, T::SIZE);
+        value.write_le_slice(bytes);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Unaccounted access (setup / verification)
+    // ------------------------------------------------------------------
+
+    /// Reads a scalar without advancing the clock or touching TLB/cache.
+    /// Intended for test assertions and bulk initialisation.
+    ///
+    /// # Errors
+    ///
+    /// [`HmsError::Unmapped`] if `va` is not mapped.
+    pub fn peek<T: Scalar>(&mut self, va: VirtAddr) -> Result<T> {
+        let mapping = self.mappings.lookup(va)?;
+        let (frame, offset) = mapping.translate(va);
+        let bytes = self.tiers[frame.tier.index()]
+            .storage
+            .slice(frame.byte_offset() + offset, T::SIZE);
+        Ok(T::from_le_slice(bytes))
+    }
+
+    /// Writes a scalar without advancing the clock or touching TLB/cache.
+    ///
+    /// # Errors
+    ///
+    /// [`HmsError::Unmapped`] if `va` is not mapped.
+    pub fn poke<T: Scalar>(&mut self, va: VirtAddr, value: T) -> Result<()> {
+        let mapping = self.mappings.lookup(va)?;
+        let (frame, offset) = mapping.translate(va);
+        let bytes = self.tiers[frame.tier.index()]
+            .storage
+            .slice_mut(frame.byte_offset() + offset, T::SIZE);
+        value.write_le_slice(bytes);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection for analyzers / migration engines
+    // ------------------------------------------------------------------
+
+    /// The mappings overlapping `range`, in address order.
+    pub fn mappings_in(&self, range: VirtRange) -> Vec<Mapping> {
+        self.mappings.overlapping(range)
+    }
+
+    /// The tier currently backing `va`.
+    ///
+    /// # Errors
+    ///
+    /// [`HmsError::Unmapped`] if `va` is not mapped.
+    pub fn tier_of(&mut self, va: VirtAddr) -> Result<TierId> {
+        Ok(self.mappings.lookup(va)?.tier)
+    }
+
+    /// Bytes of `range` currently resident on `tier`.
+    pub fn resident_bytes(&self, range: VirtRange, tier: TierId) -> usize {
+        self.mappings
+            .overlapping(range)
+            .iter()
+            .filter(|m| m.tier == tier)
+            .filter_map(|m| m.vrange().intersect(range))
+            .map(|r| r.len)
+            .sum()
+    }
+
+    /// Invalidates every TLB entry covering `range`.
+    pub fn invalidate_tlb_range(&mut self, range: VirtRange) {
+        if range.len == 0 {
+            return;
+        }
+        let first = range.start.page_index();
+        let last = (range.end().raw() - 1) >> PAGE_SHIFT;
+        let coalesce = self.platform.tlb_coalesce.max(1) as u64;
+        self.tlb.invalidate_where(|key| {
+            let value = key >> 2;
+            let (key_first, key_last) = match key & 3 {
+                2 => {
+                    let start = value * HUGE_PAGE_FRAMES as u64;
+                    (start, start + HUGE_PAGE_FRAMES as u64 - 1)
+                }
+                1 => {
+                    let start = value * coalesce;
+                    (start, start + coalesce - 1)
+                }
+                _ => (value, value),
+            };
+            key_first <= last && first <= key_last
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Migration primitives (used by mbind and by the ATMem optimizer)
+    // ------------------------------------------------------------------
+
+    /// Allocates a physically contiguous staging run of `pages` frames on
+    /// `tier` (not mapped into any virtual range).
+    ///
+    /// # Errors
+    ///
+    /// [`HmsError::OutOfMemory`] / [`HmsError::Fragmented`] on failure.
+    pub fn alloc_frames(&mut self, tier: TierId, pages: usize) -> Result<FrameRun> {
+        self.tiers[tier.index()]
+            .frames
+            .alloc_run(pages)
+            .ok_or_else(|| self.oom_error(tier, pages * PAGE_SIZE))
+    }
+
+    /// Frees a frame run previously returned by [`Machine::alloc_frames`]
+    /// (or released by a remap).
+    pub fn free_frames(&mut self, tier: TierId, run: FrameRun) {
+        self.tiers[tier.index()].frames.free_run(run);
+    }
+
+    /// Copies the page-aligned virtual `range` into the staging frame run
+    /// `dst` on `dst_tier` using `threads` copier threads. Returns the
+    /// simulated copy time. The copy streams past the LLC (non-temporal),
+    /// so cache and TLB state are unaffected.
+    ///
+    /// # Errors
+    ///
+    /// [`HmsError::InvalidRange`] if `range` is not page-aligned or `dst` is
+    /// too small; [`HmsError::Unmapped`] for holes in `range`.
+    pub fn copy_region_to_frames(
+        &mut self,
+        range: VirtRange,
+        dst_tier: TierId,
+        dst: FrameRun,
+        threads: usize,
+    ) -> Result<SimDuration> {
+        let segments = self.region_segments(range)?;
+        if dst.bytes() < range.len {
+            return Err(HmsError::InvalidRange {
+                start: range.start,
+                len: range.len,
+            });
+        }
+        let mut jobs = Vec::with_capacity(segments.len());
+        let mut dst_off = dst.start as usize * PAGE_SIZE;
+        for (src_tier, src_off, len) in segments {
+            jobs.push(CopyJob {
+                src_tier,
+                src_off,
+                dst_tier,
+                dst_off,
+                len,
+            });
+            dst_off += len;
+        }
+        let time = self.estimate_copy_time(&jobs, threads);
+        self.execute_copies(&jobs, threads);
+        self.clock.advance(time);
+        Ok(time)
+    }
+
+    /// Copies bytes from the staging run `src` on `src_tier` back into the
+    /// (re-mapped) virtual `range`. Counterpart of
+    /// [`Machine::copy_region_to_frames`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Machine::copy_region_to_frames`].
+    pub fn copy_frames_to_region(
+        &mut self,
+        src_tier: TierId,
+        src: FrameRun,
+        range: VirtRange,
+        threads: usize,
+    ) -> Result<SimDuration> {
+        let segments = self.region_segments(range)?;
+        if src.bytes() < range.len {
+            return Err(HmsError::InvalidRange {
+                start: range.start,
+                len: range.len,
+            });
+        }
+        let mut jobs = Vec::with_capacity(segments.len());
+        let mut src_off = src.start as usize * PAGE_SIZE;
+        for (dst_tier, dst_off, len) in segments {
+            jobs.push(CopyJob {
+                src_tier,
+                src_off,
+                dst_tier,
+                dst_off,
+                len,
+            });
+            src_off += len;
+        }
+        let time = self.estimate_copy_time(&jobs, threads);
+        self.execute_copies(&jobs, threads);
+        self.clock.advance(time);
+        Ok(time)
+    }
+
+    /// Decomposes a page-aligned virtual range into physically contiguous
+    /// `(tier, storage offset, len)` segments.
+    fn region_segments(&self, range: VirtRange) -> Result<Vec<(TierId, usize, usize)>> {
+        if range.len == 0 || range.start.page_offset() != 0 || !range.len.is_multiple_of(PAGE_SIZE)
+        {
+            return Err(HmsError::InvalidRange {
+                start: range.start,
+                len: range.len,
+            });
+        }
+        let maps = self.mappings.overlapping(range);
+        let mut covered = range.start;
+        let mut out = Vec::with_capacity(maps.len());
+        for m in maps {
+            let part = m
+                .vrange()
+                .intersect(range)
+                .expect("overlapping() returned a non-overlapping mapping");
+            if part.start != covered {
+                return Err(HmsError::Unmapped(covered));
+            }
+            let (frame, off) = m.translate(part.start);
+            out.push((m.tier, frame.byte_offset() + off, part.len));
+            covered = part.end();
+        }
+        if covered != range.end() {
+            return Err(HmsError::Unmapped(covered));
+        }
+        Ok(out)
+    }
+
+    /// Analytic copy-time model: per (src, dst) tier pair, throughput is the
+    /// minimum of the source copy-read and destination copy-write bandwidth
+    /// at the given thread count; same-tier copies halve the budget (read
+    /// and write share the channel).
+    fn estimate_copy_time(&self, jobs: &[CopyJob], threads: usize) -> SimDuration {
+        let mut ns = 0.0;
+        for job in jobs {
+            let src = &self.tiers[job.src_tier.index()].spec;
+            let dst = &self.tiers[job.dst_tier.index()].spec;
+            let mut bw = src.copy_read_bw(threads).min(dst.copy_write_bw(threads));
+            if job.src_tier == job.dst_tier {
+                bw /= 2.0;
+            }
+            ns += job.len as f64 / bw;
+        }
+        SimDuration::from_ns(ns)
+    }
+
+    /// Executes the copies for real, in parallel across up to `threads`
+    /// OS threads over disjoint byte ranges.
+    fn execute_copies(&mut self, jobs: &[CopyJob], threads: usize) {
+        debug_assert!(jobs_disjoint_dst(jobs), "copy destinations overlap");
+        // Collect raw base pointers per tier. Jobs touch disjoint
+        // destination ranges, and sources are never written concurrently.
+        let bases: Vec<SendPtr> = self
+            .tiers
+            .iter_mut()
+            .map(|t| SendPtr(t.storage.base_ptr()))
+            .collect();
+        let workers = threads.clamp(1, 8).min(jobs.len().max(1));
+        if workers <= 1 || jobs.len() == 1 {
+            for job in jobs {
+                // SAFETY: see `copy_job`.
+                unsafe { copy_job(&bases, job) };
+            }
+            return;
+        }
+        crossbeam::thread::scope(|scope| {
+            for chunk in jobs.chunks(jobs.len().div_ceil(workers)) {
+                let bases = &bases;
+                scope.spawn(move |_| {
+                    for job in chunk {
+                        // SAFETY: see `copy_job`.
+                        unsafe { copy_job(bases, job) };
+                    }
+                });
+            }
+        })
+        .expect("copy worker panicked");
+    }
+
+    /// Splits any mapping that straddles a boundary of `range`, so that
+    /// every mapping overlapping `range` afterwards is fully contained in
+    /// it. Splitting a huge mapping at an unaligned point demotes the
+    /// broken 2 MiB unit to base pages (and invalidates its TLB entries),
+    /// as a real kernel would.
+    pub fn split_mappings_at(&mut self, range: VirtRange) {
+        debug_assert_eq!(range.start.page_offset(), 0);
+        debug_assert_eq!(range.len % PAGE_SIZE, 0);
+        for boundary in [range.start.page_index(), range.end().page_index()] {
+            let m = match self.mappings.lookup_page(boundary) {
+                Some(m) if m.vpage_start < boundary => *m,
+                _ => continue,
+            };
+            self.mappings.remove(m.vpage_start);
+            let (left, right) = crate::mapping::split_mapping(&m, boundary);
+            for piece in left.into_iter().chain(right) {
+                self.mappings.insert(piece);
+            }
+            if m.kind == PageKind::Huge2M {
+                // Stale huge-unit TLB entries must not survive the demotion.
+                self.invalidate_tlb_range(m.vrange());
+            }
+            self.mappings.flush_cache();
+        }
+    }
+
+    /// Remaps the page-aligned `range` onto fresh frames on `dst_tier`,
+    /// using huge mappings where alignment and platform policy permit.
+    /// Old frames are freed; TLB entries covering the range are invalidated
+    /// once (a single range shootdown, not one per page). The backing bytes
+    /// of the new frames are *uninitialised* — callers must copy data in
+    /// (stage 3 of the staged migration) before any access.
+    ///
+    /// Returns the number of mappings now covering the range.
+    ///
+    /// # Errors
+    ///
+    /// [`HmsError::InvalidRange`] for unaligned ranges;
+    /// [`HmsError::OutOfMemory`] if `dst_tier` cannot hold the range (the
+    /// original mappings are restored).
+    pub fn remap_region(&mut self, range: VirtRange, dst_tier: TierId) -> Result<usize> {
+        if range.len == 0 || range.start.page_offset() != 0 || !range.len.is_multiple_of(PAGE_SIZE)
+        {
+            return Err(HmsError::InvalidRange {
+                start: range.start,
+                len: range.len,
+            });
+        }
+        self.split_mappings_at(range);
+        let old = self.mappings.take_overlapping(range);
+        let covered: usize = old.iter().map(|m| (m.pages as usize) * PAGE_SIZE).sum();
+        if covered != range.len {
+            // Holes: restore and fail.
+            for m in old {
+                self.mappings.insert(m);
+            }
+            return Err(HmsError::Unmapped(range.start));
+        }
+
+        let vpage = range.start.page_index();
+        let pages = range.len / PAGE_SIZE;
+        let mut created = Vec::new();
+        match self.map_pages(dst_tier, vpage, pages, &mut created) {
+            Ok(()) => {
+                for m in &old {
+                    self.unmap_one(m);
+                }
+                let n = created.len();
+                for m in created {
+                    self.mappings.insert(m);
+                }
+                self.invalidate_tlb_range(range);
+                self.mappings.flush_cache();
+                Ok(n)
+            }
+            Err(e) => {
+                for m in created {
+                    self.unmap_one(&m);
+                }
+                for m in old {
+                    self.mappings.insert(m);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Records `bytes` as migrated (called by migration engines).
+    pub fn note_migrated(&mut self, bytes: usize) {
+        self.counters.bytes_migrated += bytes as u64;
+    }
+
+    /// Replaces one mapping with another covering the same virtual pages.
+    /// Low-level hook for the `mbind` engine; does not touch frames.
+    pub(crate) fn replace_mapping(&mut self, old_vpage_start: u64, new: Vec<Mapping>) {
+        self.mappings.remove(old_vpage_start);
+        for m in new {
+            self.mappings.insert(m);
+        }
+        self.mappings.flush_cache();
+    }
+
+    pub(crate) fn tier_mut(&mut self, tier: TierId) -> &mut Tier {
+        &mut self.tiers[tier.index()]
+    }
+
+    pub(crate) fn tier_ref(&self, tier: TierId) -> &Tier {
+        &self.tiers[tier.index()]
+    }
+
+    // ------------------------------------------------------------------
+    // PEBS
+    // ------------------------------------------------------------------
+
+    /// Enables LLC read-miss sampling (see [`Pebs::enable`]).
+    pub fn pebs_enable(&mut self, period: u64, jitter: u64) {
+        self.pebs.enable(period, jitter);
+    }
+
+    /// Disables sampling, keeping buffered records.
+    pub fn pebs_disable(&mut self) {
+        self.pebs.disable();
+    }
+
+    /// Reseeds the sampling jitter RNG (see [`Pebs::reseed`]).
+    pub fn pebs_reseed(&mut self, seed: u64) {
+        self.pebs.reseed(seed);
+    }
+
+    /// Drains buffered sample records.
+    pub fn pebs_drain(&mut self) -> Vec<SampleRecord> {
+        self.pebs.drain()
+    }
+
+    /// The sampling unit, for inspection.
+    pub fn pebs(&self) -> &Pebs {
+        &self.pebs
+    }
+
+    // ------------------------------------------------------------------
+    // Tracing (offline-profiling instrument; see [`Tracer`])
+    // ------------------------------------------------------------------
+
+    /// Starts full access-trace recording. Strictly observational: no
+    /// effect on simulated time or cache/TLB state.
+    pub fn trace_enable(&mut self) {
+        self.tracer.enable();
+    }
+
+    /// Stops trace recording (keeps buffered records).
+    pub fn trace_disable(&mut self) {
+        self.tracer.disable();
+    }
+
+    /// Drains buffered trace records.
+    pub fn trace_drain(&mut self) -> Vec<TraceRecord> {
+        self.tracer.drain()
+    }
+
+    /// The tracer, for inspection.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    // ------------------------------------------------------------------
+    // Stats
+    // ------------------------------------------------------------------
+
+    /// Snapshot of all counters.
+    pub fn stats(&self) -> MachineStats {
+        MachineStats {
+            time_ns: self.clock.now().as_ns(),
+            accesses: self.counters.accesses,
+            reads: self.counters.reads,
+            writes: self.counters.writes,
+            llc_read_hits: self.llc.read_hits(),
+            llc_read_misses: self.llc.read_misses(),
+            llc_write_hits: self.llc.write_hits(),
+            llc_write_misses: self.llc.write_misses(),
+            tlb_hits: self.tlb.hits(),
+            tlb_misses: self.tlb.misses(),
+            fast_bytes_used: (self.tiers[TierId::FAST.index()].frames.used_frames() * PAGE_SIZE)
+                as u64,
+            slow_bytes_used: (self.tiers[TierId::SLOW.index()].frames.used_frames() * PAGE_SIZE)
+                as u64,
+            bytes_migrated: self.counters.bytes_migrated,
+        }
+    }
+
+    /// Flushes the LLC and TLB (cold restart between experiment phases).
+    pub fn flush_caches(&mut self) {
+        self.llc.flush();
+        self.tlb.flush();
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CopyJob {
+    src_tier: TierId,
+    src_off: usize,
+    dst_tier: TierId,
+    dst_off: usize,
+    len: usize,
+}
+
+fn jobs_disjoint_dst(jobs: &[CopyJob]) -> bool {
+    let mut ranges: Vec<_> = jobs
+        .iter()
+        .map(|j| (j.dst_tier, j.dst_off, j.dst_off + j.len))
+        .collect();
+    ranges.sort_unstable();
+    ranges
+        .windows(2)
+        .all(|w| w[0].0 != w[1].0 || w[0].2 <= w[1].1)
+}
+
+/// A raw pointer that may cross threads. Safe because all concurrent uses
+/// in `execute_copies` touch provably disjoint byte ranges.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut u8);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+/// Executes one copy job.
+///
+/// # Safety
+///
+/// `bases[i].0` must point to the live storage of tier `i`, the job's
+/// source and destination ranges must be in bounds, and no other thread may
+/// concurrently write any byte of the job's source or destination ranges.
+/// `execute_copies` guarantees this: destination ranges are pairwise
+/// disjoint (debug-asserted), staging frames are freshly allocated and thus
+/// never alias a source, and `&mut self` excludes all other machine access.
+unsafe fn copy_job(bases: &[SendPtr], job: &CopyJob) {
+    let src = bases[job.src_tier.index()].0.add(job.src_off) as *const u8;
+    let dst = bases[job.dst_tier.index()].0.add(job.dst_off);
+    std::ptr::copy_nonoverlapping(src, dst, job.len);
+}
+
+/// Plain little-endian scalar types storable in simulated memory.
+///
+/// This trait is sealed: the simulator supports exactly the primitive
+/// numeric types below.
+pub trait Scalar: Copy + private::Sealed {
+    /// Size of the encoded scalar in bytes.
+    const SIZE: usize;
+    /// Decodes from little-endian bytes (`bytes.len() == SIZE`).
+    fn from_le_slice(bytes: &[u8]) -> Self;
+    /// Encodes into little-endian bytes (`bytes.len() == SIZE`).
+    fn write_le_slice(self, bytes: &mut [u8]);
+}
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for u8 {}
+    impl Sealed for u32 {}
+    impl Sealed for u64 {}
+    impl Sealed for i32 {}
+    impl Sealed for i64 {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+}
+
+macro_rules! impl_scalar {
+    ($($t:ty),*) => {$(
+        impl Scalar for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+            #[inline]
+            fn from_le_slice(bytes: &[u8]) -> Self {
+                <$t>::from_le_bytes(bytes.try_into().expect("scalar size mismatch"))
+            }
+            #[inline]
+            fn write_le_slice(self, bytes: &mut [u8]) {
+                bytes.copy_from_slice(&self.to_le_bytes());
+            }
+        }
+    )*};
+}
+
+impl_scalar!(u8, u32, u64, i32, i64, f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Machine {
+        Machine::new(Platform::testing())
+    }
+
+    #[test]
+    fn alloc_read_write_round_trip() {
+        let mut m = machine();
+        let r = m.alloc(4096, Placement::Slow).unwrap();
+        m.write::<u64>(r.start, 0xdead_beef).unwrap();
+        assert_eq!(m.read::<u64>(r.start).unwrap(), 0xdead_beef);
+        assert_eq!(m.peek::<u64>(r.start).unwrap(), 0xdead_beef);
+    }
+
+    #[test]
+    fn zero_alloc_is_an_error() {
+        let mut m = machine();
+        assert_eq!(
+            m.alloc(0, Placement::Slow).unwrap_err(),
+            HmsError::ZeroSizedAllocation
+        );
+    }
+
+    #[test]
+    fn placement_fast_uses_fast_tier() {
+        let mut m = machine();
+        let r = m.alloc(8192, Placement::Fast).unwrap();
+        assert_eq!(m.tier_of(r.start).unwrap(), TierId::FAST);
+        assert_eq!(m.resident_bytes(r, TierId::FAST), 8192);
+    }
+
+    #[test]
+    fn preferred_spills_when_full() {
+        let mut m = machine();
+        let fast_cap = m.capacity(TierId::FAST);
+        let r = m
+            .alloc(fast_cap + 4 * PAGE_SIZE, Placement::Preferred(TierId::FAST))
+            .unwrap();
+        assert_eq!(m.resident_bytes(r, TierId::FAST), fast_cap);
+        assert!(m.resident_bytes(r, TierId::SLOW) >= 4 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn fast_placement_fails_when_too_big() {
+        let mut m = machine();
+        let err = m
+            .alloc(m.capacity(TierId::FAST) + PAGE_SIZE, Placement::Fast)
+            .unwrap_err();
+        assert!(matches!(err, HmsError::OutOfMemory { .. }));
+        // Rollback: nothing leaked.
+        assert_eq!(m.stats().fast_bytes_used, 0);
+    }
+
+    #[test]
+    fn huge_mappings_created_for_large_allocations() {
+        let mut m = machine();
+        let r = m.alloc(4 * 1024 * 1024, Placement::Slow).unwrap();
+        let maps = m.mappings_in(r);
+        assert!(maps.iter().any(|mp| mp.kind == PageKind::Huge2M));
+    }
+
+    #[test]
+    fn free_releases_frames() {
+        let mut m = machine();
+        let before = m.free_bytes(TierId::SLOW);
+        let r = m.alloc(1024 * 1024, Placement::Slow).unwrap();
+        assert!(m.free_bytes(TierId::SLOW) < before);
+        m.free(r).unwrap();
+        assert_eq!(m.free_bytes(TierId::SLOW), before);
+        assert!(m.read::<u32>(r.start).is_err());
+    }
+
+    #[test]
+    fn double_free_is_an_error() {
+        let mut m = machine();
+        let r = m.alloc(4096, Placement::Slow).unwrap();
+        m.free(r).unwrap();
+        assert!(matches!(m.free(r), Err(HmsError::UnknownAllocation(_))));
+    }
+
+    #[test]
+    fn slow_accesses_cost_more_than_fast() {
+        let mut m = machine();
+        let slow = m.alloc(1024 * 1024, Placement::Slow).unwrap();
+        let fast = m.alloc(1024 * 1024, Placement::Fast).unwrap();
+        // Touch a large stride so every access misses.
+        let t0 = m.now();
+        for i in 0..1000u64 {
+            let _ = m
+                .read::<u64>(slow.start.add(i * 1024 % (1024 * 1024)))
+                .unwrap();
+        }
+        let slow_time = m.now().as_ns() - t0.as_ns();
+        let t1 = m.now();
+        for i in 0..1000u64 {
+            let _ = m
+                .read::<u64>(fast.start.add(i * 1024 % (1024 * 1024)))
+                .unwrap();
+        }
+        let fast_time = m.now().as_ns() - t1.as_ns();
+        assert!(
+            slow_time > 1.5 * fast_time,
+            "slow {slow_time} vs fast {fast_time}"
+        );
+    }
+
+    #[test]
+    fn pebs_samples_read_misses() {
+        let mut m = machine();
+        let r = m.alloc(1024 * 1024, Placement::Slow).unwrap();
+        m.pebs_enable(4, 0);
+        for i in 0..256u64 {
+            let _ = m
+                .read::<u64>(r.start.add(i * 4096 % (1024 * 1024)))
+                .unwrap();
+        }
+        m.pebs_disable();
+        let samples = m.pebs_drain();
+        assert!(!samples.is_empty());
+        assert!(samples.iter().all(|s| r.contains(s.vaddr)));
+    }
+
+    #[test]
+    fn remap_moves_residency_and_preserves_nothing_until_copied() {
+        let mut m = machine();
+        let r = m.alloc(2 * 1024 * 1024, Placement::Slow).unwrap();
+        assert_eq!(m.resident_bytes(r, TierId::SLOW), 2 * 1024 * 1024);
+        let full = VirtRange::new(r.start, 2 * 1024 * 1024);
+        m.remap_region(full, TierId::FAST).unwrap();
+        assert_eq!(m.resident_bytes(full, TierId::FAST), 2 * 1024 * 1024);
+        assert_eq!(m.resident_bytes(full, TierId::SLOW), 0);
+    }
+
+    #[test]
+    fn staged_copy_round_trip_preserves_bytes() {
+        let mut m = machine();
+        let r = m.alloc(64 * PAGE_SIZE, Placement::Slow).unwrap();
+        for i in 0..(64 * PAGE_SIZE as u64 / 8) {
+            m.poke::<u64>(r.start.add(i * 8), i * 31 + 7).unwrap();
+        }
+        let full = VirtRange::new(r.start, 64 * PAGE_SIZE);
+        // Stage 1: copy out to staging on FAST.
+        let staging = m.alloc_frames(TierId::FAST, 64).unwrap();
+        m.copy_region_to_frames(full, TierId::FAST, staging, 4)
+            .unwrap();
+        // Stage 2: remap to FAST.
+        m.remap_region(full, TierId::FAST).unwrap();
+        // Stage 3: copy back.
+        m.copy_frames_to_region(TierId::FAST, staging, full, 4)
+            .unwrap();
+        m.free_frames(TierId::FAST, staging);
+        for i in 0..(64 * PAGE_SIZE as u64 / 8) {
+            assert_eq!(m.peek::<u64>(r.start.add(i * 8)).unwrap(), i * 31 + 7);
+        }
+    }
+
+    #[test]
+    fn stats_track_accesses() {
+        let mut m = machine();
+        let r = m.alloc(4096, Placement::Slow).unwrap();
+        m.write::<u32>(r.start, 1).unwrap();
+        let _ = m.read::<u32>(r.start).unwrap();
+        let s = m.stats();
+        assert_eq!(s.accesses, 2);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 1);
+        assert!(s.time_ns > 0.0);
+    }
+
+    #[test]
+    fn line_locality_hits_after_first_touch() {
+        let mut m = machine();
+        let r = m.alloc(4096, Placement::Slow).unwrap();
+        let _ = m.read::<u64>(r.start).unwrap(); // miss
+        let _ = m.read::<u64>(r.start.add(8)).unwrap(); // same line: hit
+        let s = m.stats();
+        assert_eq!(s.llc_read_misses, 1);
+        assert_eq!(s.llc_read_hits, 1);
+    }
+
+    #[test]
+    fn coalesced_tlb_entries_are_invalidated_by_range() {
+        let mut platform = Platform::testing();
+        platform.tlb_coalesce = 8;
+        platform.huge_pages = false;
+        let mut m = Machine::new(platform);
+        let r = m.alloc(64 * PAGE_SIZE, Placement::Slow).unwrap();
+        // Touch pages 0..16: coalesced entries (2 groups of 8).
+        for p in 0..16u64 {
+            let _ = m.read::<u64>(r.start.add(p * PAGE_SIZE as u64)).unwrap();
+        }
+        let misses_before = m.stats().tlb_misses;
+        // Re-touch: all hits.
+        for p in 0..16u64 {
+            let _ = m.read::<u64>(r.start.add(p * PAGE_SIZE as u64)).unwrap();
+        }
+        assert_eq!(m.stats().tlb_misses, misses_before, "warm TLB");
+        // Invalidate pages 0..8 (one group); the other group must survive.
+        m.invalidate_tlb_range(VirtRange::new(r.start, 8 * PAGE_SIZE));
+        for p in 0..16u64 {
+            let _ = m.read::<u64>(r.start.add(p * PAGE_SIZE as u64)).unwrap();
+        }
+        let new_misses = m.stats().tlb_misses - misses_before;
+        assert_eq!(new_misses, 1, "exactly the invalidated group refills");
+    }
+
+    #[test]
+    fn tracing_is_observationally_neutral() {
+        let run = |trace: bool| {
+            let mut m = machine();
+            let r = m.alloc(256 * 1024, Placement::Slow).unwrap();
+            if trace {
+                m.trace_enable();
+            }
+            for i in 0..2048u64 {
+                let _ = m
+                    .read::<u64>(r.start.add((i * 320) % (256 * 1024)))
+                    .unwrap();
+            }
+            (
+                m.now().as_ns(),
+                m.stats().llc_read_misses,
+                m.trace_drain().len(),
+            )
+        };
+        let (t0, m0, n0) = run(false);
+        let (t1, m1, n1) = run(true);
+        assert_eq!(t0, t1, "tracing must not change simulated time");
+        assert_eq!(m0, m1);
+        assert_eq!(n0, 0);
+        assert_eq!(n1, 2048);
+    }
+
+    #[test]
+    fn trace_classifies_access_kinds() {
+        let mut m = machine();
+        let r = m.alloc(4096, Placement::Slow).unwrap();
+        m.trace_enable();
+        m.write::<u64>(r.start, 1).unwrap(); // write miss
+        let _ = m.read::<u64>(r.start).unwrap(); // read hit (same line)
+        let records = m.trace_drain();
+        assert_eq!(records[0].kind, crate::trace::AccessKind::WriteMiss);
+        assert_eq!(records[1].kind, crate::trace::AccessKind::ReadHit);
+    }
+
+    #[test]
+    fn scalar_encoding_round_trips() {
+        fn check<T: Scalar + PartialEq + std::fmt::Debug>(v: T) {
+            let mut buf = vec![0u8; T::SIZE];
+            v.write_le_slice(&mut buf);
+            assert_eq!(T::from_le_slice(&buf), v);
+        }
+        check(0xabu8);
+        check(0xdead_beefu32);
+        check(u64::MAX - 3);
+        check(-5i32);
+        check(-5_000_000_000i64);
+        check(1.5f32);
+        check(-2.25f64);
+    }
+
+    #[test]
+    fn line_size_constant_consistent() {
+        assert_eq!(crate::addr::LINE_SIZE, 64);
+    }
+}

@@ -1,0 +1,246 @@
+//! Calibrated platform presets for the two paper testbeds.
+//!
+//! Every constant is taken from, or derived from, numbers the paper reports
+//! (§2.1, §6 Table 1, §7.3) and public spec sheets it cites. Capacities are
+//! scaled down together with the graph datasets (see
+//! `atmem-graph::datasets`) so a full figure sweep runs on a laptop; the
+//! *ratios* between tiers — which drive every placement decision — are kept.
+
+use crate::cache::CacheConfig;
+use crate::cost::CostModel;
+use crate::tier::TierSpec;
+
+/// Scale factor applied to tier capacities relative to the real testbeds.
+/// The real machines have 96 GiB DRAM / 768 GiB NVM (Optane testbed) and
+/// 16 GiB MCDRAM / 96 GiB DRAM (KNL). Datasets are scaled by roughly the
+/// same factor, so capacity pressure (which graphs fit in the fast tier)
+/// is preserved.
+pub const CAPACITY_SCALE: usize = 1024;
+
+/// A complete description of a simulated heterogeneous memory machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    /// Short machine name used in reports, e.g. `"NVM-DRAM"`.
+    pub name: String,
+    /// Specification of the small high-performance tier ([`TierId::FAST`]).
+    ///
+    /// [`TierId::FAST`]: crate::TierId::FAST
+    pub fast: TierSpec,
+    /// Specification of the large low-performance tier ([`TierId::SLOW`]).
+    ///
+    /// [`TierId::SLOW`]: crate::TierId::SLOW
+    pub slow: TierSpec,
+    /// Last-level cache geometry.
+    pub llc: CacheConfig,
+    /// TLB entry count.
+    pub tlb_entries: usize,
+    /// Access cost constants.
+    pub cost: CostModel,
+    /// Whether allocations of 2 MiB or more use huge mappings. The Optane
+    /// testbed runs with transparent huge pages; on KNL the flat-mode
+    /// MCDRAM experiments in the paper show a much smaller TLB effect
+    /// (Table 4), which we reproduce by restricting huge mappings there.
+    pub huge_pages: bool,
+    /// Single-thread copy bandwidth of the `mbind`-style system service in
+    /// bytes/ns, including kernel bookkeeping. Calibrated so that the
+    /// staged-migration speedups land in the paper's reported bands
+    /// (Table 4: 1.3–2.7x on NVM-DRAM, 3.0–8.2x on MCDRAM-DRAM).
+    pub mbind_copy_bw: f64,
+    /// Fixed per-page overhead of the system service, nanoseconds
+    /// (page allocation, rmap update, TLB shootdown IPI).
+    pub mbind_page_overhead_ns: f64,
+    /// TLB coalescing factor: contiguous base pages covered by one mapping
+    /// share a TLB entry in groups of this many pages (1 = no coalescing).
+    /// Models the limited coalescing of KNL-class cores, which is what
+    /// gives `mbind` its (modest) TLB penalty on the MCDRAM testbed where
+    /// huge pages are not in play (Table 4).
+    pub tlb_coalesce: usize,
+    /// Threads used by the ATMem staged migration (§6: 48 hardware threads
+    /// on the Optane socket, 256 on KNL — we use the cores that matter for
+    /// bandwidth saturation).
+    pub migration_threads: usize,
+}
+
+impl Platform {
+    /// The Intel Xeon Platinum 8260L testbed: DDR4 DRAM (fast tier) next to
+    /// Optane DC NVM in App Direct mode (slow tier).
+    ///
+    /// Paper constants: DRAM 104 GB/s, NVM 39 GB/s read / ~13 GB/s write,
+    /// NVM latency ≈ 3x DRAM (§2.1); 35.75 MiB shared L3, 48 hardware
+    /// threads (§6, Table 1).
+    pub fn nvm_dram() -> Self {
+        Platform {
+            name: "NVM-DRAM".to_string(),
+            // 96 GiB / CAPACITY_SCALE = 96 MiB.
+            fast: TierSpec::new("DRAM", 96 * 1024 * 1024, 80.0, 104.0, 80.0, 6.0)
+                .with_random_bw_factor(0.9),
+            // 768 GiB / CAPACITY_SCALE = 768 MiB. Random concurrent reads
+            // reach ~30% of the sequential peak on Optane.
+            slow: TierSpec::new("Optane-NVM", 768 * 1024 * 1024, 240.0, 39.0, 13.0, 6.0)
+                .with_random_bw_factor(0.30),
+            // 35.75 MiB L3 scaled like the datasets (the paper's hot
+            // regions are ~10-50x the LLC; keeping that ratio is what makes
+            // fine-grained placement observable at simulation scale).
+            llc: CacheConfig::new(128 * 1024, 16, 64),
+            // 1536 entries on the real part; scaled so that TLB reach
+            // relative to dataset size matches the testbed (a splintered
+            // hot region must overflow the TLB, as it does in Table 4).
+            tlb_entries: 512,
+            cost: CostModel::new(18.0, 60.0, 48),
+            huge_pages: true,
+            tlb_coalesce: 1,
+            // Single kernel thread on a 2.4 GHz Xeon; with the per-page
+            // bookkeeping below this lands the staged-migration speedup in
+            // Table 4's NVM-DRAM band (1.3-2.7x).
+            mbind_copy_bw: 12.0,
+            mbind_page_overhead_ns: 200.0,
+            migration_threads: 48,
+        }
+    }
+
+    /// The Intel Knights Landing (Xeon Phi 7200) testbed: MCDRAM in flat
+    /// mode (fast tier) next to DDR4 DRAM (slow tier).
+    ///
+    /// Paper constants: MCDRAM 400 GB/s, DDR4 ~90 GB/s (§2.1, §7.3);
+    /// 16 GiB MCDRAM / 96 GiB DRAM (Table 1); weak 1.1 GHz cores make the
+    /// single-threaded system service far slower than on the Xeon, which is
+    /// why Table 4 shows larger migration speedups on this machine.
+    pub fn mcdram_dram() -> Self {
+        Platform {
+            name: "MCDRAM-DRAM".to_string(),
+            // 16 GiB / CAPACITY_SCALE = 16 MiB.
+            fast: TierSpec::new("MCDRAM", 16 * 1024 * 1024, 150.0, 400.0, 380.0, 1.8)
+                .with_random_bw_factor(0.85),
+            // 96 GiB / CAPACITY_SCALE = 96 MiB.
+            slow: TierSpec::new("DRAM", 96 * 1024 * 1024, 130.0, 90.0, 60.0, 1.8)
+                .with_random_bw_factor(0.9),
+            // 512 KiB private L2 per tile; modelled aggregate scaled to the
+            // same dataset scale as above.
+            llc: CacheConfig::new(64 * 1024, 8, 64),
+            // Scaled like the NVM testbed's (see above).
+            tlb_entries: 4096,
+            // 256 hardware threads; ~128 concurrently issuing memory ops.
+            cost: CostModel::new(25.0, 70.0, 128),
+            huge_pages: false,
+            tlb_coalesce: 8,
+            // Calibrated to land the staged-migration speedup in Table 4's
+            // MCDRAM-DRAM band (3.0-8.2x): the weak in-order core cannot
+            // come close to MCDRAM bandwidth single-threaded.
+            mbind_copy_bw: 5.0,
+            mbind_page_overhead_ns: 200.0,
+            migration_threads: 64,
+        }
+    }
+
+    /// A CXL-attached-memory machine: local DDR5 (fast tier) next to a
+    /// CXL 1.1 Type-3 memory expander (slow tier). Not one of the paper's
+    /// testbeds — provided because CXL is the heterogeneous memory system
+    /// ATMem-style placement targets today: roughly double the load
+    /// latency of local DRAM and about half the bandwidth through the
+    /// x8 link, with no huge-page or kernel-service pathologies beyond
+    /// the NUMA ones. Constants follow published CXL expander
+    /// characterisations (~170-250 ns load-to-use, 20-30 GB/s per x8).
+    pub fn cxl_dram() -> Self {
+        Platform {
+            name: "CXL-DRAM".to_string(),
+            // 64 GiB local / CAPACITY_SCALE.
+            fast: TierSpec::new("DDR5", 64 * 1024 * 1024, 70.0, 120.0, 100.0, 8.0)
+                .with_random_bw_factor(0.9),
+            // 256 GiB expander / CAPACITY_SCALE.
+            slow: TierSpec::new("CXL-expander", 256 * 1024 * 1024, 190.0, 28.0, 24.0, 8.0)
+                .with_random_bw_factor(0.7),
+            llc: CacheConfig::new(128 * 1024, 16, 64),
+            tlb_entries: 512,
+            cost: CostModel::new(16.0, 55.0, 32),
+            huge_pages: true,
+            tlb_coalesce: 1,
+            mbind_copy_bw: 14.0,
+            mbind_page_overhead_ns: 200.0,
+            migration_threads: 32,
+        }
+    }
+
+    /// A tiny platform for unit tests: two small tiers, small cache and TLB,
+    /// deterministic and fast.
+    pub fn testing() -> Self {
+        Platform {
+            name: "testing".to_string(),
+            fast: TierSpec::new("fastmem", 4 * 1024 * 1024, 80.0, 104.0, 80.0, 6.0)
+                .with_random_bw_factor(0.9),
+            slow: TierSpec::new("slowmem", 32 * 1024 * 1024, 240.0, 39.0, 13.0, 6.0)
+                .with_random_bw_factor(0.30),
+            llc: CacheConfig::new(16 * 1024, 8, 64),
+            tlb_entries: 64,
+            cost: CostModel::new(18.0, 60.0, 48),
+            huge_pages: true,
+            tlb_coalesce: 1,
+            mbind_copy_bw: 12.0,
+            mbind_page_overhead_ns: 900.0,
+            migration_threads: 8,
+        }
+    }
+
+    /// Returns a copy with both tier capacities replaced (bytes). Useful for
+    /// capacity-sensitivity experiments such as Figure 10.
+    #[must_use]
+    pub fn with_capacities(mut self, fast: usize, slow: usize) -> Self {
+        self.fast.capacity = fast;
+        self.slow.capacity = slow;
+        self
+    }
+
+    /// Returns a copy with a different LLC geometry.
+    #[must_use]
+    pub fn with_llc(mut self, llc: CacheConfig) -> Self {
+        self.llc = llc;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_reflect_paper_ratios() {
+        let p = Platform::nvm_dram();
+        // NVM latency = 3x DRAM (paper §2.1).
+        assert!((p.slow.load_latency_ns / p.fast.load_latency_ns - 3.0).abs() < 1e-9);
+        // NVM bandwidth = 38% of DRAM (paper §2.1: 39 vs 104 GB/s).
+        assert!((p.slow.read_bw / p.fast.read_bw - 0.375).abs() < 0.01);
+
+        let k = Platform::mcdram_dram();
+        // MCDRAM ~ 4.4x DRAM bandwidth (400 vs 90 GB/s).
+        assert!(k.fast.read_bw / k.slow.read_bw > 4.0);
+        // MCDRAM is the *small* tier on KNL.
+        assert!(k.fast.capacity < k.slow.capacity);
+    }
+
+    #[test]
+    fn capacity_scale_matches_real_machines() {
+        let p = Platform::nvm_dram();
+        assert_eq!(p.fast.capacity * CAPACITY_SCALE, 96 * 1024 * 1024 * 1024);
+        let k = Platform::mcdram_dram();
+        assert_eq!(k.fast.capacity * CAPACITY_SCALE, 16 * 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn cxl_preset_sits_between_the_testbeds() {
+        let cxl = Platform::cxl_dram();
+        let nvm = Platform::nvm_dram();
+        // CXL latency gap (~2.7x) is milder than Optane's bandwidth cliff.
+        let cxl_gap = cxl.slow.load_latency_ns / cxl.fast.load_latency_ns;
+        assert!(cxl_gap > 2.0 && cxl_gap < 3.0, "gap {cxl_gap}");
+        assert!(cxl.slow.read_bw < nvm.fast.read_bw);
+        assert!(cxl.fast.capacity < cxl.slow.capacity);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let p = Platform::testing().with_capacities(1 << 20, 2 << 20);
+        assert_eq!(p.fast.capacity, 1 << 20);
+        assert_eq!(p.slow.capacity, 2 << 20);
+        let p = p.with_llc(CacheConfig::new(32 * 1024, 4, 64));
+        assert_eq!(p.llc.sets(), 128);
+    }
+}

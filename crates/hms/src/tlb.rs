@@ -1,0 +1,180 @@
+//! LRU translation-lookaside buffer model.
+//!
+//! One entry covers one mapping unit: a 4 KiB page of a base mapping or a
+//! whole 2 MiB huge mapping (keys produced by
+//! [`Mapping::tlb_key`](crate::mapping::Mapping::tlb_key)). A miss costs a
+//! page walk in the cost model; counting misses after migration is how the
+//! simulator reproduces Table 4 of the paper.
+
+use std::collections::HashMap;
+
+/// LRU TLB with a fixed number of entries.
+///
+/// Implemented as a hash map from key to a monotonically increasing
+/// timestamp, with lazy eviction of the least-recently-used entry once
+/// capacity is exceeded. Capacity is small (~1.5 K entries) so the O(n)
+/// eviction scan is amortised by the HashMap fast path.
+#[derive(Debug)]
+pub struct Tlb {
+    entries: HashMap<u64, u64>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "TLB capacity must be positive");
+        Tlb {
+            entries: HashMap::with_capacity(capacity + 1),
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of entries the TLB can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the TLB holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total hits recorded since creation or the last [`reset_counters`].
+    ///
+    /// [`reset_counters`]: Tlb::reset_counters
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total misses recorded since creation or the last [`reset_counters`].
+    ///
+    /// [`reset_counters`]: Tlb::reset_counters
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Looks up `key`; returns `true` on a hit. On a miss the entry is
+    /// filled (evicting the LRU entry if full).
+    pub fn access(&mut self, key: u64) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(ts) = self.entries.get_mut(&key) {
+            *ts = tick;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.entries.len() >= self.capacity {
+            self.evict_lru();
+        }
+        self.entries.insert(key, tick);
+        false
+    }
+
+    fn evict_lru(&mut self) {
+        if let Some((&victim, _)) = self.entries.iter().min_by_key(|&(_, &ts)| ts) {
+            self.entries.remove(&victim);
+        }
+    }
+
+    /// Invalidates a single entry, as a TLB shootdown for one unit would.
+    pub fn invalidate(&mut self, key: u64) {
+        self.entries.remove(&key);
+    }
+
+    /// Invalidates every entry whose key satisfies `pred` (range shootdown).
+    pub fn invalidate_where(&mut self, mut pred: impl FnMut(u64) -> bool) {
+        self.entries.retain(|&k, _| !pred(k));
+    }
+
+    /// Drops all entries (full flush), keeping the counters.
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Zeroes the hit/miss counters, keeping the entries. Used to scope the
+    /// post-migration TLB-miss measurement to one application iteration.
+    pub fn reset_counters(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_fill() {
+        let mut tlb = Tlb::new(4);
+        assert!(!tlb.access(1));
+        assert!(tlb.access(1));
+        assert_eq!(tlb.hits(), 1);
+        assert_eq!(tlb.misses(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut tlb = Tlb::new(2);
+        tlb.access(1);
+        tlb.access(2);
+        tlb.access(1); // 2 is now LRU
+        tlb.access(3); // evicts 2
+        assert!(tlb.access(1));
+        assert!(!tlb.access(2));
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut tlb = Tlb::new(8);
+        for k in 0..100 {
+            tlb.access(k);
+        }
+        assert_eq!(tlb.len(), 8);
+    }
+
+    #[test]
+    fn invalidate_forces_miss() {
+        let mut tlb = Tlb::new(4);
+        tlb.access(7);
+        tlb.invalidate(7);
+        assert!(!tlb.access(7));
+    }
+
+    #[test]
+    fn invalidate_where_is_selective() {
+        let mut tlb = Tlb::new(8);
+        for k in 0..6 {
+            tlb.access(k);
+        }
+        tlb.invalidate_where(|k| k % 2 == 0);
+        assert_eq!(tlb.len(), 3);
+        assert!(tlb.access(1));
+        assert!(!tlb.access(0));
+    }
+
+    #[test]
+    fn reset_counters_keeps_entries() {
+        let mut tlb = Tlb::new(4);
+        tlb.access(1);
+        tlb.reset_counters();
+        assert_eq!(tlb.misses(), 0);
+        assert!(tlb.access(1), "entry should have survived the reset");
+    }
+}

@@ -1,0 +1,155 @@
+//! Full access-trace recording.
+//!
+//! The related work the paper compares against (\[9\], \[30\] in its
+//! bibliography) uses *offline* trace-based profiling (Intel Pin) instead
+//! of online sampling. This module provides the equivalent instrument for
+//! the simulator: when enabled, every accounted access is appended to a
+//! bounded in-memory trace. The harness uses it as the *full-information
+//! oracle* against which ATMem's sampled profile is scored (the
+//! sampling-accuracy ablation), and the `offline_analysis` example shows a
+//! Pin-style workflow.
+//!
+//! Tracing is strictly observational: it never affects simulated time,
+//! cache, or TLB state.
+
+use crate::addr::VirtAddr;
+
+/// Kind of a traced access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A read that hit the LLC.
+    ReadHit,
+    /// A read serviced by a memory tier.
+    ReadMiss,
+    /// A write that hit the LLC.
+    WriteHit,
+    /// A write serviced by a memory tier.
+    WriteMiss,
+}
+
+impl AccessKind {
+    /// Whether the access missed the LLC.
+    pub fn is_miss(self) -> bool {
+        matches!(self, AccessKind::ReadMiss | AccessKind::WriteMiss)
+    }
+
+    /// Whether the access is a read.
+    pub fn is_read(self) -> bool {
+        matches!(self, AccessKind::ReadHit | AccessKind::ReadMiss)
+    }
+}
+
+/// One traced access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Virtual address of the access.
+    pub vaddr: VirtAddr,
+    /// Hit/miss and read/write classification.
+    pub kind: AccessKind,
+}
+
+/// Bounded access-trace recorder.
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: bool,
+    capacity: usize,
+    records: Vec<TraceRecord>,
+    dropped: u64,
+}
+
+impl Tracer {
+    /// Creates a disabled tracer that can hold up to `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            enabled: false,
+            capacity,
+            records: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Starts recording (keeps previously recorded entries).
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Stops recording.
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one access; counts instead of storing once full.
+    #[inline]
+    pub fn record(&mut self, vaddr: VirtAddr, kind: AccessKind) {
+        if !self.enabled {
+            return;
+        }
+        if self.records.len() < self.capacity {
+            self.records.push(TraceRecord { vaddr, kind });
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Records dropped because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Drains and returns all buffered records (resets the drop counter).
+    pub fn drain(&mut self) -> Vec<TraceRecord> {
+        self.dropped = 0;
+        std::mem::take(&mut self.records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Tracer::new(8);
+        t.record(VirtAddr::new(1), AccessKind::ReadMiss);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn records_in_order_until_full() {
+        let mut t = Tracer::new(2);
+        t.enable();
+        t.record(VirtAddr::new(1), AccessKind::ReadMiss);
+        t.record(VirtAddr::new(2), AccessKind::WriteHit);
+        t.record(VirtAddr::new(3), AccessKind::ReadHit);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 1);
+        let r = t.drain();
+        assert_eq!(r[0].vaddr, VirtAddr::new(1));
+        assert_eq!(r[1].kind, AccessKind::WriteHit);
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(AccessKind::ReadMiss.is_miss());
+        assert!(AccessKind::ReadMiss.is_read());
+        assert!(!AccessKind::WriteHit.is_miss());
+        assert!(!AccessKind::WriteMiss.is_read());
+    }
+}

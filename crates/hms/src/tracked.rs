@@ -1,0 +1,220 @@
+//! Typed views over simulated allocations.
+//!
+//! [`TrackedVec<T>`] is the array type graph kernels use: every element
+//! access goes through the machine's accounted path (TLB, LLC, cost model,
+//! PEBS), so access patterns drive both simulated time and the profiler.
+//! The vector does not borrow the machine — methods take `&mut Machine`
+//! explicitly — so a kernel can interleave accesses to many arrays.
+
+use std::marker::PhantomData;
+
+use crate::addr::{VirtAddr, VirtRange};
+use crate::error::Result;
+use crate::machine::{Machine, Placement, Scalar};
+
+/// A fixed-length typed array living in simulated memory.
+#[derive(Debug)]
+pub struct TrackedVec<T> {
+    range: VirtRange,
+    len: usize,
+    _marker: PhantomData<T>,
+}
+
+impl<T: Scalar> TrackedVec<T> {
+    /// Allocates a tracked array of `len` elements with the given placement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failures from [`Machine::alloc`].
+    pub fn new(machine: &mut Machine, len: usize, placement: Placement) -> Result<Self> {
+        let range = machine.alloc(len.max(1) * T::SIZE, placement)?;
+        Ok(TrackedVec {
+            range,
+            len,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Wraps an existing allocation (used by the ATMem runtime, which
+    /// performs registration itself).
+    ///
+    /// The allocation must be at least `len * T::SIZE` bytes.
+    pub fn from_range(range: VirtRange, len: usize) -> Self {
+        assert!(
+            range.len >= len * T::SIZE,
+            "range too small for {len} elements"
+        );
+        TrackedVec {
+            range,
+            len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the array has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The backing virtual range.
+    pub fn range(&self) -> VirtRange {
+        self.range
+    }
+
+    /// Virtual address of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len` in debug builds.
+    #[inline]
+    pub fn addr_of(&self, i: usize) -> VirtAddr {
+        debug_assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        self.range.start.add((i * T::SIZE) as u64)
+    }
+
+    /// Accounted read of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element is unmapped (a tracked array is always fully
+    /// mapped while alive, so this indicates use-after-free).
+    #[inline]
+    pub fn get(&self, machine: &mut Machine, i: usize) -> T {
+        machine
+            .read::<T>(self.addr_of(i))
+            .expect("tracked element unmapped")
+    }
+
+    /// Accounted write of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element is unmapped.
+    #[inline]
+    pub fn set(&self, machine: &mut Machine, i: usize, value: T) {
+        machine
+            .write::<T>(self.addr_of(i), value)
+            .expect("tracked element unmapped");
+    }
+
+    /// Unaccounted read (for verification and result extraction).
+    pub fn peek(&self, machine: &mut Machine, i: usize) -> T {
+        machine
+            .peek::<T>(self.addr_of(i))
+            .expect("tracked element unmapped")
+    }
+
+    /// Unaccounted write (for bulk initialisation outside the timed region).
+    pub fn poke(&self, machine: &mut Machine, i: usize, value: T) {
+        machine
+            .poke::<T>(self.addr_of(i), value)
+            .expect("tracked element unmapped");
+    }
+
+    /// Bulk unaccounted initialisation from a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.len()`.
+    pub fn fill_from(&self, machine: &mut Machine, values: &[T]) {
+        assert_eq!(values.len(), self.len, "length mismatch in fill_from");
+        for (i, v) in values.iter().enumerate() {
+            self.poke(machine, i, *v);
+        }
+    }
+
+    /// Bulk unaccounted fill with one value.
+    pub fn fill(&self, machine: &mut Machine, value: T) {
+        for i in 0..self.len {
+            self.poke(machine, i, value);
+        }
+    }
+
+    /// Copies the array out of simulated memory (unaccounted).
+    pub fn to_vec(&self, machine: &mut Machine) -> Vec<T> {
+        (0..self.len).map(|i| self.peek(machine, i)).collect()
+    }
+
+    /// Frees the backing allocation. The vector must not be used afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Machine::free`] errors (e.g. double free).
+    pub fn free(self, machine: &mut Machine) -> Result<()> {
+        machine.free(self.range)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+    use crate::tier::TierId;
+
+    fn machine() -> Machine {
+        Machine::new(Platform::testing())
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut m = machine();
+        let v = TrackedVec::<u64>::new(&mut m, 100, Placement::Slow).unwrap();
+        for i in 0..100 {
+            v.set(&mut m, i, (i * i) as u64);
+        }
+        for i in 0..100 {
+            assert_eq!(v.get(&mut m, i), (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn fill_from_and_to_vec() {
+        let mut m = machine();
+        let v = TrackedVec::<f64>::new(&mut m, 8, Placement::Fast).unwrap();
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        v.fill_from(&mut m, &data);
+        assert_eq!(v.to_vec(&mut m), data);
+    }
+
+    #[test]
+    fn accounted_access_advances_clock_unaccounted_does_not() {
+        let mut m = machine();
+        let v = TrackedVec::<u32>::new(&mut m, 16, Placement::Slow).unwrap();
+        let t0 = m.now();
+        v.poke(&mut m, 0, 9);
+        let _ = v.peek(&mut m, 0);
+        assert_eq!(m.now(), t0, "peek/poke must be free");
+        let _ = v.get(&mut m, 0);
+        assert!(m.now() > t0, "get must cost simulated time");
+    }
+
+    #[test]
+    fn placement_is_respected() {
+        let mut m = machine();
+        let v = TrackedVec::<u64>::new(&mut m, 1024, Placement::Fast).unwrap();
+        assert_eq!(m.resident_bytes(v.range(), TierId::FAST), v.range().len);
+    }
+
+    #[test]
+    fn free_releases() {
+        let mut m = machine();
+        let used0 = m.stats().slow_bytes_used;
+        let v = TrackedVec::<u64>::new(&mut m, 4096, Placement::Slow).unwrap();
+        assert!(m.stats().slow_bytes_used > used0);
+        v.free(&mut m).unwrap();
+        assert_eq!(m.stats().slow_bytes_used, used0);
+    }
+
+    #[test]
+    fn zero_len_vec_is_usable() {
+        let mut m = machine();
+        let v = TrackedVec::<u32>::new(&mut m, 0, Placement::Slow).unwrap();
+        assert!(v.is_empty());
+        assert_eq!(v.to_vec(&mut m), Vec::<u32>::new());
+    }
+}

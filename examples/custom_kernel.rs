@@ -1,0 +1,113 @@
+//! Writing your own kernel against the ATMem API.
+//!
+//! Implements a tiny "degree-weighted triangle counting sweep" kernel from
+//! scratch using the `Kernel` trait, runs it under the paper's protocol on
+//! the simulated KNL (MCDRAM-DRAM) testbed, and compares baseline vs ATMem.
+//!
+//! Run with: `cargo run -p atmem-bench --release --example custom_kernel`
+
+use atmem::{Atmem, AtmemConfig, PlacementPolicy, Result};
+use atmem_apps::{HmsGraph, Kernel};
+use atmem_graph::Dataset;
+use atmem_hms::{Platform, TrackedVec};
+
+/// A wedge-counting kernel: for every vertex, counts length-2 paths through
+/// it, weighting by the endpoints' degrees. Irregular reads of the
+/// degree array, driven by the neighbour distribution — a natural fit for
+/// fine-grained placement.
+#[derive(Debug)]
+struct WedgeCount {
+    graph: HmsGraph,
+    degree: TrackedVec<u32>,
+    wedges: TrackedVec<f64>,
+}
+
+impl WedgeCount {
+    fn new(rt: &mut Atmem, graph: HmsGraph) -> Result<Self> {
+        let n = graph.num_vertices();
+        let degree = rt.malloc::<u32>(n, "wedge.degree")?;
+        let wedges = rt.malloc::<f64>(n, "wedge.count")?;
+        // Precompute degrees (unaccounted setup).
+        for v in 0..n {
+            let (s, e) = graph.edge_bounds(rt.machine_mut(), v);
+            degree.poke(rt.machine_mut(), v, (e - s) as u32);
+        }
+        Ok(WedgeCount {
+            graph,
+            degree,
+            wedges,
+        })
+    }
+}
+
+impl Kernel for WedgeCount {
+    fn name(&self) -> &'static str {
+        "Wedge"
+    }
+
+    fn reset(&mut self, rt: &mut Atmem) {
+        self.wedges.fill(rt.machine_mut(), 0.0);
+    }
+
+    fn run_iteration(&mut self, rt: &mut Atmem) {
+        let m = rt.machine_mut();
+        for v in 0..self.graph.num_vertices() {
+            let (s, e) = self.graph.edge_bounds(m, v);
+            let mut acc = 0.0;
+            for edge in s..e {
+                let u = self.graph.neighbor(m, edge) as usize;
+                acc += self.degree.get(m, u) as f64;
+            }
+            self.wedges.set(m, v, acc);
+        }
+    }
+
+    fn checksum(&self, rt: &mut Atmem) -> f64 {
+        let m = rt.machine_mut();
+        (0..self.graph.num_vertices())
+            .map(|v| self.wedges.peek(m, v))
+            .sum()
+    }
+}
+
+fn run(placement: PlacementPolicy, optimize: bool) -> Result<(f64, f64, f64)> {
+    let csr = Dataset::Friendster.build_small(3); // 64 Ki vertices
+    let config = AtmemConfig::default().with_placement(placement);
+    let mut rt = Atmem::new(Platform::mcdram_dram(), config)?;
+    let graph = HmsGraph::load(&mut rt, &csr)?;
+    let mut kernel = WedgeCount::new(&mut rt, graph)?;
+
+    kernel.reset(&mut rt);
+    if optimize {
+        rt.profiling_start()?;
+    }
+    kernel.run_iteration(&mut rt);
+    if optimize {
+        rt.profiling_stop()?;
+        rt.optimize()?;
+    }
+    kernel.reset(&mut rt);
+    let t = rt.now();
+    kernel.run_iteration(&mut rt);
+    let iter2 = rt.now().as_ns() - t.as_ns();
+    Ok((iter2, rt.fast_data_ratio(), kernel.checksum(&mut rt)))
+}
+
+fn main() -> Result<()> {
+    println!("custom wedge-count kernel on the simulated KNL testbed\n");
+    let (base_ns, base_ratio, base_sum) = run(PlacementPolicy::AllSlow, false)?;
+    let (atm_ns, atm_ratio, atm_sum) = run(PlacementPolicy::AllSlow, true)?;
+    assert_eq!(base_sum, atm_sum, "placement must not change results");
+    println!(
+        "baseline (all-DRAM): {:.3} ms  ({:.1}% data on MCDRAM)",
+        base_ns / 1e6,
+        base_ratio * 100.0
+    );
+    println!(
+        "atmem              : {:.3} ms  ({:.1}% data on MCDRAM)",
+        atm_ns / 1e6,
+        atm_ratio * 100.0
+    );
+    println!("speedup            : {:.2}x", base_ns / atm_ns);
+    Ok(())
+}

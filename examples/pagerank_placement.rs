@@ -1,0 +1,49 @@
+//! PageRank on a scaled Twitter-like graph under four placements.
+//!
+//! Reproduces, in miniature, the comparison of the paper's Figures 5/6:
+//! all-slow baseline vs ATMem vs preferred-fill vs all-fast ideal, printing
+//! the second-iteration time and the data ratio each placement uses.
+//!
+//! Run with: `cargo run -p atmem-bench --release --example pagerank_placement`
+
+use atmem::AtmemConfig;
+use atmem_apps::{run_protocol, App, Mode};
+use atmem_graph::Dataset;
+use atmem_hms::Platform;
+
+fn main() -> atmem::Result<()> {
+    let csr = Dataset::Twitter.build_small(4); // 16 Ki vertices, heavy skew
+    println!(
+        "PageRank on twitter stand-in: {} vertices, {} edges, {:.1} MiB",
+        csr.num_vertices(),
+        csr.num_edges(),
+        csr.simulated_footprint() as f64 / (1 << 20) as f64
+    );
+    println!("platform: simulated Optane NVM-DRAM testbed\n");
+    println!(
+        "{:<10} {:>14} {:>12} {:>10}",
+        "placement", "iter2 (ms)", "data ratio", "speedup"
+    );
+
+    let mut baseline_ns = None;
+    for mode in [Mode::Baseline, Mode::Atmem, Mode::Preferred, Mode::Ideal] {
+        let r = run_protocol(
+            Platform::nvm_dram(),
+            AtmemConfig::default(),
+            &csr,
+            App::PageRank,
+            mode,
+        )?;
+        let ns = r.second_iter.as_ns();
+        let base = *baseline_ns.get_or_insert(ns);
+        println!(
+            "{:<10} {:>14.3} {:>11.1}% {:>9.2}x",
+            mode.name(),
+            ns / 1e6,
+            r.data_ratio * 100.0,
+            base / ns
+        );
+    }
+    println!("\nATMem approaches the all-DRAM ideal with a fraction of the data migrated.");
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! Phase-adaptive placement with demotion (the §9 future-work extension).
+//!
+//! A workload whose hot region *moves* between phases defeats one-shot
+//! placement: the fast tier fills with phase-1 data and phase 2 starves.
+//! With `allow_demotion` enabled, each `optimize()` call first evicts
+//! regions the fresh profile no longer marks critical, so the placement
+//! follows the workload.
+//!
+//! Run with: `cargo run -p atmem-bench --release --example phase_adaptive`
+
+use atmem::{Atmem, AtmemConfig, ResidencyReport, Result};
+use atmem_hms::{Platform, TrackedVec};
+
+const ELEMS: usize = 1 << 21; // 16 MiB array
+
+fn hammer(rt: &mut Atmem, v: &TrackedVec<u64>, window_start: usize, window_len: usize) {
+    for i in 0..400_000usize {
+        let idx = if i % 10 < 9 {
+            window_start + (i * 2654435761) % window_len
+        } else {
+            (i * 104729) % ELEMS
+        };
+        let _ = v.get(rt.machine_mut(), idx % ELEMS);
+    }
+}
+
+fn run(adaptive: bool) -> Result<Vec<f64>> {
+    // Fast tier too small for both phase windows at once.
+    let platform = Platform::nvm_dram().with_capacities(4 * 1024 * 1024, 256 * 1024 * 1024);
+    let mut config = AtmemConfig::default();
+    config.migration.allow_demotion = adaptive;
+    config.migration.max_region_bytes = 1024 * 1024;
+    let mut rt = Atmem::new(platform, config)?;
+    let v = rt.malloc::<u64>(ELEMS, "phased")?;
+
+    let window = ELEMS / 8;
+    let mut times = Vec::new();
+    for phase in 0..3usize {
+        let start = [0, 5 * window, 2 * window][phase];
+        // Profile the new phase and re-optimize.
+        rt.profiling_start()?;
+        hammer(&mut rt, &v, start, window);
+        rt.profiling_stop()?;
+        rt.optimize()?;
+        // Measure the phase steady state.
+        let t = rt.now();
+        hammer(&mut rt, &v, start, window);
+        times.push((rt.now().as_ns() - t.as_ns()) / 1e6);
+    }
+    if adaptive {
+        println!(
+            "final placement (adaptive):\n{}",
+            ResidencyReport::collect(&rt)
+        );
+    }
+    Ok(times)
+}
+
+fn main() -> Result<()> {
+    println!("three-phase workload, hot window moves each phase; fast tier fits one window\n");
+    let fixed = run(false)?;
+    let adaptive = run(true)?;
+    println!(
+        "{:<10} {:>12} {:>12} {:>9}",
+        "phase", "fixed (ms)", "adaptive", "gain"
+    );
+    for (i, (f, a)) in fixed.iter().zip(&adaptive).enumerate() {
+        println!(
+            "{:<10} {:>12.2} {:>12.2} {:>8.2}x",
+            format!("phase {i}"),
+            f,
+            a,
+            f / a
+        );
+    }
+    let total_f: f64 = fixed.iter().sum();
+    let total_a: f64 = adaptive.iter().sum();
+    println!(
+        "{:<10} {:>12.2} {:>12.2} {:>8.2}x",
+        "total",
+        total_f,
+        total_a,
+        total_f / total_a
+    );
+    Ok(())
+}

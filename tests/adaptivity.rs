@@ -1,0 +1,118 @@
+//! Phase adaptivity: re-profiling and re-optimizing when the hot set moves
+//! (the §9 future-work extension, enabled via `allow_demotion`).
+
+use atmem::{Atmem, AtmemConfig, ResidencyReport};
+use atmem_hms::{Platform, TierId, TrackedVec};
+
+/// Drives a skewed pattern over a window of the array: 90% of reads land in
+/// `[window_start, window_start + window_len)`.
+fn windowed_reads(
+    rt: &mut Atmem,
+    v: &TrackedVec<u64>,
+    reads: usize,
+    window_start: usize,
+    window_len: usize,
+) {
+    let n = v.len();
+    for i in 0..reads {
+        let idx = if i % 10 < 9 {
+            window_start + (i * 2654435761) % window_len
+        } else {
+            (i * 104729) % n
+        };
+        let _ = v.get(rt.machine_mut(), idx % n);
+    }
+}
+
+fn phase_runtime() -> (Atmem, TrackedVec<u64>) {
+    // Fast tier sized so both hot windows cannot be resident at once.
+    let platform = Platform::testing().with_capacities(512 * 1024, 32 * 1024 * 1024);
+    let mut config = AtmemConfig::default();
+    config.migration.allow_demotion = true;
+    config.migration.max_region_bytes = 128 * 1024;
+    let mut rt = Atmem::new(platform, config).unwrap();
+    let v = rt.malloc::<u64>(512 * 1024, "phased").unwrap(); // 4 MiB
+    (rt, v)
+}
+
+#[test]
+fn second_optimize_follows_the_hot_set() {
+    let (mut rt, v) = phase_runtime();
+    let n = v.len();
+    let window = n / 8;
+
+    // Phase 1: hot prefix.
+    rt.profiling_start().unwrap();
+    windowed_reads(&mut rt, &v, 200_000, 0, window);
+    rt.profiling_stop().unwrap();
+    let first = rt.optimize().unwrap();
+    assert!(first.migration.bytes_moved > 0, "phase 1 must migrate");
+    let prefix_addr = v.addr_of(64);
+    assert_eq!(rt.machine_mut().tier_of(prefix_addr).unwrap(), TierId::FAST);
+
+    // Phase 2: hot suffix.
+    rt.profiling_start().unwrap();
+    windowed_reads(&mut rt, &v, 200_000, 6 * window, window);
+    rt.profiling_stop().unwrap();
+    let second = rt.optimize().unwrap();
+
+    // The stale prefix was demoted, the new window promoted.
+    let demotion = second.demotion.expect("demotion enabled");
+    assert!(
+        demotion.bytes_moved > 0,
+        "stale phase-1 region should be evicted: {demotion:?}"
+    );
+    assert!(second.migration.bytes_moved > 0, "phase 2 must migrate");
+    let suffix_addr = v.addr_of(6 * window + 64);
+    assert_eq!(
+        rt.machine_mut().tier_of(suffix_addr).unwrap(),
+        TierId::FAST,
+        "new hot window must be fast"
+    );
+    assert_eq!(
+        rt.machine_mut().tier_of(prefix_addr).unwrap(),
+        TierId::SLOW,
+        "old hot window must have been demoted"
+    );
+
+    // Data integrity across both rounds of migration.
+    for i in (0..n).step_by(1013) {
+        let _ = v.peek(rt.machine_mut(), i);
+    }
+}
+
+#[test]
+fn demotion_disabled_keeps_the_paper_protocol() {
+    // Without the extension, a second optimize never moves data back.
+    let platform = Platform::testing().with_capacities(512 * 1024, 32 * 1024 * 1024);
+    let mut rt = Atmem::new(platform, AtmemConfig::default()).unwrap();
+    let v = rt.malloc::<u64>(512 * 1024, "phased").unwrap();
+    rt.profiling_start().unwrap();
+    windowed_reads(&mut rt, &v, 150_000, 0, v.len() / 8);
+    rt.profiling_stop().unwrap();
+    let first = rt.optimize().unwrap();
+    assert!(first.demotion.is_none());
+    let fast_before = ResidencyReport::collect(&rt).total_fast_bytes();
+
+    rt.profiling_start().unwrap();
+    windowed_reads(&mut rt, &v, 150_000, 6 * (v.len() / 8), v.len() / 8);
+    rt.profiling_stop().unwrap();
+    let second = rt.optimize().unwrap();
+    assert!(second.demotion.is_none());
+    let fast_after = ResidencyReport::collect(&rt).total_fast_bytes();
+    assert!(
+        fast_after >= fast_before,
+        "without demotion the fast footprint can only grow"
+    );
+}
+
+#[test]
+fn demotion_is_a_noop_when_nothing_is_stale() {
+    let (mut rt, v) = phase_runtime();
+    rt.profiling_start().unwrap();
+    windowed_reads(&mut rt, &v, 150_000, 0, v.len() / 8);
+    rt.profiling_stop().unwrap();
+    let first = rt.optimize().unwrap();
+    let demoted = first.demotion.expect("demotion enabled").bytes_moved;
+    assert_eq!(demoted, 0, "nothing was fast yet, nothing to demote");
+}

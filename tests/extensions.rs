@@ -1,0 +1,108 @@
+//! Integration tests for the extension kernels (beyond the paper's five):
+//! pull PageRank, direction-optimizing BFS, triangle counting, k-core.
+//! Each runs the paper's protocol manually and must (a) produce identical
+//! results across placements and (b) benefit from ATMem placement.
+
+use atmem::{Atmem, AtmemConfig, PlacementPolicy};
+use atmem_apps::{BfsDir, HmsGraph, KCore, Kernel, PageRankPull, Triangles};
+use atmem_graph::{rmat, Csr, Dataset};
+use atmem_hms::Platform;
+
+fn symmetric_graph() -> Csr {
+    let mut config = Dataset::Twitter.config();
+    config.scale = 10;
+    config.symmetrize = true;
+    rmat(&config, 9)
+}
+
+/// Runs one iteration profiled + optimized, then one measured; returns
+/// (measured time ns, checksum).
+fn protocol(kernel: &mut dyn Kernel, rt: &mut Atmem, optimize: bool) -> (f64, f64) {
+    kernel.reset(rt);
+    if optimize {
+        rt.profiling_start().unwrap();
+    }
+    kernel.run_iteration(rt);
+    if optimize {
+        rt.profiling_stop().unwrap();
+        rt.optimize().unwrap();
+    }
+    kernel.reset(rt);
+    let t = rt.now();
+    kernel.run_iteration(rt);
+    let elapsed = rt.now().as_ns() - t.as_ns();
+    (elapsed, kernel.checksum(rt))
+}
+
+fn runtime(placement: PlacementPolicy) -> Atmem {
+    Atmem::new(
+        Platform::testing(),
+        AtmemConfig::default().with_placement(placement),
+    )
+    .unwrap()
+}
+
+#[test]
+fn pagerank_pull_benefits_from_placement() {
+    let csr = Dataset::Twitter.build_small(7);
+    let mut rt_base = runtime(PlacementPolicy::AllSlow);
+    let mut base_kernel = PageRankPull::new(&mut rt_base, &csr).unwrap();
+    let (base, base_sum) = protocol(&mut base_kernel, &mut rt_base, false);
+
+    let mut rt_atm = runtime(PlacementPolicy::AllSlow);
+    let mut atm_kernel = PageRankPull::new(&mut rt_atm, &csr).unwrap();
+    let (atm, atm_sum) = protocol(&mut atm_kernel, &mut rt_atm, true);
+
+    assert_eq!(base_sum, atm_sum, "placement changed PR-pull results");
+    assert!(atm < base, "PR-pull: atmem {atm} vs baseline {base}");
+}
+
+#[test]
+fn direction_optimizing_bfs_benefits_from_placement() {
+    let csr = symmetric_graph();
+    let mut rt_base = runtime(PlacementPolicy::AllSlow);
+    let mut base_kernel = BfsDir::new(&mut rt_base, &csr, 0).unwrap();
+    let (base, base_sum) = protocol(&mut base_kernel, &mut rt_base, false);
+
+    let mut rt_atm = runtime(PlacementPolicy::AllSlow);
+    let mut atm_kernel = BfsDir::new(&mut rt_atm, &csr, 0).unwrap();
+    let (atm, atm_sum) = protocol(&mut atm_kernel, &mut rt_atm, true);
+
+    assert_eq!(base_sum, atm_sum);
+    assert!(atm < base, "BFS-dir: atmem {atm} vs baseline {base}");
+}
+
+#[test]
+fn triangle_counting_benefits_from_placement() {
+    let csr = symmetric_graph();
+    let mut rt_base = runtime(PlacementPolicy::AllSlow);
+    let g = HmsGraph::load(&mut rt_base, &csr).unwrap();
+    let mut base_kernel = Triangles::new(&mut rt_base, g).unwrap();
+    let (base, base_sum) = protocol(&mut base_kernel, &mut rt_base, false);
+
+    let mut rt_atm = runtime(PlacementPolicy::AllSlow);
+    let g = HmsGraph::load(&mut rt_atm, &csr).unwrap();
+    let mut atm_kernel = Triangles::new(&mut rt_atm, g).unwrap();
+    let (atm, atm_sum) = protocol(&mut atm_kernel, &mut rt_atm, true);
+
+    assert_eq!(base_sum, atm_sum);
+    assert!(base_sum > 0.0, "graph must close triangles");
+    assert!(atm < base, "TC: atmem {atm} vs baseline {base}");
+}
+
+#[test]
+fn kcore_benefits_from_placement() {
+    let csr = symmetric_graph();
+    let mut rt_base = runtime(PlacementPolicy::AllSlow);
+    let g = HmsGraph::load(&mut rt_base, &csr).unwrap();
+    let mut base_kernel = KCore::new(&mut rt_base, g).unwrap();
+    let (base, base_sum) = protocol(&mut base_kernel, &mut rt_base, false);
+
+    let mut rt_atm = runtime(PlacementPolicy::AllSlow);
+    let g = HmsGraph::load(&mut rt_atm, &csr).unwrap();
+    let mut atm_kernel = KCore::new(&mut rt_atm, g).unwrap();
+    let (atm, atm_sum) = protocol(&mut atm_kernel, &mut rt_atm, true);
+
+    assert_eq!(base_sum, atm_sum);
+    assert!(atm < base, "kCore: atmem {atm} vs baseline {base}");
+}

@@ -1,0 +1,179 @@
+//! Integration and property tests of both migration mechanisms.
+
+use atmem::migrate::plan::{MigrationPlan, PlannedRegion};
+use atmem::migrate::staged::execute_plan;
+use atmem::{MigrationConfig, MigrationMechanism, ObjectId};
+use atmem_hms::{Machine, Placement, Platform, TierId, VirtRange};
+use proptest::prelude::*;
+
+const PAGE: usize = 4096;
+
+fn filled_machine(bytes: usize, seed: u64) -> (Machine, VirtRange) {
+    // Size the fast tier to hold the region plus staging comfortably.
+    let platform =
+        Platform::testing().with_capacities(4 * bytes.max(1 << 20), 8 * bytes.max(1 << 20));
+    let mut m = Machine::new(platform);
+    let r = m.alloc(bytes, Placement::Slow).unwrap();
+    for i in 0..(bytes / 8) as u64 {
+        m.poke::<u64>(r.start.add(i * 8), i.wrapping_mul(seed | 1))
+            .unwrap();
+    }
+    (m, VirtRange::new(r.start, bytes))
+}
+
+fn plan_of(ranges: &[VirtRange]) -> MigrationPlan {
+    MigrationPlan {
+        regions: ranges
+            .iter()
+            .map(|&range| PlannedRegion {
+                object: ObjectId::from_index(0),
+                range,
+                priority: 1.0,
+            })
+            .collect(),
+        total_bytes: ranges.iter().map(|r| r.len).sum(),
+        dropped_bytes: 0,
+    }
+}
+
+#[test]
+fn both_mechanisms_produce_identical_bytes() {
+    let (mut m1, r1) = filled_machine(4 * 1024 * 1024, 3);
+    let (mut m2, r2) = filled_machine(4 * 1024 * 1024, 3);
+    m1.migrate_mbind(r1, TierId::FAST).unwrap();
+    execute_plan(
+        &mut m2,
+        &plan_of(&[r2]),
+        &MigrationConfig::default(),
+        TierId::FAST,
+    )
+    .unwrap();
+    for i in (0..(r1.len / 8) as u64).step_by(509) {
+        let a = m1.peek::<u64>(r1.start.add(i * 8)).unwrap();
+        let b = m2.peek::<u64>(r2.start.add(i * 8)).unwrap();
+        assert_eq!(a, b, "divergence at word {i}");
+    }
+}
+
+#[test]
+fn staged_migration_causes_fewer_post_migration_tlb_misses() {
+    let scan = |m: &mut Machine, r: VirtRange| {
+        m.flush_caches();
+        let before = m.stats().tlb_misses;
+        for page in 0..(r.len / PAGE) as u64 {
+            let _ = m.read::<u64>(r.start.add(page * PAGE as u64)).unwrap();
+        }
+        m.stats().tlb_misses - before
+    };
+    let (mut m1, r1) = filled_machine(8 * 1024 * 1024, 5);
+    m1.migrate_mbind(r1, TierId::FAST).unwrap();
+    let mbind_misses = scan(&mut m1, r1);
+
+    let (mut m2, r2) = filled_machine(8 * 1024 * 1024, 5);
+    execute_plan(
+        &mut m2,
+        &plan_of(&[r2]),
+        &MigrationConfig {
+            max_region_bytes: 8 * 1024 * 1024,
+            ..MigrationConfig::default()
+        },
+        TierId::FAST,
+    )
+    .unwrap();
+    let staged_misses = scan(&mut m2, r2);
+    assert!(
+        mbind_misses > 10 * staged_misses.max(1),
+        "mbind {mbind_misses} vs staged {staged_misses}"
+    );
+}
+
+#[test]
+fn migration_under_concurrent_reuse_of_other_allocations() {
+    // Other live allocations must be untouched by a migration.
+    let mut m = Machine::new(Platform::testing());
+    let a = m.alloc(1024 * 1024, Placement::Slow).unwrap();
+    let b = m.alloc(1024 * 1024, Placement::Slow).unwrap();
+    for i in 0..(1024 * 1024 / 8) as u64 {
+        m.poke::<u64>(a.start.add(i * 8), i).unwrap();
+        m.poke::<u64>(b.start.add(i * 8), !i).unwrap();
+    }
+    let range_a = VirtRange::new(a.start, 1024 * 1024);
+    execute_plan(
+        &mut m,
+        &plan_of(&[range_a]),
+        &MigrationConfig::default(),
+        TierId::FAST,
+    )
+    .unwrap();
+    for i in (0..(1024 * 1024 / 8) as u64).step_by(101) {
+        assert_eq!(m.peek::<u64>(a.start.add(i * 8)).unwrap(), i);
+        assert_eq!(m.peek::<u64>(b.start.add(i * 8)).unwrap(), !i);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Migrating any page-aligned sub-region set preserves every byte of
+    /// the allocation (the central correctness property of the optimizer).
+    #[test]
+    fn arbitrary_subregion_migration_preserves_data(
+        // (start_page, page_count) pairs within a 64-page allocation.
+        cuts in prop::collection::vec((0usize..60, 1usize..8), 1..4),
+        staged in any::<bool>(),
+    ) {
+        let pages = 64usize;
+        let (mut m, r) = filled_machine(pages * PAGE, 11);
+        // Normalise to non-overlapping sorted regions.
+        let mut regions: Vec<(usize, usize)> = Vec::new();
+        for (start, count) in cuts {
+            let end = (start + count).min(pages);
+            if regions.iter().all(|&(s, e)| end <= s || e <= start) {
+                regions.push((start, end));
+            }
+        }
+        regions.sort_unstable();
+        let ranges: Vec<VirtRange> = regions
+            .iter()
+            .map(|&(s, e)| VirtRange::new(r.start.add((s * PAGE) as u64), (e - s) * PAGE))
+            .collect();
+        let config = MigrationConfig {
+            mechanism: if staged { MigrationMechanism::Staged } else { MigrationMechanism::Direct },
+            ..MigrationConfig::default()
+        };
+        execute_plan(&mut m, &plan_of(&ranges), &config, TierId::FAST).unwrap();
+        for i in 0..(r.len / 8) as u64 {
+            let v = m.peek::<u64>(r.start.add(i * 8)).unwrap();
+            prop_assert_eq!(v, i.wrapping_mul(11));
+        }
+        // Migrated regions are on the fast tier, the rest slow.
+        for &(s, e) in &regions {
+            let range = VirtRange::new(r.start.add((s * PAGE) as u64), (e - s) * PAGE);
+            prop_assert_eq!(m.resident_bytes(range, TierId::FAST), (e - s) * PAGE);
+        }
+    }
+
+    /// mbind on arbitrary aligned sub-ranges moves exactly that range.
+    #[test]
+    fn mbind_subrange_is_exact(
+        start_page in 0usize..48,
+        count in 1usize..16,
+    ) {
+        let pages = 64usize;
+        let (mut m, r) = filled_machine(pages * PAGE, 13);
+        let count = count.min(pages - start_page);
+        let range = VirtRange::new(r.start.add((start_page * PAGE) as u64), count * PAGE);
+        let report = m.migrate_mbind(range, TierId::FAST).unwrap();
+        prop_assert_eq!(report.pages, count);
+        prop_assert_eq!(m.resident_bytes(range, TierId::FAST), count * PAGE);
+        // Everything outside stays slow.
+        let outside = r.len - count * PAGE;
+        prop_assert_eq!(m.resident_bytes(r, TierId::SLOW), outside);
+        for i in 0..(r.len / 8) as u64 {
+            prop_assert_eq!(
+                m.peek::<u64>(r.start.add(i * 8)).unwrap(),
+                i.wrapping_mul(13)
+            );
+        }
+    }
+}
