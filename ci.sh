@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full CI gate for the workspace. Tier-1 (build + tests) plus style and
+# lint checks. Run from the repo root.
+#
+# The wall-clock bench gate (benches/kernels.rs) is opt-in because it
+# asserts host-speed ratios that need a release build on a mostly-idle
+# machine: `cargo bench --bench kernels`.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "CI gate passed."

@@ -1,0 +1,109 @@
+//! Mode-dispatched access helpers shared by the kernels.
+//!
+//! Every kernel drives its *sequential* streams (CSR arrays, property-array
+//! fills, damping sweeps) through these helpers and keeps genuinely random
+//! accesses (neighbour-indexed gathers and scatters) on the per-element
+//! path. [`AccessMode::Bulk`] routes the streams through the simulator's
+//! block fast path — one translation per page, one LLC probe per cache
+//! line — which produces bit-identical simulated counters to
+//! [`AccessMode::Scalar`]'s per-element loops (the fidelity guarantee of
+//! `Machine::access_block`), at a fraction of the host cost.
+
+use atmem_hms::{Machine, Scalar, TrackedVec};
+
+/// How a kernel drives its sequential streams through the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AccessMode {
+    /// One simulated access per element (the historical path).
+    Scalar,
+    /// Block-translated accesses through the bulk fast path.
+    #[default]
+    Bulk,
+}
+
+/// Accounted read of `out.len()` consecutive elements starting at `start`.
+pub fn read_run<T: Scalar>(
+    v: &TrackedVec<T>,
+    m: &mut Machine,
+    mode: AccessMode,
+    start: usize,
+    out: &mut [T],
+) {
+    if out.is_empty() {
+        return;
+    }
+    match mode {
+        AccessMode::Bulk => v.read_slice(m, start, out),
+        AccessMode::Scalar => {
+            for (k, slot) in out.iter_mut().enumerate() {
+                *slot = v.get(m, start + k);
+            }
+        }
+    }
+}
+
+/// Accounted write of `values` to consecutive elements starting at `start`.
+pub fn write_run<T: Scalar>(
+    v: &TrackedVec<T>,
+    m: &mut Machine,
+    mode: AccessMode,
+    start: usize,
+    values: &[T],
+) {
+    if values.is_empty() {
+        return;
+    }
+    match mode {
+        AccessMode::Bulk => v.write_slice(m, start, values),
+        AccessMode::Scalar => {
+            for (k, &value) in values.iter().enumerate() {
+                v.set(m, start + k, value);
+            }
+        }
+    }
+}
+
+/// Accounted indexed gather: reads element `indices[k]` into `out[k]`.
+///
+/// The accesses are genuinely random (neighbour-indexed), so both modes
+/// perform one simulated access per element in index order; `Bulk` merely
+/// routes them through the machine's gather loop, which hoists per-call
+/// host overhead without touching the simulated composition.
+pub fn gather_run<T: Scalar>(
+    v: &TrackedVec<T>,
+    m: &mut Machine,
+    mode: AccessMode,
+    indices: &[u32],
+    out: &mut [T],
+) {
+    match mode {
+        AccessMode::Bulk => v.gather(m, indices, out),
+        AccessMode::Scalar => {
+            for (&i, slot) in indices.iter().zip(out.iter_mut()) {
+                *slot = v.get(m, i as usize);
+            }
+        }
+    }
+}
+
+/// Accounted read-modify-write of element `i`, returning the old value.
+///
+/// Both modes perform exactly one read access followed by one write access
+/// to the element; `Bulk` folds the pair into the machine's fused RMW path
+/// (one translation, one storage round-trip) with identical counters.
+pub fn update_at<T: Scalar>(
+    v: &TrackedVec<T>,
+    m: &mut Machine,
+    mode: AccessMode,
+    i: usize,
+    f: impl FnOnce(T) -> T,
+) -> T {
+    match mode {
+        AccessMode::Bulk => v.update(m, i, f),
+        AccessMode::Scalar => {
+            let old = v.get(m, i);
+            v.set(m, i, f(old));
+            old
+        }
+    }
+}

@@ -9,6 +9,7 @@
 use atmem::{Atmem, Result};
 use atmem_hms::TrackedVec;
 
+use crate::access::{update_at, write_run, AccessMode};
 use crate::graph_data::HmsGraph;
 use crate::kernel::Kernel;
 
@@ -21,6 +22,7 @@ pub struct Bc {
     depth: TrackedVec<i32>,
     delta: TrackedVec<f64>,
     bc: TrackedVec<f64>,
+    mode: AccessMode,
 }
 
 impl Bc {
@@ -42,7 +44,13 @@ impl Bc {
             depth,
             delta,
             bc,
+            mode: AccessMode::default(),
         })
+    }
+
+    /// Selects how sequential streams are driven (default: bulk).
+    pub fn set_mode(&mut self, mode: AccessMode) {
+        self.mode = mode;
     }
 
     /// Copies the centrality scores out of simulated memory (unaccounted).
@@ -65,14 +73,14 @@ impl Kernel for Bc {
     }
 
     fn run_iteration(&mut self, rt: &mut Atmem) {
+        let mode = self.mode;
         let m = rt.machine_mut();
+        let n = self.graph.num_vertices();
         // Per-iteration re-init through the accounted path (the arrays are
-        // rewritten every source on real runs too).
-        for v in 0..self.graph.num_vertices() {
-            self.sigma.set(m, v, 0.0);
-            self.depth.set(m, v, -1);
-            self.delta.set(m, v, 0.0);
-        }
+        // rewritten every source on real runs too): three sequential fills.
+        write_run(&self.sigma, m, mode, 0, &vec![0.0f64; n]);
+        write_run(&self.depth, m, mode, 0, &vec![-1i32; n]);
+        write_run(&self.delta, m, mode, 0, &vec![0.0f64; n]);
         // Forward phase.
         let s = self.source as usize;
         self.sigma.set(m, s, 1.0);
@@ -80,6 +88,7 @@ impl Kernel for Bc {
         let mut order: Vec<u32> = Vec::new();
         let mut frontier = vec![self.source];
         let mut level = 0i32;
+        let mut nbrs: Vec<u32> = Vec::new();
         while !frontier.is_empty() {
             order.extend_from_slice(&frontier);
             level += 1;
@@ -87,8 +96,10 @@ impl Kernel for Bc {
             for &v in &frontier {
                 let sv = self.sigma.get(m, v as usize);
                 let (start, end) = self.graph.edge_bounds(m, v as usize);
-                for e in start..end {
-                    let u = self.graph.neighbor(m, e) as usize;
+                nbrs.resize((end - start) as usize, 0);
+                self.graph.neighbor_run(m, mode, start, &mut nbrs);
+                for &u in &nbrs {
+                    let u = u as usize;
                     let du = self.depth.get(m, u);
                     if du < 0 {
                         self.depth.set(m, u, level);
@@ -108,9 +119,11 @@ impl Kernel for Bc {
             let dv = self.depth.get(m, v);
             let sv = self.sigma.get(m, v);
             let (start, end) = self.graph.edge_bounds(m, v);
+            nbrs.resize((end - start) as usize, 0);
+            self.graph.neighbor_run(m, mode, start, &mut nbrs);
             let mut acc = self.delta.get(m, v);
-            for e in start..end {
-                let u = self.graph.neighbor(m, e) as usize;
+            for &u in &nbrs {
+                let u = u as usize;
                 if self.depth.get(m, u) == dv + 1 {
                     let su = self.sigma.get(m, u);
                     let du = self.delta.get(m, u);
@@ -121,8 +134,7 @@ impl Kernel for Bc {
             }
             self.delta.set(m, v, acc);
             if v != s {
-                let b = self.bc.get(m, v);
-                self.bc.set(m, v, b + acc);
+                update_at(&self.bc, m, mode, v, |b| b + acc);
             }
         }
     }

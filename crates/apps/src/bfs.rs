@@ -7,6 +7,7 @@
 
 use atmem::{Atmem, Result};
 
+use crate::access::AccessMode;
 use crate::graph_data::HmsGraph;
 use crate::kernel::Kernel;
 use atmem_hms::TrackedVec;
@@ -20,6 +21,7 @@ pub struct Bfs {
     graph: HmsGraph,
     source: u32,
     dist: TrackedVec<u32>,
+    mode: AccessMode,
     /// Vertices reached by the last iteration (for assertions/reporting).
     reached: usize,
 }
@@ -36,8 +38,14 @@ impl Bfs {
             graph,
             source,
             dist,
+            mode: AccessMode::default(),
             reached: 0,
         })
+    }
+
+    /// Selects how sequential streams are driven (default: bulk).
+    pub fn set_mode(&mut self, mode: AccessMode) {
+        self.mode = mode;
     }
 
     /// The graph being traversed.
@@ -67,18 +75,23 @@ impl Kernel for Bfs {
     }
 
     fn run_iteration(&mut self, rt: &mut Atmem) {
+        let mode = self.mode;
         let m = rt.machine_mut();
         let mut frontier = vec![self.source];
         self.dist.set(m, self.source as usize, 0);
         let mut level = 0u32;
         let mut reached = 1usize;
+        let mut nbrs: Vec<u32> = Vec::new();
         while !frontier.is_empty() {
             level += 1;
             let mut next = Vec::new();
             for &v in &frontier {
                 let (start, end) = self.graph.edge_bounds(m, v as usize);
-                for e in start..end {
-                    let u = self.graph.neighbor(m, e);
+                // The adjacency list is a sequential run; the distance
+                // checks it drives are random and stay per-element.
+                nbrs.resize((end - start) as usize, 0);
+                self.graph.neighbor_run(m, mode, start, &mut nbrs);
+                for &u in &nbrs {
                     if self.dist.get(m, u as usize) == UNREACHED {
                         self.dist.set(m, u as usize, level);
                         next.push(u);

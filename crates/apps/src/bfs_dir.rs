@@ -11,6 +11,7 @@ use atmem::{Atmem, Result};
 use atmem_graph::{transpose, Csr};
 use atmem_hms::TrackedVec;
 
+use crate::access::AccessMode;
 use crate::bfs::UNREACHED;
 use crate::graph_data::HmsGraph;
 use crate::kernel::Kernel;
@@ -25,6 +26,7 @@ pub struct BfsDir {
     in_graph: HmsGraph,
     source: u32,
     dist: TrackedVec<u32>,
+    mode: AccessMode,
     /// (top-down levels, bottom-up levels) executed by the last iteration.
     phases: (u32, u32),
 }
@@ -45,8 +47,14 @@ impl BfsDir {
             in_graph,
             source,
             dist,
+            mode: AccessMode::default(),
             phases: (0, 0),
         })
+    }
+
+    /// Selects how sequential streams are driven (default: bulk).
+    pub fn set_mode(&mut self, mode: AccessMode) {
+        self.mode = mode;
     }
 
     /// (top-down, bottom-up) level counts of the last iteration.
@@ -79,6 +87,8 @@ impl Kernel for BfsDir {
         let mut level = 0u32;
         let mut top_down_levels = 0u32;
         let mut bottom_up_levels = 0u32;
+        let mode = self.mode;
+        let mut nbrs: Vec<u32> = Vec::new();
         while !frontier.is_empty() {
             level += 1;
             let go_bottom_up = frontier.len() as f64 > SWITCH_THRESHOLD * (unvisited.max(1)) as f64;
@@ -104,8 +114,13 @@ impl Kernel for BfsDir {
                 top_down_levels += 1;
                 for &v in &frontier {
                     let (s, e) = self.out_graph.edge_bounds(m, v as usize);
-                    for edge in s..e {
-                        let u = self.out_graph.neighbor(m, edge) as usize;
+                    // Out-adjacency runs are sequential; the bottom-up
+                    // search loops above stay per-element because they
+                    // terminate early on the first visited parent.
+                    nbrs.resize((e - s) as usize, 0);
+                    self.out_graph.neighbor_run(m, mode, s, &mut nbrs);
+                    for &u in &nbrs {
+                        let u = u as usize;
                         if self.dist.get(m, u) == UNREACHED {
                             self.dist.set(m, u, level);
                             next.push(u as u32);

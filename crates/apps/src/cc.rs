@@ -8,6 +8,7 @@
 use atmem::{Atmem, Result};
 use atmem_hms::TrackedVec;
 
+use crate::access::AccessMode;
 use crate::graph_data::HmsGraph;
 use crate::kernel::Kernel;
 
@@ -16,6 +17,7 @@ use crate::kernel::Kernel;
 pub struct Cc {
     graph: HmsGraph,
     labels: TrackedVec<u32>,
+    mode: AccessMode,
     changed_last: u64,
 }
 
@@ -30,8 +32,14 @@ impl Cc {
         Ok(Cc {
             graph,
             labels,
+            mode: AccessMode::default(),
             changed_last: 0,
         })
+    }
+
+    /// Selects how sequential streams are driven (default: bulk).
+    pub fn set_mode(&mut self, mode: AccessMode) {
+        self.mode = mode;
     }
 
     /// Label updates performed by the last iteration (0 = converged).
@@ -70,16 +78,23 @@ impl Kernel for Cc {
     }
 
     fn run_iteration(&mut self, rt: &mut Atmem) {
+        let mode = self.mode;
         let m = rt.machine_mut();
+        // Stream phase: row bounds and neighbour ids.
+        let bounds = self.graph.bounds(m, mode);
+        let mut nbrs = vec![0u32; self.graph.num_edges()];
+        self.graph.neighbor_run(m, mode, 0, &mut nbrs);
+        // Propagation phase: label reads/writes are random and must see
+        // in-iteration updates, so they stay per-element in both modes.
         let mut changed = 0u64;
         for v in 0..self.graph.num_vertices() {
-            let (start, end) = self.graph.edge_bounds(m, v);
+            let (start, end) = (bounds[v] as usize, bounds[v + 1] as usize);
             if start == end {
                 continue;
             }
             let mut lv = self.labels.get(m, v);
-            for e in start..end {
-                let u = self.graph.neighbor(m, e) as usize;
+            for &u in &nbrs[start..end] {
+                let u = u as usize;
                 let lu = self.labels.get(m, u);
                 if lu < lv {
                     lv = lu;

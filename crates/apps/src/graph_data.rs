@@ -10,6 +10,8 @@ use atmem::{Atmem, Result};
 use atmem_graph::Csr;
 use atmem_hms::{Machine, TrackedVec};
 
+use crate::access::{read_run, AccessMode};
+
 /// A CSR graph whose arrays live in simulated memory.
 #[derive(Debug)]
 pub struct HmsGraph {
@@ -94,6 +96,38 @@ impl HmsGraph {
             .as_ref()
             .expect("graph loaded without weights")
             .get(m, e as usize)
+    }
+
+    /// Accounted sequential read of all `n + 1` CSR row bounds.
+    pub fn bounds(&self, m: &mut Machine, mode: AccessMode) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.bounds_into(m, mode, &mut out);
+        out
+    }
+
+    /// Like [`bounds`](HmsGraph::bounds), but reuses `out`'s allocation
+    /// (kernels that stream the offsets every iteration keep one scratch
+    /// buffer instead of reallocating).
+    pub fn bounds_into(&self, m: &mut Machine, mode: AccessMode, out: &mut Vec<u64>) {
+        out.resize(self.num_vertices + 1, 0);
+        read_run(&self.offsets, m, mode, 0, out);
+    }
+
+    /// Accounted sequential read of `buf.len()` neighbour ids starting at
+    /// edge `start`.
+    pub fn neighbor_run(&self, m: &mut Machine, mode: AccessMode, start: u64, buf: &mut [u32]) {
+        read_run(&self.neighbors, m, mode, start as usize, buf);
+    }
+
+    /// Accounted sequential read of `buf.len()` edge weights starting at
+    /// edge `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is unweighted.
+    pub fn weight_run(&self, m: &mut Machine, mode: AccessMode, start: u64, buf: &mut [f32]) {
+        let w = self.weights.as_ref().expect("graph loaded without weights");
+        read_run(w, m, mode, start as usize, buf);
     }
 
     /// Total bytes of the resident CSR arrays.

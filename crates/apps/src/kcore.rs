@@ -10,6 +10,7 @@
 use atmem::{Atmem, Result};
 use atmem_hms::TrackedVec;
 
+use crate::access::{update_at, write_run, AccessMode};
 use crate::graph_data::HmsGraph;
 use crate::kernel::Kernel;
 
@@ -20,6 +21,7 @@ pub struct KCore {
     graph: HmsGraph,
     degree: TrackedVec<u32>,
     core: TrackedVec<u32>,
+    mode: AccessMode,
     max_core: u32,
 }
 
@@ -37,8 +39,14 @@ impl KCore {
             graph,
             degree,
             core,
+            mode: AccessMode::default(),
             max_core: 0,
         })
+    }
+
+    /// Selects how sequential streams are driven (default: bulk).
+    pub fn set_mode(&mut self, mode: AccessMode) {
+        self.mode = mode;
     }
 
     /// The maximum core number found by the last iteration.
@@ -66,20 +74,21 @@ impl Kernel for KCore {
     }
 
     fn run_iteration(&mut self, rt: &mut Atmem) {
+        let mode = self.mode;
         let m = rt.machine_mut();
         let n = self.graph.num_vertices();
-        // Initialise degrees through the accounted path (part of the work).
-        let mut alive = 0usize;
-        for v in 0..n {
-            let (s, e) = self.graph.edge_bounds(m, v);
-            self.degree.set(m, v, (e - s) as u32);
-            alive += 1;
-        }
+        // Initialise degrees through the accounted path (part of the work):
+        // one bounds stream in, one degree stream out.
+        let bounds = self.graph.bounds(m, mode);
+        let degrees: Vec<u32> = (0..n).map(|v| (bounds[v + 1] - bounds[v]) as u32).collect();
+        write_run(&self.degree, m, mode, 0, &degrees);
+        let mut alive = n;
         let mut k = 0u32;
         let mut removed = vec![false; n];
+        let mut nbrs: Vec<u32> = Vec::new();
         while alive > 0 {
             // Peel every vertex with degree <= k until none remain, then
-            // raise k.
+            // raise k. Degree reads are data-dependent: per-element.
             let mut frontier: Vec<u32> = (0..n as u32)
                 .filter(|&v| !removed[v as usize] && self.degree.get(m, v as usize) <= k)
                 .collect();
@@ -95,14 +104,15 @@ impl Kernel for KCore {
                 removed[vi] = true;
                 alive -= 1;
                 self.core.set(m, vi, k);
-                let (s, e) = self.graph.edge_bounds(m, vi);
-                for edge in s..e {
-                    let u = self.graph.neighbor(m, edge) as usize;
+                let (s, e) = (bounds[vi], bounds[vi + 1]);
+                nbrs.resize((e - s) as usize, 0);
+                self.graph.neighbor_run(m, mode, s, &mut nbrs);
+                for &u in &nbrs {
+                    let u = u as usize;
                     if removed[u] {
                         continue;
                     }
-                    let d = self.degree.get(m, u);
-                    self.degree.set(m, u, d.saturating_sub(1));
+                    let d = update_at(&self.degree, m, mode, u, |d| d.saturating_sub(1));
                     if d.saturating_sub(1) <= k {
                         frontier.push(u as u32);
                     }

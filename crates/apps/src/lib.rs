@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod access;
 pub mod bc;
 pub mod bfs;
 pub mod bfs_dir;
@@ -45,6 +46,7 @@ pub mod sssp;
 pub mod synth;
 pub mod triangles;
 
+pub use access::AccessMode;
 pub use bc::Bc;
 pub use bfs::Bfs;
 pub use bfs_dir::BfsDir;

@@ -9,6 +9,7 @@
 use atmem::{Atmem, Result};
 use atmem_hms::TrackedVec;
 
+use crate::access::{read_run, update_at, write_run, AccessMode};
 use crate::graph_data::HmsGraph;
 use crate::kernel::Kernel;
 
@@ -21,7 +22,14 @@ pub struct PageRank {
     graph: HmsGraph,
     rank: TrackedVec<f64>,
     next: TrackedVec<f64>,
+    mode: AccessMode,
     iterations_run: usize,
+    // Host-side staging buffers, reused across iterations.
+    bounds: Vec<u64>,
+    nbrs: Vec<u32>,
+    ranks: Vec<f64>,
+    accs: Vec<f64>,
+    zeros: Vec<f64>,
 }
 
 impl PageRank {
@@ -32,14 +40,26 @@ impl PageRank {
     /// Allocation failures for the rank accumulators.
     pub fn new(rt: &mut Atmem, graph: HmsGraph) -> Result<Self> {
         let n = graph.num_vertices();
+        let e = graph.num_edges();
         let rank = rt.malloc::<f64>(n, "pr.rank")?;
         let next = rt.malloc::<f64>(n, "pr.next")?;
         Ok(PageRank {
             graph,
             rank,
             next,
+            mode: AccessMode::default(),
             iterations_run: 0,
+            bounds: vec![0; n + 1],
+            nbrs: vec![0; e],
+            ranks: vec![0.0; n],
+            accs: vec![0.0; n],
+            zeros: vec![0.0; n],
         })
+    }
+
+    /// Selects how sequential streams are driven (default: bulk).
+    pub fn set_mode(&mut self, mode: AccessMode) {
+        self.mode = mode;
     }
 
     /// Number of power iterations run since the last reset.
@@ -66,29 +86,38 @@ impl Kernel for PageRank {
     }
 
     fn run_iteration(&mut self, rt: &mut Atmem) {
+        let mode = self.mode;
         let m = rt.machine_mut();
         let n = self.graph.num_vertices();
-        // Push phase: scatter rank/deg along out-edges.
+        // Stream phase: row bounds, current ranks, then all neighbour ids.
+        self.graph.bounds_into(m, mode, &mut self.bounds);
+        self.ranks.resize(n, 0.0);
+        read_run(&self.rank, m, mode, 0, &mut self.ranks);
+        self.nbrs.resize(self.graph.num_edges(), 0);
+        self.graph.neighbor_run(m, mode, 0, &mut self.nbrs);
+        // Push phase: scatter rank/deg along out-edges (random accumulator
+        // updates stay per-element in spirit; bulk mode fuses each
+        // read-modify-write pair).
         for v in 0..n {
-            let (start, end) = self.graph.edge_bounds(m, v);
-            let deg = end - start;
-            if deg == 0 {
+            let (start, end) = (self.bounds[v] as usize, self.bounds[v + 1] as usize);
+            if start == end {
                 continue;
             }
-            let share = self.rank.get(m, v) / deg as f64;
-            for e in start..end {
-                let u = self.graph.neighbor(m, e) as usize;
-                let acc = self.next.get(m, u);
-                self.next.set(m, u, acc + share);
+            let share = self.ranks[v] / (end - start) as f64;
+            for &u in &self.nbrs[start..end] {
+                update_at(&self.next, m, mode, u as usize, |acc| acc + share);
             }
         }
-        // Damping + swap phase.
+        // Damping + swap phase: three sequential streams.
         let base = (1.0 - DAMPING) / n as f64;
-        for v in 0..n {
-            let acc = self.next.get(m, v);
-            self.rank.set(m, v, base + DAMPING * acc);
-            self.next.set(m, v, 0.0);
+        self.accs.resize(n, 0.0);
+        read_run(&self.next, m, mode, 0, &mut self.accs);
+        for acc in self.accs.iter_mut() {
+            *acc = base + DAMPING * *acc;
         }
+        write_run(&self.rank, m, mode, 0, &self.accs);
+        self.zeros.resize(n, 0.0);
+        write_run(&self.next, m, mode, 0, &self.zeros);
         self.iterations_run += 1;
     }
 

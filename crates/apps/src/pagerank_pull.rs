@@ -10,6 +10,7 @@ use atmem::{Atmem, Result};
 use atmem_graph::{transpose, Csr};
 use atmem_hms::TrackedVec;
 
+use crate::access::{read_run, write_run, AccessMode};
 use crate::graph_data::HmsGraph;
 use crate::kernel::Kernel;
 use crate::pagerank::DAMPING;
@@ -23,6 +24,7 @@ pub struct PageRankPull {
     degree: TrackedVec<u32>,
     rank: TrackedVec<f64>,
     next: TrackedVec<f64>,
+    mode: AccessMode,
 }
 
 impl PageRankPull {
@@ -48,7 +50,13 @@ impl PageRankPull {
             degree,
             rank,
             next,
+            mode: AccessMode::default(),
         })
+    }
+
+    /// Selects how sequential streams are driven (default: bulk).
+    pub fn set_mode(&mut self, mode: AccessMode) {
+        self.mode = mode;
     }
 
     /// Copies the rank vector out of simulated memory (unaccounted).
@@ -69,27 +77,37 @@ impl Kernel for PageRankPull {
     }
 
     fn run_iteration(&mut self, rt: &mut Atmem) {
+        let mode = self.mode;
         let m = rt.machine_mut();
         let n = self.graph.num_vertices();
-        for v in 0..n {
-            // Gather over in-edges of v.
-            let (start, end) = self.graph.edge_bounds(m, v);
+        // Stream phase: in-edge row bounds and source ids.
+        let bounds = self.graph.bounds(m, mode);
+        let mut nbrs = vec![0u32; self.graph.num_edges()];
+        self.graph.neighbor_run(m, mode, 0, &mut nbrs);
+        // Gather phase: rank/degree reads follow the in-neighbour
+        // distribution (random), so they stay on the per-element path.
+        let mut gathered = vec![0.0f64; n];
+        for (v, slot) in gathered.iter_mut().enumerate() {
             let mut acc = 0.0f64;
-            for e in start..end {
-                let u = self.graph.neighbor(m, e) as usize;
+            for &u in &nbrs[bounds[v] as usize..bounds[v + 1] as usize] {
+                let u = u as usize;
                 let deg = self.degree.get(m, u);
                 if deg > 0 {
                     acc += self.rank.get(m, u) / deg as f64;
                 }
             }
-            self.next.set(m, v, acc);
+            *slot = acc;
         }
+        write_run(&self.next, m, mode, 0, &gathered);
+        // Damping + swap phase: three sequential streams.
         let base = (1.0 - DAMPING) / n as f64;
-        for v in 0..n {
-            let acc = self.next.get(m, v);
-            self.rank.set(m, v, base + DAMPING * acc);
-            self.next.set(m, v, 0.0);
+        let mut accs = vec![0.0f64; n];
+        read_run(&self.next, m, mode, 0, &mut accs);
+        for acc in accs.iter_mut() {
+            *acc = base + DAMPING * *acc;
         }
+        write_run(&self.rank, m, mode, 0, &accs);
+        write_run(&self.next, m, mode, 0, &vec![0.0f64; n]);
     }
 
     fn checksum(&self, rt: &mut Atmem) -> f64 {

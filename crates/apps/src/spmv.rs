@@ -9,6 +9,7 @@
 use atmem::{Atmem, Result};
 use atmem_hms::TrackedVec;
 
+use crate::access::{gather_run, write_run, AccessMode};
 use crate::graph_data::HmsGraph;
 use crate::kernel::Kernel;
 
@@ -18,6 +19,13 @@ pub struct Spmv {
     graph: HmsGraph,
     x: TrackedVec<f64>,
     y: TrackedVec<f64>,
+    mode: AccessMode,
+    // Host-side staging buffers, reused across iterations.
+    bounds: Vec<u64>,
+    cols: Vec<u32>,
+    vals: Vec<f32>,
+    xs: Vec<f64>,
+    ybuf: Vec<f64>,
 }
 
 impl Spmv {
@@ -33,9 +41,25 @@ impl Spmv {
     pub fn new(rt: &mut Atmem, graph: HmsGraph) -> Result<Self> {
         assert!(graph.is_weighted(), "SpMV requires matrix values (weights)");
         let n = graph.num_vertices();
+        let e = graph.num_edges();
         let x = rt.malloc::<f64>(n, "spmv.x")?;
         let y = rt.malloc::<f64>(n, "spmv.y")?;
-        Ok(Spmv { graph, x, y })
+        Ok(Spmv {
+            graph,
+            x,
+            y,
+            mode: AccessMode::default(),
+            bounds: vec![0; n + 1],
+            cols: vec![0; e],
+            vals: vec![0.0; e],
+            xs: vec![0.0; e],
+            ybuf: vec![0.0; n],
+        })
+    }
+
+    /// Selects how sequential streams are driven (default: bulk).
+    pub fn set_mode(&mut self, mode: AccessMode) {
+        self.mode = mode;
     }
 
     /// Copies the output vector out of simulated memory (unaccounted).
@@ -58,17 +82,31 @@ impl Kernel for Spmv {
     }
 
     fn run_iteration(&mut self, rt: &mut Atmem) {
+        let mode = self.mode;
         let m = rt.machine_mut();
-        for row in 0..self.graph.num_vertices() {
-            let (start, end) = self.graph.edge_bounds(m, row);
+        let n = self.graph.num_vertices();
+        // Stream phase: row bounds, column indices, matrix values.
+        self.graph.bounds_into(m, mode, &mut self.bounds);
+        let num_edges = self.graph.num_edges();
+        self.cols.resize(num_edges, 0);
+        self.graph.neighbor_run(m, mode, 0, &mut self.cols);
+        self.vals.resize(num_edges, 0.0);
+        self.graph.weight_run(m, mode, 0, &mut self.vals);
+        // Gather phase: x[col] accesses follow the neighbour distribution
+        // (random), so each costs one simulated access in edge order; the
+        // row reduction then runs host-side on the staged values.
+        self.xs.resize(num_edges, 0.0);
+        gather_run(&self.x, m, mode, &self.cols, &mut self.xs);
+        self.ybuf.resize(n, 0.0);
+        for (row, y_row) in self.ybuf.iter_mut().enumerate() {
             let mut acc = 0.0f64;
-            for e in start..end {
-                let col = self.graph.neighbor(m, e) as usize;
-                let a = self.graph.weight(m, e) as f64;
-                acc += a * self.x.get(m, col);
+            for e in self.bounds[row] as usize..self.bounds[row + 1] as usize {
+                acc += self.vals[e] as f64 * self.xs[e];
             }
-            self.y.set(m, row, acc);
+            *y_row = acc;
         }
+        // Store phase: one sequential stream into y.
+        write_run(&self.y, m, mode, 0, &self.ybuf);
     }
 
     fn checksum(&self, rt: &mut Atmem) -> f64 {

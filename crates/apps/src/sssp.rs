@@ -8,6 +8,7 @@
 use atmem::{Atmem, Result};
 use atmem_hms::TrackedVec;
 
+use crate::access::AccessMode;
 use crate::graph_data::HmsGraph;
 use crate::kernel::Kernel;
 
@@ -17,6 +18,7 @@ pub struct Sssp {
     graph: HmsGraph,
     source: u32,
     dist: TrackedVec<f32>,
+    mode: AccessMode,
     relaxations: u64,
 }
 
@@ -37,8 +39,14 @@ impl Sssp {
             graph,
             source,
             dist,
+            mode: AccessMode::default(),
             relaxations: 0,
         })
+    }
+
+    /// Selects how sequential streams are driven (default: bulk).
+    pub fn set_mode(&mut self, mode: AccessMode) {
+        self.mode = mode;
     }
 
     /// Edge relaxations performed by the last iteration.
@@ -67,15 +75,23 @@ impl Kernel for Sssp {
         self.dist.set(m, self.source as usize, 0.0);
         let mut frontier = vec![self.source];
         let mut relaxations = 0u64;
+        let mode = self.mode;
+        let mut nbrs: Vec<u32> = Vec::new();
+        let mut ws: Vec<f32> = Vec::new();
         while !frontier.is_empty() {
             let mut next = Vec::new();
             let mut in_next = std::collections::HashSet::new();
             for &v in &frontier {
                 let dv = self.dist.get(m, v as usize);
                 let (start, end) = self.graph.edge_bounds(m, v as usize);
-                for e in start..end {
-                    let u = self.graph.neighbor(m, e);
-                    let w = self.graph.weight(m, e);
+                // Adjacency and weight runs are sequential; the distance
+                // relaxations they drive are random and stay per-element.
+                let deg = (end - start) as usize;
+                nbrs.resize(deg, 0);
+                ws.resize(deg, 0.0);
+                self.graph.neighbor_run(m, mode, start, &mut nbrs);
+                self.graph.weight_run(m, mode, start, &mut ws);
+                for (&u, &w) in nbrs.iter().zip(&ws) {
                     let candidate = dv + w;
                     if candidate < self.dist.get(m, u as usize) {
                         self.dist.set(m, u as usize, candidate);

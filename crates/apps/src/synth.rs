@@ -8,8 +8,7 @@
 
 use atmem::{Atmem, Result};
 use atmem_hms::TrackedVec;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use atmem_rng::SmallRng;
 
 /// Approximate Zipf(θ) sampler over `0..n` via inverse-CDF on a power-law
 /// envelope — standard for memory-trace synthesis (exact Zipf needs the

@@ -8,6 +8,7 @@
 
 use atmem::{Atmem, Result};
 
+use crate::access::AccessMode;
 use crate::graph_data::HmsGraph;
 use crate::kernel::Kernel;
 
@@ -15,6 +16,7 @@ use crate::kernel::Kernel;
 #[derive(Debug)]
 pub struct Triangles {
     graph: HmsGraph,
+    mode: AccessMode,
     count: u64,
 }
 
@@ -28,7 +30,16 @@ impl Triangles {
     /// Currently infallible; returns `Result` for symmetry with the other
     /// kernels (future property arrays).
     pub fn new(_rt: &mut Atmem, graph: HmsGraph) -> Result<Self> {
-        Ok(Triangles { graph, count: 0 })
+        Ok(Triangles {
+            graph,
+            mode: AccessMode::default(),
+            count: 0,
+        })
+    }
+
+    /// Selects how sequential streams are driven (default: bulk).
+    pub fn set_mode(&mut self, mode: AccessMode) {
+        self.mode = mode;
     }
 
     /// Triangles found by the last iteration.
@@ -47,13 +58,20 @@ impl Kernel for Triangles {
     }
 
     fn run_iteration(&mut self, rt: &mut Atmem) {
+        let mode = self.mode;
         let m = rt.machine_mut();
         let n = self.graph.num_vertices();
         let mut triangles = 0u64;
+        let mut adj_u: Vec<u32> = Vec::new();
         for u in 0..n {
             let (us, ue) = self.graph.edge_bounds(m, u);
-            for e in us..ue {
-                let v = self.graph.neighbor(m, e) as usize;
+            // One sequential pass enumerates u's edges; the merge loops
+            // below deliberately keep their per-element re-reads (the
+            // read-reuse the kernel exists to exercise).
+            adj_u.resize((ue - us) as usize, 0);
+            self.graph.neighbor_run(m, mode, us, &mut adj_u);
+            for &v32 in &adj_u {
+                let v = v32 as usize;
                 if v <= u {
                     continue; // orient: count each edge once
                 }

@@ -1,0 +1,171 @@
+//! Scalar vs. bulk access-mode equivalence for every kernel.
+//!
+//! The bulk fast path must be *invisible* in simulation space: for each of
+//! the ten kernels, running the same workload in [`AccessMode::Scalar`] and
+//! [`AccessMode::Bulk`] has to produce identical outputs and bit-identical
+//! machine counters (accesses, TLB and LLC hits/misses, simulated time).
+//! Any divergence means the block walk miscounts some boundary case the
+//! per-element loop handles.
+
+use atmem::{Atmem, AtmemConfig};
+use atmem_apps::{
+    AccessMode, Bc, Bfs, BfsDir, Cc, HmsGraph, KCore, Kernel, PageRank, PageRankPull, Spmv, Sssp,
+    Triangles,
+};
+use atmem_graph::{rmat, Csr, Dataset};
+use atmem_hms::{MachineStats, Platform};
+
+fn runtime() -> Atmem {
+    Atmem::new(Platform::testing(), AtmemConfig::default()).unwrap()
+}
+
+fn plain_graph() -> Csr {
+    Dataset::Twitter.build_small(7) // 2048 vertices, skewed
+}
+
+fn weighted_graph() -> Csr {
+    plain_graph().with_random_weights(16.0, 1)
+}
+
+fn symmetric_graph() -> Csr {
+    let mut config = Dataset::Pokec.config();
+    config.scale = 9;
+    config.symmetrize = true;
+    rmat(&config, 11)
+}
+
+/// Runs `iters` iterations of the kernel `build` constructs under `mode`
+/// and returns the checksum plus the machine counters at the end.
+fn run_mode(
+    csr: &Csr,
+    mode: AccessMode,
+    iters: usize,
+    build: impl FnOnce(&mut Atmem, &Csr, AccessMode) -> Box<dyn Kernel>,
+) -> (f64, MachineStats) {
+    let mut rt = runtime();
+    let mut kernel = build(&mut rt, csr, mode);
+    kernel.reset(&mut rt);
+    for _ in 0..iters {
+        kernel.run_iteration(&mut rt);
+    }
+    (kernel.checksum(&mut rt), rt.machine().stats())
+}
+
+/// Asserts both modes agree on output and counters.
+fn assert_modes_agree(
+    name: &str,
+    csr: &Csr,
+    iters: usize,
+    build: impl Fn(&mut Atmem, &Csr, AccessMode) -> Box<dyn Kernel>,
+) {
+    let (scalar_sum, scalar_stats) = run_mode(csr, AccessMode::Scalar, iters, &build);
+    let (bulk_sum, bulk_stats) = run_mode(csr, AccessMode::Bulk, iters, &build);
+    assert_eq!(scalar_sum, bulk_sum, "{name}: checksums diverge");
+    assert_eq!(
+        scalar_stats, bulk_stats,
+        "{name}: machine counters diverge between access modes"
+    );
+    assert!(scalar_stats.accesses > 0, "{name} performed no work");
+}
+
+fn load(rt: &mut Atmem, csr: &Csr) -> HmsGraph {
+    HmsGraph::load(rt, csr).unwrap()
+}
+
+#[test]
+fn pagerank_modes_agree() {
+    assert_modes_agree("PR", &plain_graph(), 2, |rt, csr, mode| {
+        let g = load(rt, csr);
+        let mut k = PageRank::new(rt, g).unwrap();
+        k.set_mode(mode);
+        Box::new(k)
+    });
+}
+
+#[test]
+fn pagerank_pull_modes_agree() {
+    assert_modes_agree("PR-pull", &plain_graph(), 2, |rt, csr, mode| {
+        let mut k = PageRankPull::new(rt, csr).unwrap();
+        k.set_mode(mode);
+        Box::new(k)
+    });
+}
+
+#[test]
+fn spmv_modes_agree() {
+    assert_modes_agree("SpMV", &weighted_graph(), 2, |rt, csr, mode| {
+        let g = load(rt, csr);
+        let mut k = Spmv::new(rt, g).unwrap();
+        k.set_mode(mode);
+        Box::new(k)
+    });
+}
+
+#[test]
+fn bfs_modes_agree() {
+    assert_modes_agree("BFS", &plain_graph(), 1, |rt, csr, mode| {
+        let g = load(rt, csr);
+        let mut k = Bfs::new(rt, g, 0).unwrap();
+        k.set_mode(mode);
+        Box::new(k)
+    });
+}
+
+#[test]
+fn bfs_dir_modes_agree() {
+    assert_modes_agree("BFS-dir", &symmetric_graph(), 1, |rt, csr, mode| {
+        let mut k = BfsDir::new(rt, csr, 0).unwrap();
+        k.set_mode(mode);
+        Box::new(k)
+    });
+}
+
+#[test]
+fn sssp_modes_agree() {
+    assert_modes_agree("SSSP", &weighted_graph(), 1, |rt, csr, mode| {
+        let g = load(rt, csr);
+        let mut k = Sssp::new(rt, g, 0).unwrap();
+        k.set_mode(mode);
+        Box::new(k)
+    });
+}
+
+#[test]
+fn cc_modes_agree() {
+    assert_modes_agree("CC", &plain_graph(), 2, |rt, csr, mode| {
+        let g = load(rt, csr);
+        let mut k = Cc::new(rt, g).unwrap();
+        k.set_mode(mode);
+        Box::new(k)
+    });
+}
+
+#[test]
+fn bc_modes_agree() {
+    assert_modes_agree("BC", &plain_graph(), 2, |rt, csr, mode| {
+        let g = load(rt, csr);
+        let mut k = Bc::new(rt, g, 0).unwrap();
+        k.set_mode(mode);
+        Box::new(k)
+    });
+}
+
+#[test]
+fn kcore_modes_agree() {
+    assert_modes_agree("kCore", &symmetric_graph(), 1, |rt, csr, mode| {
+        let g = load(rt, csr);
+        let mut k = KCore::new(rt, g).unwrap();
+        k.set_mode(mode);
+        Box::new(k)
+    });
+}
+
+#[test]
+fn triangles_modes_agree() {
+    assert_modes_agree("TC", &symmetric_graph(), 1, |rt, csr, mode| {
+        let g = load(rt, csr);
+        let mut k = Triangles::new(rt, g).unwrap();
+        k.set_mode(mode);
+        Box::new(k)
+    });
+}

@@ -1,11 +1,11 @@
-//! Criterion micro-benchmarks of the analyzer stages: local selection,
-//! tree construction, and promotion, across chunk counts and arities.
+//! Micro-benchmarks of the analyzer stages: local selection, tree
+//! construction, and promotion, across chunk counts and arities.
 
 use atmem::analyzer::tree::MaryTree;
 use atmem::analyzer::{analyze, promote::promote};
 use atmem::{chunk_geometry, AnalyzerConfig, ChunkConfig, Registry};
+use atmem_bench::harness::{bench, black_box};
 use atmem_hms::{VirtAddr, VirtRange};
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 /// A registry with one object of `chunks` chunks and a skewed sample
 /// distribution (hot cluster + noise), mimicking a profiled graph kernel.
@@ -34,36 +34,24 @@ fn skewed_registry(chunks: usize) -> Registry {
     registry
 }
 
-fn bench_analyze(c: &mut Criterion) {
-    let mut group = c.benchmark_group("analyze");
+fn main() {
     for chunks in [256usize, 1024, 4096] {
         let registry = skewed_registry(chunks);
         let config = AnalyzerConfig::default();
-        group.bench_with_input(BenchmarkId::from_parameter(chunks), &chunks, |b, _| {
-            b.iter(|| black_box(analyze(&registry, &config)));
+        bench(&format!("analyze/{chunks}"), 50, || {
+            black_box(analyze(&registry, &config))
         });
     }
-    group.finish();
-}
 
-fn bench_tree_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tree_build");
     let leaves: Vec<bool> = (0..8192).map(|i| i % 16 < 2).collect();
     for arity in [2usize, 4, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(arity), &arity, |b, &m| {
-            b.iter(|| black_box(MaryTree::build(&leaves, m)));
+        bench(&format!("tree_build/{arity}"), 50, || {
+            black_box(MaryTree::build(&leaves, arity))
         });
     }
-    group.finish();
-}
 
-fn bench_promotion(c: &mut Criterion) {
-    let leaves: Vec<bool> = (0..8192).map(|i| i % 16 < 2).collect();
     let tree = MaryTree::build(&leaves, 4);
-    c.bench_function("promote_8192", |b| {
-        b.iter(|| black_box(promote(&tree, &leaves, 0.4)));
+    bench("promote_8192", 50, || {
+        black_box(promote(&tree, &leaves, 0.4))
     });
 }
-
-criterion_group!(benches, bench_analyze, bench_tree_build, bench_promotion);
-criterion_main!(benches);

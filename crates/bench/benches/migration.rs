@@ -1,12 +1,12 @@
-//! Criterion micro-benchmarks of the migration engines (wall-clock cost of
-//! the simulator's real work: copies, remaps, bookkeeping — not simulated
+//! Micro-benchmarks of the migration engines (wall-clock cost of the
+//! simulator's real work: copies, remaps, bookkeeping — not simulated
 //! time, which the fig/table binaries report).
 
 use atmem::migrate::plan::{MigrationPlan, PlannedRegion};
 use atmem::migrate::staged::execute_plan;
 use atmem::{MigrationConfig, ObjectId};
+use atmem_bench::harness::{bench_with_setup, black_box};
 use atmem_hms::{Machine, Placement, Platform, TierId, VirtRange};
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn machine_with_region(bytes: usize) -> (Machine, VirtRange) {
     let mut m = Machine::new(Platform::testing());
@@ -14,51 +14,39 @@ fn machine_with_region(bytes: usize) -> (Machine, VirtRange) {
     (m, VirtRange::new(r.start, bytes))
 }
 
-fn bench_staged_migration(c: &mut Criterion) {
-    let mut group = c.benchmark_group("staged_migration");
-    group.sample_size(20);
+fn main() {
     for mib in [1usize, 4] {
         let bytes = mib * 1024 * 1024;
-        group.bench_with_input(BenchmarkId::from_parameter(mib), &bytes, |b, &bytes| {
-            b.iter_with_setup(
-                || machine_with_region(bytes),
-                |(mut m, range)| {
-                    let plan = MigrationPlan {
-                        regions: vec![PlannedRegion {
-                            object: ObjectId::from_index(0),
-                            range,
-                            priority: 1.0,
-                        }],
-                        total_bytes: range.len,
-                        dropped_bytes: 0,
-                    };
-                    let out =
-                        execute_plan(&mut m, &plan, &MigrationConfig::default(), TierId::FAST)
-                            .expect("migration");
-                    black_box(out);
-                },
-            );
-        });
+        bench_with_setup(
+            &format!("staged_migration/{mib}MiB"),
+            20,
+            || machine_with_region(bytes),
+            |(mut m, range)| {
+                let plan = MigrationPlan {
+                    regions: vec![PlannedRegion {
+                        object: ObjectId::from_index(0),
+                        range,
+                        priority: 1.0,
+                    }],
+                    total_bytes: range.len,
+                    dropped_bytes: 0,
+                };
+                let out = execute_plan(&mut m, &plan, &MigrationConfig::default(), TierId::FAST)
+                    .expect("migration");
+                black_box(out);
+            },
+        );
     }
-    group.finish();
-}
 
-fn bench_mbind_migration(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mbind_migration");
-    group.sample_size(20);
     for mib in [1usize, 4] {
         let bytes = mib * 1024 * 1024;
-        group.bench_with_input(BenchmarkId::from_parameter(mib), &bytes, |b, &bytes| {
-            b.iter_with_setup(
-                || machine_with_region(bytes),
-                |(mut m, range)| {
-                    black_box(m.migrate_mbind(range, TierId::FAST).expect("mbind"));
-                },
-            );
-        });
+        bench_with_setup(
+            &format!("mbind_migration/{mib}MiB"),
+            20,
+            || machine_with_region(bytes),
+            |(mut m, range)| {
+                black_box(m.migrate_mbind(range, TierId::FAST).expect("mbind"));
+            },
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_staged_migration, bench_mbind_migration);
-criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Minimal wall-clock micro-benchmark harness.
+//!
+//! The workspace builds offline and cannot depend on criterion, so the
+//! `benches/*.rs` targets (all `harness = false`) use this instead: each
+//! bench is a plain binary that times a routine over fresh per-sample
+//! state and prints a one-line summary. The numbers are host wall-clock —
+//! simulator throughput — not simulated time (the fig/table binaries
+//! report that).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Summary statistics of one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchResult {
+    /// Median per-sample wall-clock time.
+    pub median: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+impl BenchResult {
+    /// Median time in nanoseconds as f64 (for speedup arithmetic).
+    pub fn median_ns(&self) -> f64 {
+        self.median.as_secs_f64() * 1e9
+    }
+
+    /// Fastest sample in nanoseconds as f64. On a contended host the
+    /// minimum is the most reproducible estimate of intrinsic cost — every
+    /// slower sample is intrinsic cost *plus* interference.
+    pub fn min_ns(&self) -> f64 {
+        self.min.as_secs_f64() * 1e9
+    }
+}
+
+/// Times `routine` over `samples` runs, each on a fresh `setup()` value
+/// (setup time is excluded), printing and returning the summary.
+///
+/// # Panics
+///
+/// Panics if `samples` is zero.
+pub fn bench_with_setup<S, R>(
+    name: &str,
+    samples: usize,
+    mut setup: impl FnMut() -> S,
+    mut routine: impl FnMut(S) -> R,
+) -> BenchResult {
+    assert!(samples > 0, "need at least one sample");
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let state = setup();
+        let start = Instant::now();
+        let result = routine(state);
+        // Stop the clock before dropping the result, so routines can return
+        // their state to keep teardown out of the measurement.
+        times.push(start.elapsed());
+        black_box(result);
+    }
+    times.sort_unstable();
+    let result = BenchResult {
+        median: times[times.len() / 2],
+        min: times[0],
+        max: times[times.len() - 1],
+        samples,
+    };
+    println!(
+        "{name:<40} median {:>12} (min {}, max {}, {} samples)",
+        format_duration(result.median),
+        format_duration(result.min),
+        format_duration(result.max),
+        samples
+    );
+    result
+}
+
+/// Times a self-contained `routine` (no per-sample setup).
+pub fn bench<R>(name: &str, samples: usize, mut routine: impl FnMut() -> R) -> BenchResult {
+    bench_with_setup(name, samples, || (), |()| routine())
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_secs_f64() * 1e9;
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_sane_statistics() {
+        let r = bench("noop", 5, || 1 + 1);
+        assert_eq!(r.samples, 5);
+        assert!(r.min <= r.median && r.median <= r.max);
+    }
+
+    #[test]
+    fn setup_time_is_excluded() {
+        let r = bench_with_setup(
+            "sleepy-setup",
+            3,
+            || std::thread::sleep(Duration::from_millis(5)),
+            |()| (),
+        );
+        assert!(
+            r.median < Duration::from_millis(5),
+            "setup leaked into timing: {:?}",
+            r.median
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_rejected() {
+        let _ = bench("empty", 0, || ());
+    }
+}

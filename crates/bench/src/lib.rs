@@ -212,3 +212,4 @@ mod tests {
 }
 
 pub mod experiments;
+pub mod harness;

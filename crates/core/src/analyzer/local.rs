@@ -242,6 +242,88 @@ mod tests {
         assert!((sel.priorities[0] - 10.0 / 4096.0).abs() < 1e-12);
     }
 
+    mod properties {
+        use super::*;
+        use atmem_prop::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// The selected set is a prefix of the descending priority
+            /// order: walking chunks from hottest to coldest, once one is
+            /// rejected no later chunk is selected.
+            #[test]
+            fn selection_is_a_prefix_of_descending_priority(
+                counts in prop::collection::vec(0u64..60, 1..80),
+            ) {
+                let o = object_with_samples(&counts);
+                let sel = local_selection(&o, &config());
+                let mut idx: Vec<usize> = (0..sel.priorities.len()).collect();
+                idx.sort_by(|&a, &b| {
+                    sel.priorities[b].partial_cmp(&sel.priorities[a]).unwrap()
+                });
+                let mut rejected_before = None;
+                for &i in &idx {
+                    if sel.critical[i] {
+                        prop_assert!(
+                            rejected_before.is_none(),
+                            "chunk {i} (priority {}) selected after chunk {:?} was rejected",
+                            sel.priorities[i],
+                            rejected_before,
+                        );
+                    } else {
+                        rejected_before.get_or_insert(i);
+                    }
+                }
+            }
+
+            /// Ties at the selection boundary are always included: every
+            /// chunk whose priority equals the coldest selected priority is
+            /// itself selected.
+            #[test]
+            fn boundary_ties_are_included(
+                counts in prop::collection::vec(0u64..8, 1..80),
+            ) {
+                let o = object_with_samples(&counts);
+                let sel = local_selection(&o, &config());
+                let boundary = sel
+                    .priorities
+                    .iter()
+                    .zip(&sel.critical)
+                    .filter(|(_, &c)| c)
+                    .map(|(&p, _)| p)
+                    .fold(f64::INFINITY, f64::min);
+                if boundary.is_finite() {
+                    for (i, (&p, &c)) in sel.priorities.iter().zip(&sel.critical).enumerate() {
+                        if p == boundary {
+                            prop_assert!(c, "chunk {i} ties the boundary priority {boundary} but was rejected");
+                        }
+                    }
+                }
+            }
+
+            /// θ is finite iff at least one chunk clears the `min_samples`
+            /// floor — and then at least one chunk is selected.
+            #[test]
+            fn theta_finite_iff_some_chunk_clears_the_floor(
+                counts in prop::collection::vec(0u64..5, 1..80),
+            ) {
+                let cfg = config();
+                let o = object_with_samples(&counts);
+                let sel = local_selection(&o, &cfg);
+                let any_signal = counts.iter().any(|&c| c >= cfg.min_samples);
+                prop_assert_eq!(
+                    sel.theta.is_finite(),
+                    any_signal,
+                    "theta {} vs counts {:?}",
+                    sel.theta,
+                    &counts
+                );
+                prop_assert_eq!(sel.critical_count() > 0, any_signal);
+            }
+        }
+    }
+
     #[test]
     fn threshold_is_infinite_only_when_unsampled() {
         let o = object_with_samples(&[0; 8]);

@@ -94,18 +94,36 @@ pub fn build_plan(
     plan
 }
 
+/// The promotion budget the optimizer derives from `free_bytes` of
+/// fast-tier space: a `budget_frac` headroom, minus a reserve for one
+/// staging buffer (the transient of the staged mechanism), never more
+/// than half the headroom on small tiers.
+pub fn promotion_budget(free_bytes: usize, config: &MigrationConfig) -> usize {
+    let headroom = (free_bytes as f64 * config.budget_frac) as usize;
+    let staging_reserve = config.max_region_bytes.min(headroom / 2);
+    headroom - staging_reserve
+}
+
 /// Builds a *demotion* plan: regions of currently-fast-resident chunks
 /// that the latest analysis no longer classifies as critical. Executing it
 /// with the slow tier as destination frees fast-tier space for a shifted
 /// hot set — the phase-adaptivity extension the paper leaves as future
 /// work (§9).
+///
+/// Candidates are ordered coldest-first and taken only until the
+/// prospective promotion budget (computed over current free space plus the
+/// bytes freed so far) covers `demand_bytes` — the slow-resident bytes the
+/// upcoming promotion wants to move. Warm residue that the new hot set
+/// does not displace stays put, so alternating phases do not thrash the
+/// whole fast tier on every optimize.
 pub fn build_demotion_plan(
     registry: &Registry,
     analysis: &Analysis,
     machine: &atmem_hms::Machine,
     config: &MigrationConfig,
+    demand_bytes: usize,
 ) -> MigrationPlan {
-    let mut plan = MigrationPlan::default();
+    let mut candidates: Vec<PlannedRegion> = Vec::new();
     for oa in &analysis.objects {
         let obj = match registry.get(oa.id) {
             Some(o) => o,
@@ -122,15 +140,30 @@ pub fn build_demotion_plan(
             match (run_start, in_run) {
                 (None, true) => run_start = Some(i),
                 (Some(s), false) => {
-                    let regions = region_from_run(obj, &oa.selection.priorities, s, i, config);
-                    for r in &regions {
-                        plan.total_bytes += r.range.len;
-                    }
-                    plan.regions.extend(regions);
+                    candidates.extend(region_from_run(obj, &oa.selection.priorities, s, i, config));
                     run_start = None;
                 }
                 _ => {}
             }
+        }
+    }
+
+    // Coldest first; ties broken by address for determinism.
+    candidates.sort_by(|a, b| {
+        a.priority
+            .partial_cmp(&b.priority)
+            .expect("priorities are finite")
+            .then(a.range.start.cmp(&b.range.start))
+    });
+
+    let free = machine.free_bytes(atmem_hms::TierId::FAST);
+    let mut plan = MigrationPlan::default();
+    for region in candidates {
+        if promotion_budget(free + plan.total_bytes, config) >= demand_bytes {
+            plan.dropped_bytes += region.range.len;
+        } else {
+            plan.total_bytes += region.range.len;
+            plan.regions.push(region);
         }
     }
     plan
@@ -288,6 +321,110 @@ mod tests {
             assert!(p.priority > 0.9);
         }
         assert_eq!(plan.dropped_bytes, 8 * 4096);
+    }
+
+    /// A machine-backed fixture: one object of `chunks` 4 KiB chunks
+    /// resident on `placement`, with the fast tier sized exactly to the
+    /// object (free fast space is zero when `placement` is fast).
+    fn machine_fixture(
+        chunks: usize,
+        critical: Vec<bool>,
+        priorities: Vec<f64>,
+        placement: atmem_hms::Placement,
+    ) -> (Registry, Analysis, atmem_hms::Machine) {
+        use atmem_hms::{Machine, Platform};
+        let bytes = chunks * 4096;
+        let mut m = Machine::new(Platform::testing().with_capacities(bytes, 64 * 1024 * 1024));
+        let r = m.alloc(bytes, placement).unwrap();
+        let g = chunk_geometry(
+            bytes,
+            &ChunkConfig {
+                target_chunks: chunks,
+                min_chunk_bytes: 4096,
+            },
+        );
+        let mut registry = Registry::new();
+        let id = registry.register("o", VirtRange::new(r.start, bytes), g);
+        let analysis = Analysis {
+            objects: vec![ObjectAnalysis {
+                id,
+                selection: LocalSelection {
+                    priorities: priorities.clone(),
+                    theta: 0.5,
+                    critical: critical.clone(),
+                },
+                weight: 1.0,
+                tr_threshold: 0.5,
+                critical,
+                promoted_chunks: 0,
+            }],
+        };
+        (registry, analysis, m)
+    }
+
+    /// Per-chunk regions so ordering is observable.
+    fn chunk_granular() -> MigrationConfig {
+        MigrationConfig {
+            max_region_bytes: 4096,
+            ..MigrationConfig::default()
+        }
+    }
+
+    #[test]
+    fn demotion_takes_a_minimal_coldest_first_prefix() {
+        let priorities = vec![0.8, 0.1, 0.5, 0.3, 0.7, 0.2, 0.6, 0.4];
+        let (r, a, m) = machine_fixture(8, vec![false; 8], priorities, atmem_hms::Placement::Fast);
+        let config = chunk_granular();
+        let demand = 4096;
+        let plan = build_demotion_plan(&r, &a, &m, &config, demand);
+        assert!(!plan.is_empty(), "stale bytes must be freed for demand");
+        // Coldest first.
+        let prios: Vec<f64> = plan.regions.iter().map(|p| p.priority).collect();
+        let mut sorted = prios.clone();
+        sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert_eq!(prios, sorted, "demotion must evict coldest first");
+        assert!(prios[0] < 0.15, "the coldest chunk leads the plan");
+        // The prefix is minimal: enough to cover the demand, and one region
+        // fewer would not be.
+        let free = m.free_bytes(atmem_hms::TierId::FAST);
+        assert!(promotion_budget(free + plan.total_bytes, &config) >= demand);
+        let one_less = plan.total_bytes - plan.regions.last().unwrap().range.len;
+        assert!(promotion_budget(free + one_less, &config) < demand);
+        // Warm residue stays put.
+        assert!(plan.dropped_bytes > 0);
+        assert_eq!(plan.total_bytes + plan.dropped_bytes, 8 * 4096);
+    }
+
+    #[test]
+    fn demotion_is_empty_without_promotion_demand() {
+        let (r, a, m) =
+            machine_fixture(8, vec![false; 8], vec![0.0; 8], atmem_hms::Placement::Fast);
+        let plan = build_demotion_plan(&r, &a, &m, &chunk_granular(), 0);
+        assert!(plan.is_empty(), "no demand, nothing to evict: {plan:?}");
+        assert_eq!(plan.total_bytes, 0);
+    }
+
+    #[test]
+    fn demotion_never_touches_critical_or_slow_resident_chunks() {
+        // Critical chunks are exempt however large the demand.
+        let (r, a, m) = machine_fixture(
+            4,
+            vec![true, false, false, true],
+            vec![0.9, 0.1, 0.2, 0.8],
+            atmem_hms::Placement::Fast,
+        );
+        let plan = build_demotion_plan(&r, &a, &m, &chunk_granular(), usize::MAX / 2);
+        assert_eq!(plan.regions.len(), 2);
+        let obj_start = r.iter().next().unwrap().range().start;
+        for p in &plan.regions {
+            let chunk = p.range.start.offset_from(obj_start) / 4096;
+            assert!((1..=2).contains(&chunk), "critical chunk {chunk} demoted");
+        }
+        // A slow-resident object offers no candidates at all.
+        let (r, a, m) =
+            machine_fixture(4, vec![false; 4], vec![0.5; 4], atmem_hms::Placement::Slow);
+        let plan = build_demotion_plan(&r, &a, &m, &chunk_granular(), usize::MAX / 2);
+        assert!(plan.is_empty());
     }
 
     #[test]

@@ -22,7 +22,8 @@ use crate::chunk::chunk_geometry;
 use crate::config::AtmemConfig;
 use crate::error::{AtmemError, Result};
 use crate::migrate::{
-    build_demotion_plan, build_plan, execute_plan, MigrationOutcome, MigrationPlan,
+    build_demotion_plan, build_plan, execute_plan, promotion_budget, MigrationOutcome,
+    MigrationPlan,
 };
 use crate::profiler::{ProfileSummary, Profiler};
 use crate::registry::Registry;
@@ -205,13 +206,28 @@ impl Atmem {
         }
         let analysis = analyze(&self.registry, &self.config.analyzer);
         // Phase adaptivity (extension): evict fast-resident regions that
-        // are no longer critical, making room for the new selection.
+        // are no longer critical, making room for the new selection. The
+        // demotion plan is demand-driven: it frees only enough space (a
+        // coldest-first prefix of the stale residue) to admit the bytes the
+        // new selection actually wants to move.
         let demotion = if self.config.migration.allow_demotion {
+            let wanted = build_plan(
+                &self.registry,
+                &analysis,
+                &self.config.migration,
+                usize::MAX,
+            );
+            let demand: usize = wanted
+                .regions
+                .iter()
+                .map(|r| r.range.len - self.machine.resident_bytes(r.range, TierId::FAST))
+                .sum();
             let demote = build_demotion_plan(
                 &self.registry,
                 &analysis,
                 &self.machine,
                 &self.config.migration,
+                demand,
             );
             Some(execute_plan(
                 &mut self.machine,
@@ -224,12 +240,10 @@ impl Atmem {
         };
         // The budget covers the final placement; the staging transient is
         // bounded separately by max_region_bytes.
-        let headroom = (self.machine.free_bytes(TierId::FAST) as f64
-            * self.config.migration.budget_frac) as usize;
-        // Reserve room for one staging buffer (the transient of the staged
-        // mechanism), but never more than half the headroom on small tiers.
-        let staging_reserve = self.config.migration.max_region_bytes.min(headroom / 2);
-        let budget = headroom - staging_reserve;
+        let budget = promotion_budget(
+            self.machine.free_bytes(TierId::FAST),
+            &self.config.migration,
+        );
         let plan = build_plan(&self.registry, &analysis, &self.config.migration, budget);
         let migration = execute_plan(
             &mut self.machine,

@@ -142,8 +142,7 @@ impl Csr {
     /// existing weights. Deterministic for a fixed `seed`.
     #[must_use]
     pub fn with_random_weights(mut self, max_weight: f32, seed: u64) -> Self {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
+        use atmem_rng::SmallRng;
         let mut rng = SmallRng::seed_from_u64(seed);
         self.weights = Some(
             (0..self.neighbors.len())

@@ -192,7 +192,9 @@ mod tests {
         let mut config = Dataset::Pokec.config();
         config.scale = 9;
         let plain = crate::gen::rmat::rmat(&config, Dataset::Pokec.seed());
-        let weighted = plain.clone().with_random_weights(64.0, Dataset::Pokec.seed() ^ 0x57ED5);
+        let weighted = plain
+            .clone()
+            .with_random_weights(64.0, Dataset::Pokec.seed() ^ 0x57ED5);
         assert_eq!(plain.neighbors(), weighted.neighbors());
         assert!(weighted.is_weighted());
         assert!(weighted

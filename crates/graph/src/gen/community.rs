@@ -9,8 +9,7 @@
 //! both denser and hotter — hot *regions* without extreme hub degrees,
 //! the complement of R-MAT for placement-generality experiments.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use atmem_rng::SmallRng;
 
 use crate::builder::GraphBuilder;
 use crate::csr::Csr;

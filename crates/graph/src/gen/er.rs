@@ -4,8 +4,7 @@
 //! uniform graph, fine-grained placement degenerates to coarse-grained
 //! placement (paper §9, "Generalization").
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use atmem_rng::SmallRng;
 
 use crate::builder::GraphBuilder;
 use crate::csr::Csr;

@@ -7,8 +7,7 @@
 //! b = c = 0.19, d = 0.05`); the other datasets are mimicked by varying the
 //! skew (see `datasets`).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use atmem_rng::SmallRng;
 
 use crate::builder::GraphBuilder;
 use crate::csr::Csr;

@@ -1,7 +1,7 @@
 //! Property-based tests of the graph substrate invariants.
 
 use atmem_graph::{degree_stats, erdos_renyi, rmat, GraphBuilder, RmatConfig, SelfLoops};
-use proptest::prelude::*;
+use atmem_prop::prelude::*;
 
 proptest! {
     /// The builder always produces a structurally valid CSR with sorted

@@ -104,12 +104,19 @@ impl Cache {
 
     /// Accesses the line containing `pa`; fills it on a miss.
     pub fn access(&mut self, pa: PhysAddr, write: bool) -> CacheOutcome {
+        self.access_slot(pa, write).0
+    }
+
+    /// Like [`access`](Cache::access), but also returns the slot index
+    /// (`set * assoc + way`) the line occupies afterwards, so follow-up
+    /// touches of the same line can skip the tag scan.
+    pub(crate) fn access_slot(&mut self, pa: PhysAddr, write: bool) -> (CacheOutcome, usize) {
         self.tick += 1;
         let line_id = pa.raw() >> self.line_shift;
         let set = (line_id & self.set_mask) as usize;
         let tag = line_id >> self.set_mask.count_ones();
         let base = set * self.config.assoc;
-        let ways = &mut self.tags[base..base + self.config.assoc];
+        let ways = &self.tags[base..base + self.config.assoc];
 
         let mut victim = 0usize;
         let mut victim_age = u64::MAX;
@@ -121,7 +128,7 @@ impl Cache {
                 } else {
                     self.read_hits += 1;
                 }
-                return CacheOutcome::Hit;
+                return (CacheOutcome::Hit, base + w);
             }
             let age = self.ages[base + w];
             if age < victim_age {
@@ -136,7 +143,47 @@ impl Cache {
         } else {
             self.read_misses += 1;
         }
-        CacheOutcome::Miss
+        (CacheOutcome::Miss, base + victim)
+    }
+
+    /// Guaranteed-hit re-touch of the line sitting in `slot` (as returned by
+    /// [`access_slot`](Cache::access_slot) with no interleaving accesses):
+    /// identical counter and LRU effects to another `access` of the same
+    /// line, without the tag scan.
+    pub(crate) fn rehit(&mut self, slot: usize, write: bool) {
+        self.tick += 1;
+        if write {
+            self.write_hits += 1;
+        } else {
+            self.read_hits += 1;
+        }
+        self.ages[slot] = self.tick;
+    }
+
+    /// Performs `count` consecutive accesses to the line containing `pa` as
+    /// one batch, returning the outcome of the *first*. State and counters
+    /// end exactly as `count` calls to [`access`](Cache::access) would leave
+    /// them: after the first access fills or touches the line, the remaining
+    /// `count - 1` are guaranteed hits that each advance the tick and
+    /// refresh the line's age.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `count` is zero.
+    pub fn access_run(&mut self, pa: PhysAddr, write: bool, count: usize) -> CacheOutcome {
+        debug_assert!(count > 0, "empty cache run");
+        let (outcome, slot) = self.access_slot(pa, write);
+        if count > 1 {
+            let extra = (count - 1) as u64;
+            self.tick += extra;
+            if write {
+                self.write_hits += extra;
+            } else {
+                self.read_hits += extra;
+            }
+            self.ages[slot] = self.tick;
+        }
+        outcome
     }
 
     /// Drops every line (used when a machine resets between experiments).
@@ -231,6 +278,41 @@ mod tests {
         assert_eq!(c.write_misses(), 1);
         assert_eq!(c.write_hits(), 1);
         assert_eq!(c.read_misses(), 0);
+    }
+
+    #[test]
+    fn access_run_matches_the_per_element_loop() {
+        let mut batched = small();
+        let mut looped = small();
+        // Lines competing in the same set (stride 256), mixed reads/writes.
+        for &(addr, write, count) in &[
+            (0x000u64, false, 9usize),
+            (0x100, false, 3),
+            (0x000, true, 2),
+            (0x200, false, 5),
+            (0x100, true, 1),
+            (0x300, false, 4),
+            (0x000, false, 6),
+        ] {
+            let pa = PhysAddr::new(addr);
+            let first_batched = batched.access_run(pa, write, count);
+            let first_looped = looped.access(pa, write);
+            for _ in 1..count {
+                assert_eq!(looped.access(pa, write), CacheOutcome::Hit);
+            }
+            assert_eq!(first_batched, first_looped, "outcome at {addr:#x}");
+        }
+        assert_eq!(batched.read_hits(), looped.read_hits());
+        assert_eq!(batched.read_misses(), looped.read_misses());
+        assert_eq!(batched.write_hits(), looped.write_hits());
+        assert_eq!(batched.write_misses(), looped.write_misses());
+        // LRU ages agree: the same victims are chosen afterwards.
+        for addr in (0..0x800u64).step_by(0x100) {
+            assert_eq!(
+                batched.access(PhysAddr::new(addr), false),
+                looped.access(PhysAddr::new(addr), false)
+            );
+        }
     }
 
     #[test]

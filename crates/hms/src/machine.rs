@@ -7,7 +7,9 @@
 
 use std::collections::BTreeMap;
 
-use crate::addr::{VirtAddr, VirtRange, HUGE_PAGE_FRAMES, PAGE_SHIFT, PAGE_SIZE};
+use crate::addr::{
+    PhysAddr, VirtAddr, VirtRange, HUGE_PAGE_FRAMES, LINE_SIZE, PAGE_SHIFT, PAGE_SIZE,
+};
 use crate::cache::Cache;
 use crate::cost::{SimClock, SimDuration};
 use crate::error::{HmsError, Result};
@@ -61,6 +63,19 @@ struct Counters {
     reads: u64,
     writes: u64,
     bytes_migrated: u64,
+}
+
+/// One physically contiguous piece of a bulk access: `len` bytes starting at
+/// byte `offset` of `tier`'s storage. Produced by
+/// [`Machine::access_block`]; consumed by the `TrackedVec` slice APIs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct BlockSegment {
+    /// Tier whose storage backs this piece.
+    pub(crate) tier: TierId,
+    /// Byte offset into the tier storage.
+    pub(crate) offset: usize,
+    /// Length in bytes.
+    pub(crate) len: usize,
 }
 
 /// The simulated machine. See the [crate docs](crate) for an overview.
@@ -419,6 +434,361 @@ impl Machine {
         Ok(())
     }
 
+    /// Accounted read-modify-write of one scalar: simulated exactly as a
+    /// [`read`](Machine::read) followed by a [`write`](Machine::write) of
+    /// the same address, but with one address translation and one storage
+    /// round-trip on the host. Returns the *old* value.
+    ///
+    /// The write half is a guaranteed TLB and LLC hit (the read just
+    /// touched both), so all counters, the PEBS stream and the clock end
+    /// bit-identical to the two-call sequence. This is the fast path for
+    /// scatter updates like `next[u] += share`.
+    ///
+    /// # Errors
+    ///
+    /// [`HmsError::Unmapped`] if `va` is not mapped.
+    #[inline]
+    pub fn read_modify_write<T: Scalar>(
+        &mut self,
+        va: VirtAddr,
+        f: impl FnOnce(T) -> T,
+    ) -> Result<T> {
+        debug_assert!(va.page_offset() + T::SIZE <= PAGE_SIZE);
+        let mapping = self.mappings.lookup(va)?;
+        self.counters.accesses += 2;
+        self.counters.reads += 1;
+        self.counters.writes += 1;
+        let (frame, offset) = mapping.translate(va);
+        let pa = frame.phys_addr(offset).line_aligned();
+
+        // Read half: composed exactly as `access(va, _, false)`. The write
+        // half's TLB lookup is folded into the run.
+        let mut cost = SimDuration::ZERO;
+        if !self
+            .tlb
+            .access_run(mapping.tlb_key(va, self.platform.tlb_coalesce), 2)
+        {
+            cost += self.platform.cost.walk_cost();
+        }
+        let (outcome, slot) = self.llc.access_slot(pa, false);
+        let hit = outcome.is_hit();
+        if hit {
+            cost += self.platform.cost.hit_cost();
+        } else {
+            let spec = &self.tiers[frame.tier.index()].spec;
+            cost += self.platform.cost.miss_cost(spec, false);
+            if self.pebs.on_read_miss(va) {
+                cost += self.platform.cost.sample_cost();
+            }
+        }
+        self.clock.advance(cost);
+
+        // Write half: a guaranteed hit on the just-filled line, so the tag
+        // scan is skipped.
+        self.llc.rehit(slot, true);
+        let mut wcost = SimDuration::ZERO;
+        wcost += self.platform.cost.hit_cost();
+        self.clock.advance(wcost);
+
+        if self.tracer.is_enabled() {
+            self.tracer.record(
+                va,
+                if hit {
+                    AccessKind::ReadHit
+                } else {
+                    AccessKind::ReadMiss
+                },
+            );
+            self.tracer.record(va, AccessKind::WriteHit);
+        }
+
+        let bytes = self.tiers[frame.tier.index()]
+            .storage
+            .slice_mut(frame.byte_offset() + offset, T::SIZE);
+        let old = T::from_le_slice(bytes);
+        f(old).write_le_slice(bytes);
+        Ok(old)
+    }
+
+    /// Accounted indexed gather: reads element `indices[k]` of an array of
+    /// `elem_count` `T`s based at `base` into `out[k]`, for every `k`.
+    ///
+    /// Each access runs the full scalar path — per-element TLB lookup, LLC
+    /// walk, PEBS sampling and clock advance in index order — so simulated
+    /// state ends **bit-identical** to the equivalent [`read`](Machine::read)
+    /// loop. Only per-call overhead (cost-model constant fetches, counter
+    /// updates, the tracing check) is hoisted out of the loop; gathers are
+    /// the dominant host cost of irregular kernels, which is the only reason
+    /// this exists.
+    ///
+    /// # Errors
+    ///
+    /// [`HmsError::Unmapped`] if any accessed address is unmapped. Accesses
+    /// before the failing one have already been charged (and the access
+    /// totals for the whole call, which are batched up front).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` and `out` differ in length or an index is out of
+    /// bounds (`>= elem_count`).
+    pub(crate) fn read_gather<T: Scalar>(
+        &mut self,
+        base: VirtAddr,
+        elem_count: usize,
+        indices: &[u32],
+        out: &mut [T],
+    ) -> Result<()> {
+        assert_eq!(indices.len(), out.len(), "index/output length mismatch");
+        let coalesce = self.platform.tlb_coalesce;
+        let walk_cost = self.platform.cost.walk_cost();
+        let hit_cost = self.platform.cost.hit_cost();
+        let sample_cost = self.platform.cost.sample_cost();
+        // Per-tier read miss costs, computed once: `miss_cost` divides by
+        // the tier bandwidth, which is too expensive for the per-miss loop.
+        let tier_miss: Vec<SimDuration> = self
+            .tiers
+            .iter()
+            .map(|t| self.platform.cost.miss_cost(&t.spec, false))
+            .collect();
+        let tracing = self.tracer.is_enabled();
+        self.counters.accesses += indices.len() as u64;
+        self.counters.reads += indices.len() as u64;
+        // One-entry mapping memo: gathers overwhelmingly stay inside one
+        // array, so most iterations skip the mapping-table call entirely.
+        let mut cur: Option<Mapping> = None;
+        for (&i, slot) in indices.iter().zip(out.iter_mut()) {
+            let i = i as usize;
+            assert!(
+                i < elem_count,
+                "gather index {i} out of bounds ({elem_count})"
+            );
+            let va = VirtAddr::new(base.raw() + (i * T::SIZE) as u64);
+            let vpage = va.page_index();
+            let mapping = match cur {
+                Some(m) if vpage >= m.vpage_start && vpage < m.vpage_start + m.pages as u64 => m,
+                _ => {
+                    let m = self.mappings.lookup(va)?;
+                    cur = Some(m);
+                    m
+                }
+            };
+            let mut cost = SimDuration::ZERO;
+            if !self.tlb.access(mapping.tlb_key(va, coalesce)) {
+                cost += walk_cost;
+            }
+            let (frame, offset) = mapping.translate(va);
+            let pa = frame.phys_addr(offset).line_aligned();
+            let hit = self.llc.access(pa, false).is_hit();
+            if hit {
+                cost += hit_cost;
+            } else {
+                cost += tier_miss[frame.tier.index()];
+                if self.pebs.on_read_miss(va) {
+                    cost += sample_cost;
+                }
+            }
+            if tracing {
+                self.tracer.record(
+                    va,
+                    if hit {
+                        AccessKind::ReadHit
+                    } else {
+                        AccessKind::ReadMiss
+                    },
+                );
+            }
+            self.clock.advance(cost);
+            let bytes = self.tiers[frame.tier.index()]
+                .storage
+                .slice(frame.byte_offset() + offset, T::SIZE);
+            *slot = T::from_le_slice(bytes);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Accounted bulk access (the TrackedVec slice fast path)
+    // ------------------------------------------------------------------
+
+    /// Performs an accounted bulk access over `range`, simulated as
+    /// `range.len / elem` consecutive scalar accesses of `elem` bytes each,
+    /// and returns the physically contiguous storage segments backing the
+    /// range in address order.
+    ///
+    /// This is the fast path behind the `TrackedVec` slice APIs: the mapping
+    /// table is consulted once per mapping chunk, the TLB once per
+    /// translation unit and the LLC once per cache line, instead of once per
+    /// element. Simulated state nevertheless ends **bit-identical** to the
+    /// equivalent per-element [`read`](Machine::read)/[`write`](Machine::write)
+    /// loop — TLB and LLC counters and replacement state, access counters,
+    /// the PEBS stream (including RNG state and sample costs), trace records
+    /// and the simulated clock. The key observation is that within a
+    /// sequential run only the *first* access to a translation unit or cache
+    /// line can miss; the batched update replays the exact counter updates
+    /// of the scalar path, and advances the clock once per element with the
+    /// identically composed cost (f64 accumulation order matters).
+    ///
+    /// `elem` must divide [`LINE_SIZE`] and `range` must be `elem`-aligned
+    /// at both ends, so that no element straddles a cache line — the bulk
+    /// analogue of the scalar path's no-page-straddle invariant.
+    ///
+    /// # Errors
+    ///
+    /// [`HmsError::Unmapped`] if any byte of `range` is unmapped. Chunks
+    /// before the first unmapped page have already been charged, exactly as
+    /// the per-element loop would have charged them before erroring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elem` does not divide [`LINE_SIZE`] or `range` is not
+    /// `elem`-aligned.
+    pub(crate) fn access_block(
+        &mut self,
+        range: VirtRange,
+        elem: usize,
+        write: bool,
+    ) -> Result<Vec<BlockSegment>> {
+        assert!(
+            elem > 0 && LINE_SIZE.is_multiple_of(elem),
+            "element size must divide a cache line"
+        );
+        assert!(
+            range.start.raw().is_multiple_of(elem as u64) && range.len.is_multiple_of(elem),
+            "bulk range must be element-aligned"
+        );
+        let mut segments = Vec::new();
+        if range.len == 0 {
+            return Ok(segments);
+        }
+
+        let coalesce = self.platform.tlb_coalesce;
+        let walk_cost = self.platform.cost.walk_cost();
+        let hit_cost = self.platform.cost.hit_cost();
+        let sample_cost = self.platform.cost.sample_cost();
+        let tracing = self.tracer.is_enabled();
+        // Non-first elements of a line run each cost exactly one LLC hit;
+        // composed once here, identically to the scalar loop's
+        // `ZERO + hit_cost` per element.
+        let mut rest_cost = SimDuration::ZERO;
+        rest_cost += hit_cost;
+
+        let mut va = range.start;
+        let end = range.end();
+        while va < end {
+            let mapping = self.mappings.lookup(va)?;
+            let chunk_end = mapping.vrange().end().min(end);
+            let chunk_len = chunk_end.offset_from(va) as usize;
+            let chunk_elems = (chunk_len / elem) as u64;
+            self.counters.accesses += chunk_elems;
+            if write {
+                self.counters.writes += chunk_elems;
+            } else {
+                self.counters.reads += chunk_elems;
+            }
+
+            // Frames are contiguous within a mapping, so both the physical
+            // address and the tier-storage offset advance linearly with the
+            // virtual address for the rest of the chunk.
+            let (frame, offset) = mapping.translate(va);
+            let pa_base = frame.phys_addr(offset).raw();
+            segments.push(BlockSegment {
+                tier: frame.tier,
+                offset: frame.byte_offset() + offset,
+                len: chunk_len,
+            });
+            let miss_cost = self
+                .platform
+                .cost
+                .miss_cost(&self.tiers[frame.tier.index()].spec, write);
+
+            let mut unit_va = va;
+            while unit_va < chunk_end {
+                let unit_end = tlb_unit_end(&mapping, unit_va, coalesce).min(chunk_end);
+                let unit_elems = unit_end.offset_from(unit_va) as usize / elem;
+                let tlb_hit = self
+                    .tlb
+                    .access_run(mapping.tlb_key(unit_va, coalesce), unit_elems);
+
+                let mut line_va = unit_va;
+                // Lines advance in lockstep with the virtual address inside
+                // a chunk, so the aligned physical address just steps by
+                // LINE_SIZE after the first line of the unit.
+                let mut pa = PhysAddr::new(pa_base + line_va.offset_from(va)).line_aligned();
+                while line_va < unit_end {
+                    let line_end = VirtAddr::new(line_va.line_aligned().raw() + LINE_SIZE as u64)
+                        .min(unit_end);
+                    let count = line_end.offset_from(line_va) as usize / elem;
+                    let hit = self.llc.access_run(pa, write, count).is_hit();
+
+                    // The first element of the run replicates the scalar
+                    // cost composition: only it can pay the walk, the fill
+                    // and the PEBS sample.
+                    let mut first_cost = SimDuration::ZERO;
+                    if line_va == unit_va && !tlb_hit {
+                        first_cost += walk_cost;
+                    }
+                    if hit {
+                        first_cost += hit_cost;
+                    } else {
+                        first_cost += miss_cost;
+                        if !write && self.pebs.on_read_miss(line_va) {
+                            first_cost += sample_cost;
+                        }
+                    }
+                    self.clock.advance(first_cost);
+                    // The remaining elements are guaranteed hits with a warm
+                    // TLB entry: one clock advance each, exactly as the
+                    // scalar loop performs them.
+                    for _ in 1..count {
+                        self.clock.advance(rest_cost);
+                    }
+
+                    if tracing {
+                        let first_kind = match (write, hit) {
+                            (false, true) => AccessKind::ReadHit,
+                            (false, false) => AccessKind::ReadMiss,
+                            (true, true) => AccessKind::WriteHit,
+                            (true, false) => AccessKind::WriteMiss,
+                        };
+                        self.tracer.record(line_va, first_kind);
+                        let rest_kind = if write {
+                            AccessKind::WriteHit
+                        } else {
+                            AccessKind::ReadHit
+                        };
+                        for i in 1..count {
+                            self.tracer
+                                .record(line_va.add((i * elem) as u64), rest_kind);
+                        }
+                    }
+                    line_va = line_end;
+                    pa = PhysAddr::new(pa.raw() + LINE_SIZE as u64);
+                }
+                unit_va = unit_end;
+            }
+            va = chunk_end;
+        }
+        Ok(segments)
+    }
+
+    /// Borrows `len` bytes of `tier`'s backing storage. Bulk data path only:
+    /// accounting must already have happened via [`Machine::access_block`].
+    pub(crate) fn storage_slice(&self, tier: TierId, offset: usize, len: usize) -> &[u8] {
+        self.tiers[tier.index()].storage.slice(offset, len)
+    }
+
+    /// Mutably borrows `len` bytes of `tier`'s backing storage. Bulk data
+    /// path only: accounting must already have happened via
+    /// [`Machine::access_block`].
+    pub(crate) fn storage_slice_mut(
+        &mut self,
+        tier: TierId,
+        offset: usize,
+        len: usize,
+    ) -> &mut [u8] {
+        self.tiers[tier.index()].storage.slice_mut(offset, len)
+    }
+
     // ------------------------------------------------------------------
     // Unaccounted access (setup / verification)
     // ------------------------------------------------------------------
@@ -678,18 +1048,17 @@ impl Machine {
             }
             return;
         }
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for chunk in jobs.chunks(jobs.len().div_ceil(workers)) {
                 let bases = &bases;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for job in chunk {
                         // SAFETY: see `copy_job`.
                         unsafe { copy_job(bases, job) };
                     }
                 });
             }
-        })
-        .expect("copy worker panicked");
+        });
     }
 
     /// Splits any mapping that straddles a boundary of `range`, so that
@@ -929,6 +1298,36 @@ unsafe fn copy_job(bases: &[SendPtr], job: &CopyJob) {
     let src = bases[job.src_tier.index()].0.add(job.src_off) as *const u8;
     let dst = bases[job.dst_tier.index()].0.add(job.dst_off);
     std::ptr::copy_nonoverlapping(src, dst, job.len);
+}
+
+/// End of the TLB translation unit containing `va` under `mapping`: the
+/// address at which [`Mapping::tlb_key`] first changes. Huge mappings share
+/// one key per huge unit; base pages in a fully covered coalescing group
+/// share one key per group; everything else is per-page. Mirrors the key
+/// logic exactly so `access_block` batches precisely the accesses the
+/// per-element loop would send to the same TLB entry.
+fn tlb_unit_end(mapping: &Mapping, va: VirtAddr, coalesce: usize) -> VirtAddr {
+    let vpage = va.page_index();
+    let end_page = match mapping.kind {
+        PageKind::Huge2M => (vpage / HUGE_PAGE_FRAMES as u64 + 1) * HUGE_PAGE_FRAMES as u64,
+        PageKind::Base4K => {
+            if coalesce > 1 {
+                let group = vpage / coalesce as u64;
+                let group_start = group * coalesce as u64;
+                let group_end = group_start + coalesce as u64;
+                if mapping.vpage_start <= group_start
+                    && group_end <= mapping.vpage_start + mapping.pages as u64
+                {
+                    group_end
+                } else {
+                    vpage + 1
+                }
+            } else {
+                vpage + 1
+            }
+        }
+    };
+    VirtAddr::new(end_page << PAGE_SHIFT)
 }
 
 /// Plain little-endian scalar types storable in simulated memory.

@@ -8,8 +8,7 @@
 //! systematic aliasing with strided access patterns, as hardware sampling
 //! drivers do.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use atmem_rng::SmallRng;
 
 use crate::addr::VirtAddr;
 

@@ -87,6 +87,37 @@ impl Tlb {
         false
     }
 
+    /// Performs `count` consecutive lookups of the same `key` as one batch,
+    /// returning the outcome of the *first* (`true` = hit). State and
+    /// counters end exactly as `count` calls to [`access`](Tlb::access)
+    /// would leave them: after the first lookup fills or refreshes the
+    /// entry, the remaining `count - 1` are guaranteed hits that each
+    /// advance the tick and re-stamp the entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `count` is zero.
+    pub fn access_run(&mut self, key: u64, count: usize) -> bool {
+        debug_assert!(count > 0, "empty TLB run");
+        let final_tick = self.tick + count as u64;
+        if let Some(ts) = self.entries.get_mut(&key) {
+            *ts = final_tick;
+            self.tick = final_tick;
+            self.hits += count as u64;
+            return true;
+        }
+        // Miss on the first lookup; the eviction decision is taken before
+        // the new entry is inserted, exactly as `access` would take it.
+        self.tick = final_tick;
+        self.misses += 1;
+        self.hits += (count - 1) as u64;
+        if self.entries.len() >= self.capacity {
+            self.evict_lru();
+        }
+        self.entries.insert(key, final_tick);
+        false
+    }
+
     fn evict_lru(&mut self) {
         if let Some((&victim, _)) = self.entries.iter().min_by_key(|&(_, &ts)| ts) {
             self.entries.remove(&victim);
@@ -167,6 +198,37 @@ mod tests {
         assert_eq!(tlb.len(), 3);
         assert!(tlb.access(1));
         assert!(!tlb.access(0));
+    }
+
+    #[test]
+    fn access_run_matches_the_per_element_loop() {
+        let mut batched = Tlb::new(4);
+        let mut looped = Tlb::new(4);
+        // Runs interleaved with competing keys, enough to force evictions.
+        for &(key, count) in &[
+            (1u64, 5usize),
+            (2, 3),
+            (1, 2),
+            (3, 1),
+            (4, 7),
+            (5, 2),
+            (1, 4),
+            (6, 1),
+            (2, 6),
+        ] {
+            let first_batched = batched.access_run(key, count);
+            let first_looped = looped.access(key);
+            for _ in 1..count {
+                assert!(looped.access(key), "repeat of key {key} must hit");
+            }
+            assert_eq!(first_batched, first_looped, "outcome for key {key}");
+        }
+        assert_eq!(batched.hits(), looped.hits());
+        assert_eq!(batched.misses(), looped.misses());
+        // The LRU state is identical too: future evictions agree.
+        for k in 100..120 {
+            assert_eq!(batched.access(k), looped.access(k));
+        }
     }
 
     #[test]

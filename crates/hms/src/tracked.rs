@@ -102,6 +102,159 @@ impl<T: Scalar> TrackedVec<T> {
             .expect("tracked element unmapped");
     }
 
+    /// Accounted read-modify-write of element `i`: `x[i] = f(x[i])`,
+    /// returning the old value. Simulated bit-identically to
+    /// [`get`](TrackedVec::get) followed by [`set`](TrackedVec::set) but
+    /// with one address translation on the host — the fast path for scatter
+    /// updates like `next[u] += share`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element is unmapped.
+    #[inline]
+    pub fn update(&self, machine: &mut Machine, i: usize, f: impl FnOnce(T) -> T) -> T {
+        machine
+            .read_modify_write::<T>(self.addr_of(i), f)
+            .expect("tracked element unmapped")
+    }
+
+    /// Accounted bulk read of `out.len()` consecutive elements starting at
+    /// element `start`, through [`Machine::access_block`]'s fast path.
+    ///
+    /// Simulated state (counters, TLB/LLC contents, PEBS stream, clock) ends
+    /// bit-identical to the equivalent [`get`](TrackedVec::get) loop; only
+    /// host wall-clock time differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + out.len() > self.len()` or if the range is
+    /// unmapped (use-after-free).
+    pub fn read_slice(&self, machine: &mut Machine, start: usize, out: &mut [T]) {
+        assert!(
+            start + out.len() <= self.len,
+            "slice [{start}, {}) out of bounds (len {})",
+            start + out.len(),
+            self.len
+        );
+        if out.is_empty() {
+            return;
+        }
+        let range = VirtRange::new(self.addr_of(start), out.len() * T::SIZE);
+        let segments = machine
+            .access_block(range, T::SIZE, false)
+            .expect("tracked range unmapped");
+        let mut rest = &mut out[..];
+        for seg in segments {
+            let (head, tail) = rest.split_at_mut(seg.len / T::SIZE);
+            let bytes = machine.storage_slice(seg.tier, seg.offset, seg.len);
+            for (slot, chunk) in head.iter_mut().zip(bytes.chunks_exact(T::SIZE)) {
+                *slot = T::from_le_slice(chunk);
+            }
+            rest = tail;
+        }
+        debug_assert!(rest.is_empty());
+    }
+
+    /// Accounted bulk write of `values` to consecutive elements starting at
+    /// element `start`, through [`Machine::access_block`]'s fast path.
+    ///
+    /// Simulated state ends bit-identical to the equivalent
+    /// [`set`](TrackedVec::set) loop; only host wall-clock time differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + values.len() > self.len()` or if the range is
+    /// unmapped.
+    pub fn write_slice(&self, machine: &mut Machine, start: usize, values: &[T]) {
+        assert!(
+            start + values.len() <= self.len,
+            "slice [{start}, {}) out of bounds (len {})",
+            start + values.len(),
+            self.len
+        );
+        if values.is_empty() {
+            return;
+        }
+        let range = VirtRange::new(self.addr_of(start), values.len() * T::SIZE);
+        let segments = machine
+            .access_block(range, T::SIZE, true)
+            .expect("tracked range unmapped");
+        let mut rest = values;
+        for seg in segments {
+            let (head, tail) = rest.split_at(seg.len / T::SIZE);
+            let bytes = machine.storage_slice_mut(seg.tier, seg.offset, seg.len);
+            for (&value, chunk) in head.iter().zip(bytes.chunks_exact_mut(T::SIZE)) {
+                value.write_le_slice(chunk);
+            }
+            rest = tail;
+        }
+        debug_assert!(rest.is_empty());
+    }
+
+    /// Accounted bulk scan: calls `f(index, value)` for `len` consecutive
+    /// elements starting at element `start`, through
+    /// [`Machine::access_block`]'s fast path.
+    ///
+    /// Simulated state ends bit-identical to the equivalent
+    /// [`get`](TrackedVec::get) loop; only host wall-clock time differs.
+    /// Note that `f` observes values as of the start of the scan — a kernel
+    /// whose loop body writes elements it will scan later (e.g. in-place
+    /// label propagation) must use the per-element path instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + len > self.len()` or if the range is unmapped.
+    pub fn scan(
+        &self,
+        machine: &mut Machine,
+        start: usize,
+        len: usize,
+        mut f: impl FnMut(usize, T),
+    ) {
+        assert!(
+            start + len <= self.len,
+            "scan [{start}, {}) out of bounds (len {})",
+            start + len,
+            self.len
+        );
+        if len == 0 {
+            return;
+        }
+        let range = VirtRange::new(self.addr_of(start), len * T::SIZE);
+        let segments = machine
+            .access_block(range, T::SIZE, false)
+            .expect("tracked range unmapped");
+        let mut i = start;
+        for seg in segments {
+            for bytes in machine
+                .storage_slice(seg.tier, seg.offset, seg.len)
+                .chunks_exact(T::SIZE)
+            {
+                f(i, T::from_le_slice(bytes));
+                i += 1;
+            }
+        }
+        debug_assert_eq!(i, start + len);
+    }
+
+    /// Accounted indexed gather: reads element `indices[k]` into `out[k]`
+    /// for every `k`, in order, through [`Machine::read_gather`].
+    ///
+    /// Simulated state ends bit-identical to the equivalent
+    /// [`get`](TrackedVec::get) loop; only per-call host overhead is hoisted
+    /// out of the loop. This is the companion to the slice fast path for the
+    /// *irregular* side of a kernel (e.g. SpMV's `x[col]` stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` and `out` differ in length, an index is out of
+    /// bounds, or the array is unmapped (use-after-free).
+    pub fn gather(&self, machine: &mut Machine, indices: &[u32], out: &mut [T]) {
+        machine
+            .read_gather::<T>(self.range.start, self.len, indices, out)
+            .expect("tracked element unmapped");
+    }
+
     /// Unaccounted read (for verification and result extraction).
     pub fn peek(&self, machine: &mut Machine, i: usize) -> T {
         machine
@@ -191,6 +344,99 @@ mod tests {
         assert_eq!(m.now(), t0, "peek/poke must be free");
         let _ = v.get(&mut m, 0);
         assert!(m.now() > t0, "get must cost simulated time");
+    }
+
+    /// The tentpole guarantee: the bulk slice path leaves every piece of
+    /// simulated state — counters, clock, PEBS sample stream, trace stream —
+    /// bit-identical to the per-element loop it replaces.
+    #[test]
+    fn bulk_access_is_bit_identical_to_the_scalar_loop() {
+        // Fast tier too small for the whole array: Preferred(FAST) spills
+        // to SLOW mid-range, so the bulk path crosses mapping (and tier)
+        // chunk boundaries.
+        let platform = || Platform::testing().with_capacities(64 * 1024, 8 * 1024 * 1024);
+        let mut bulk = Machine::new(platform());
+        let mut scalar = Machine::new(platform());
+        for m in [&mut bulk, &mut scalar] {
+            m.pebs_enable(7, 3);
+            m.trace_enable();
+        }
+        let n = 40_000; // 160 000 bytes of u32: spills past the fast tier.
+        let vb = TrackedVec::<u32>::new(&mut bulk, n, Placement::Preferred(TierId::FAST)).unwrap();
+        let vs =
+            TrackedVec::<u32>::new(&mut scalar, n, Placement::Preferred(TierId::FAST)).unwrap();
+
+        let values: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2654435761)).collect();
+
+        // Full write.
+        vb.write_slice(&mut bulk, 0, &values);
+        for (i, &x) in values.iter().enumerate() {
+            vs.set(&mut scalar, i, x);
+        }
+        // Full read, now with warm TLB/LLC state.
+        let mut out = vec![0u32; n];
+        vb.read_slice(&mut bulk, 0, &mut out);
+        for (i, &x) in values.iter().enumerate() {
+            assert_eq!(vs.get(&mut scalar, i), x);
+        }
+        assert_eq!(out, values, "bulk read returned wrong data");
+
+        // Interior, cache-line-unaligned scan (element 3 = byte 12).
+        let (start, len) = (3, 12_345);
+        let mut sum_b = 0u64;
+        vb.scan(&mut bulk, start, len, |_, x| sum_b += u64::from(x));
+        let mut sum_s = 0u64;
+        for i in start..start + len {
+            sum_s += u64::from(vs.get(&mut scalar, i));
+        }
+        assert_eq!(sum_b, sum_s);
+
+        // Interior overwrite at an odd offset.
+        let patch: Vec<u32> = (0..4_321u32).collect();
+        vb.write_slice(&mut bulk, 777, &patch);
+        for (k, &x) in patch.iter().enumerate() {
+            vs.set(&mut scalar, 777 + k, x);
+        }
+
+        // Random scatter via read-modify-write vs get-then-set.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for _ in 0..5_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let i = (state >> 33) as usize % n;
+            let old_b = vb.update(&mut bulk, i, |x| x.wrapping_add(7));
+            let old_s = vs.get(&mut scalar, i);
+            vs.set(&mut scalar, i, old_s.wrapping_add(7));
+            assert_eq!(old_b, old_s);
+        }
+
+        // Indexed gather vs the per-element read loop.
+        let indices: Vec<u32> = (0..8_000)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as u32 % n as u32
+            })
+            .collect();
+        let mut gathered = vec![0u32; indices.len()];
+        vb.gather(&mut bulk, &indices, &mut gathered);
+        for (&i, &got) in indices.iter().zip(&gathered) {
+            assert_eq!(vs.get(&mut scalar, i as usize), got, "gather at {i}");
+        }
+
+        assert_eq!(bulk.stats(), scalar.stats(), "machine counters diverge");
+        assert_eq!(
+            bulk.pebs_drain(),
+            scalar.pebs_drain(),
+            "PEBS streams diverge"
+        );
+        assert_eq!(
+            bulk.trace_drain(),
+            scalar.trace_drain(),
+            "trace streams diverge"
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use atmem_hms::addr::PAGE_SIZE;
 use atmem_hms::{FrameAllocator, FrameRun, Machine, Placement, Platform, TierId, VirtAddr};
-use proptest::prelude::*;
+use atmem_prop::prelude::*;
 
 proptest! {
     /// The frame allocator never double-allocates, never loses frames, and

@@ -40,15 +40,35 @@ fn second_optimize_follows_the_hot_set() {
     let (mut rt, v) = phase_runtime();
     let n = v.len();
     let window = n / 8;
+    let window_bytes = window * 8;
+    let elems_per_chunk = 4096 / 8;
 
-    // Phase 1: hot prefix.
+    // Phase 1: hot prefix. The 512 KiB window cannot fit the fast tier
+    // whole (headroom + staging reserve leave ~330 KiB of budget), so the
+    // assertions check aggregate residency of the window, not any single
+    // address — which of the equally hot 128 KiB pieces win the budget is
+    // decided by sampling noise.
     rt.profiling_start().unwrap();
     windowed_reads(&mut rt, &v, 200_000, 0, window);
     rt.profiling_stop().unwrap();
     let first = rt.optimize().unwrap();
     assert!(first.migration.bytes_moved > 0, "phase 1 must migrate");
-    let prefix_addr = v.addr_of(64);
-    assert_eq!(rt.machine_mut().tier_of(prefix_addr).unwrap(), TierId::FAST);
+    let prefix_range = atmem_hms::VirtRange::new(v.addr_of(0), window_bytes);
+    let prefix_fast = rt.machine().resident_bytes(prefix_range, TierId::FAST);
+    assert!(
+        prefix_fast >= window_bytes / 4,
+        "a substantial share of the hot prefix must be fast, got {prefix_fast}"
+    );
+    // Remember one concretely promoted address to watch it get demoted.
+    let promoted_chunk = (0..window / elems_per_chunk)
+        .find(|c| {
+            rt.machine_mut()
+                .tier_of(v.addr_of(c * elems_per_chunk))
+                .unwrap()
+                == TierId::FAST
+        })
+        .expect("some prefix chunk is fast");
+    let promoted_addr = v.addr_of(promoted_chunk * elems_per_chunk + 64);
 
     // Phase 2: hot suffix.
     rt.profiling_start().unwrap();
@@ -63,16 +83,16 @@ fn second_optimize_follows_the_hot_set() {
         "stale phase-1 region should be evicted: {demotion:?}"
     );
     assert!(second.migration.bytes_moved > 0, "phase 2 must migrate");
-    let suffix_addr = v.addr_of(6 * window + 64);
-    assert_eq!(
-        rt.machine_mut().tier_of(suffix_addr).unwrap(),
-        TierId::FAST,
-        "new hot window must be fast"
+    let suffix_range = atmem_hms::VirtRange::new(v.addr_of(6 * window), window_bytes);
+    let suffix_fast = rt.machine().resident_bytes(suffix_range, TierId::FAST);
+    assert!(
+        suffix_fast >= window_bytes / 4,
+        "a substantial share of the new hot window must be fast, got {suffix_fast}"
     );
     assert_eq!(
-        rt.machine_mut().tier_of(prefix_addr).unwrap(),
+        rt.machine_mut().tier_of(promoted_addr).unwrap(),
         TierId::SLOW,
-        "old hot window must have been demoted"
+        "the promoted phase-1 chunk must have been demoted"
     );
 
     // Data integrity across both rounds of migration.

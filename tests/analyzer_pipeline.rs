@@ -6,7 +6,7 @@ use atmem::analyzer::promote::{adaptive_thresholds, promote};
 use atmem::analyzer::tree::MaryTree;
 use atmem::{analyze, AnalyzerConfig, Atmem, AtmemConfig};
 use atmem_hms::Platform;
-use proptest::prelude::*;
+use atmem_prop::prelude::*;
 
 #[test]
 fn sampled_hot_chunks_become_critical_through_the_full_stack() {
@@ -113,8 +113,7 @@ proptest! {
         accesses in 2_000usize..20_000,
         seed in any::<u64>(),
     ) {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
+        use atmem_rng::SmallRng;
 
         let mut rt = Atmem::new(Platform::testing(), AtmemConfig::default()).unwrap();
         let mut arrays = Vec::new();

@@ -4,7 +4,7 @@ use atmem::migrate::plan::{MigrationPlan, PlannedRegion};
 use atmem::migrate::staged::execute_plan;
 use atmem::{MigrationConfig, MigrationMechanism, ObjectId};
 use atmem_hms::{Machine, Placement, Platform, TierId, VirtRange};
-use proptest::prelude::*;
+use atmem_prop::prelude::*;
 
 const PAGE: usize = 4096;
 
