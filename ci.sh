@@ -4,7 +4,9 @@
 #
 # The wall-clock bench gate (benches/kernels.rs) is opt-in because it
 # asserts host-speed ratios that need a release build on a mostly-idle
-# machine: `cargo bench --bench kernels`.
+# machine: `cargo bench --bench kernels`. CI runs its `--smoke` variant
+# instead: the Scalar/Bulk equivalence assertions on a reduced graph, with
+# the timing gates skipped.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -19,5 +21,8 @@ cargo build --release
 
 echo "==> tier-1: cargo test -q"
 cargo test -q
+
+echo "==> bench smoke (mode-equivalence only, no timing gates)"
+cargo bench -p atmem-bench --bench kernels -- --smoke
 
 echo "CI gate passed."

@@ -1,109 +1,172 @@
-//! Mode-dispatched access helpers shared by the kernels.
+//! The kernel-facing access API: [`MemCtx`] bundles the simulated machine
+//! with an [`AccessMode`] so kernels take *one* context parameter instead of
+//! threading `(machine, mode)` pairs through every call.
 //!
-//! Every kernel drives its *sequential* streams (CSR arrays, property-array
-//! fills, damping sweeps) through these helpers and keeps genuinely random
-//! accesses (neighbour-indexed gathers and scatters) on the per-element
-//! path. [`AccessMode::Bulk`] routes the streams through the simulator's
-//! block fast path — one translation per page, one LLC probe per cache
-//! line — which produces bit-identical simulated counters to
-//! [`AccessMode::Scalar`]'s per-element loops (the fidelity guarantee of
-//! `Machine::access_block`), at a fraction of the host cost.
+//! Kernels drive their *sequential* streams (CSR arrays, property-array
+//! fills, damping sweeps) through [`MemCtx::read_run`]/[`MemCtx::write_run`]
+//! and their *irregular* phases (neighbour-indexed gathers, scatters and
+//! scatter-updates) through [`MemCtx::gather`], [`MemCtx::scatter`] and
+//! [`MemCtx::gather_update`]. [`AccessMode::Bulk`] routes both through the
+//! simulator's batched fast paths — block translation for streams, the
+//! window engine for irregular index windows — which produce bit-identical
+//! simulated state to [`AccessMode::Scalar`]'s per-element loops (the
+//! fidelity guarantee of `Machine::access_block` and
+//! `Machine::access_window`), at a fraction of the host cost.
 
 use atmem_hms::{Machine, Scalar, TrackedVec};
 
-/// How a kernel drives its sequential streams through the simulator.
+/// How a kernel's accesses are driven through the simulator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum AccessMode {
     /// One simulated access per element (the historical path).
     Scalar,
-    /// Block-translated accesses through the bulk fast path.
+    /// Batched accesses through the bulk fast paths.
     #[default]
     Bulk,
 }
 
-/// Accounted read of `out.len()` consecutive elements starting at `start`.
-pub fn read_run<T: Scalar>(
-    v: &TrackedVec<T>,
-    m: &mut Machine,
+/// Accessor context handed to kernels: the machine plus the access mode,
+/// chosen once by the runner or harness. This (with [`AccessMode`]) is the
+/// only mode surface — kernels have no mode state of their own.
+#[derive(Debug)]
+pub struct MemCtx<'a> {
+    machine: &'a mut Machine,
     mode: AccessMode,
-    start: usize,
-    out: &mut [T],
-) {
-    if out.is_empty() {
-        return;
+}
+
+impl<'a> MemCtx<'a> {
+    /// Wraps `machine` with an explicit access mode.
+    pub fn new(machine: &'a mut Machine, mode: AccessMode) -> Self {
+        MemCtx { machine, mode }
     }
-    match mode {
-        AccessMode::Bulk => v.read_slice(m, start, out),
-        AccessMode::Scalar => {
-            for (k, slot) in out.iter_mut().enumerate() {
-                *slot = v.get(m, start + k);
+
+    /// Wraps `machine` with the default [`AccessMode::Bulk`].
+    pub fn bulk(machine: &'a mut Machine) -> Self {
+        MemCtx::new(machine, AccessMode::Bulk)
+    }
+
+    /// Wraps `machine` with [`AccessMode::Scalar`].
+    pub fn scalar(machine: &'a mut Machine) -> Self {
+        MemCtx::new(machine, AccessMode::Scalar)
+    }
+
+    /// The access mode this context dispatches on.
+    pub fn mode(&self) -> AccessMode {
+        self.mode
+    }
+
+    /// Escape hatch to the underlying machine (e.g. for stats snapshots or
+    /// unaccounted peeks mid-kernel).
+    pub fn machine(&mut self) -> &mut Machine {
+        self.machine
+    }
+
+    /// Accounted read of element `i` — identical in both modes.
+    #[inline]
+    pub fn get<T: Scalar>(&mut self, v: &TrackedVec<T>, i: usize) -> T {
+        v.get(self.machine, i)
+    }
+
+    /// Accounted write of element `i` — identical in both modes.
+    #[inline]
+    pub fn set<T: Scalar>(&mut self, v: &TrackedVec<T>, i: usize, value: T) {
+        v.set(self.machine, i, value);
+    }
+
+    /// Accounted read-modify-write of element `i`, returning the old value.
+    ///
+    /// Both modes perform exactly one read access followed by one write
+    /// access to the element; `Bulk` folds the pair into the machine's
+    /// fused RMW path (one translation, one storage round-trip) with
+    /// identical counters.
+    #[inline]
+    pub fn update<T: Scalar>(&mut self, v: &TrackedVec<T>, i: usize, f: impl FnOnce(T) -> T) -> T {
+        match self.mode {
+            AccessMode::Bulk => v.update(self.machine, i, f),
+            AccessMode::Scalar => {
+                let old = v.get(self.machine, i);
+                v.set(self.machine, i, f(old));
+                old
             }
         }
     }
-}
 
-/// Accounted write of `values` to consecutive elements starting at `start`.
-pub fn write_run<T: Scalar>(
-    v: &TrackedVec<T>,
-    m: &mut Machine,
-    mode: AccessMode,
-    start: usize,
-    values: &[T],
-) {
-    if values.is_empty() {
-        return;
-    }
-    match mode {
-        AccessMode::Bulk => v.write_slice(m, start, values),
-        AccessMode::Scalar => {
-            for (k, &value) in values.iter().enumerate() {
-                v.set(m, start + k, value);
+    /// Accounted read of `out.len()` consecutive elements starting at
+    /// `start`.
+    pub fn read_run<T: Scalar>(&mut self, v: &TrackedVec<T>, start: usize, out: &mut [T]) {
+        if out.is_empty() {
+            return;
+        }
+        match self.mode {
+            AccessMode::Bulk => v.read_slice(self.machine, start, out),
+            AccessMode::Scalar => {
+                for (k, slot) in out.iter_mut().enumerate() {
+                    *slot = v.get(self.machine, start + k);
+                }
             }
         }
     }
-}
 
-/// Accounted indexed gather: reads element `indices[k]` into `out[k]`.
-///
-/// The accesses are genuinely random (neighbour-indexed), so both modes
-/// perform one simulated access per element in index order; `Bulk` merely
-/// routes them through the machine's gather loop, which hoists per-call
-/// host overhead without touching the simulated composition.
-pub fn gather_run<T: Scalar>(
-    v: &TrackedVec<T>,
-    m: &mut Machine,
-    mode: AccessMode,
-    indices: &[u32],
-    out: &mut [T],
-) {
-    match mode {
-        AccessMode::Bulk => v.gather(m, indices, out),
-        AccessMode::Scalar => {
-            for (&i, slot) in indices.iter().zip(out.iter_mut()) {
-                *slot = v.get(m, i as usize);
+    /// Accounted write of `values` to consecutive elements starting at
+    /// `start`.
+    pub fn write_run<T: Scalar>(&mut self, v: &TrackedVec<T>, start: usize, values: &[T]) {
+        if values.is_empty() {
+            return;
+        }
+        match self.mode {
+            AccessMode::Bulk => v.write_slice(self.machine, start, values),
+            AccessMode::Scalar => {
+                for (k, &value) in values.iter().enumerate() {
+                    v.set(self.machine, start + k, value);
+                }
             }
         }
     }
-}
 
-/// Accounted read-modify-write of element `i`, returning the old value.
-///
-/// Both modes perform exactly one read access followed by one write access
-/// to the element; `Bulk` folds the pair into the machine's fused RMW path
-/// (one translation, one storage round-trip) with identical counters.
-pub fn update_at<T: Scalar>(
-    v: &TrackedVec<T>,
-    m: &mut Machine,
-    mode: AccessMode,
-    i: usize,
-    f: impl FnOnce(T) -> T,
-) -> T {
-    match mode {
-        AccessMode::Bulk => v.update(m, i, f),
-        AccessMode::Scalar => {
-            let old = v.get(m, i);
-            v.set(m, i, f(old));
-            old
+    /// Accounted indexed gather: reads element `indices[k]` into `out[k]`,
+    /// in window order.
+    pub fn gather<T: Scalar>(&mut self, v: &TrackedVec<T>, indices: &[u32], out: &mut [T]) {
+        match self.mode {
+            AccessMode::Bulk => v.gather(self.machine, indices, out),
+            AccessMode::Scalar => {
+                for (&i, slot) in indices.iter().zip(out.iter_mut()) {
+                    *slot = v.get(self.machine, i as usize);
+                }
+            }
+        }
+    }
+
+    /// Accounted indexed scatter: writes `values[k]` to element
+    /// `indices[k]`, in window order (duplicates: last write wins).
+    pub fn scatter<T: Scalar>(&mut self, v: &TrackedVec<T>, indices: &[u32], values: &[T]) {
+        match self.mode {
+            AccessMode::Bulk => v.scatter(self.machine, indices, values),
+            AccessMode::Scalar => {
+                for (&i, &value) in indices.iter().zip(values.iter()) {
+                    v.set(self.machine, i as usize, value);
+                }
+            }
+        }
+    }
+
+    /// Accounted indexed scatter-update: replaces element `indices[k]` with
+    /// `f(k, old)` for every `k` in window order. Duplicate indices observe
+    /// earlier updates from the same window.
+    pub fn gather_update<T: Scalar>(
+        &mut self,
+        v: &TrackedVec<T>,
+        indices: &[u32],
+        mut f: impl FnMut(usize, T) -> T,
+    ) {
+        match self.mode {
+            AccessMode::Bulk => v.gather_update(self.machine, indices, f),
+            AccessMode::Scalar => {
+                for (k, &i) in indices.iter().enumerate() {
+                    let i = i as usize;
+                    let old = v.get(self.machine, i);
+                    v.set(self.machine, i, f(k, old));
+                }
+            }
         }
     }
 }

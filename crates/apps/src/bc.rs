@@ -9,7 +9,7 @@
 use atmem::{Atmem, Result};
 use atmem_hms::TrackedVec;
 
-use crate::access::{update_at, write_run, AccessMode};
+use crate::access::MemCtx;
 use crate::graph_data::HmsGraph;
 use crate::kernel::Kernel;
 
@@ -22,7 +22,6 @@ pub struct Bc {
     depth: TrackedVec<i32>,
     delta: TrackedVec<f64>,
     bc: TrackedVec<f64>,
-    mode: AccessMode,
 }
 
 impl Bc {
@@ -44,13 +43,7 @@ impl Bc {
             depth,
             delta,
             bc,
-            mode: AccessMode::default(),
         })
-    }
-
-    /// Selects how sequential streams are driven (default: bulk).
-    pub fn set_mode(&mut self, mode: AccessMode) {
-        self.mode = mode;
     }
 
     /// Copies the centrality scores out of simulated memory (unaccounted).
@@ -72,69 +65,83 @@ impl Kernel for Bc {
         self.bc.fill(m, 0.0);
     }
 
-    fn run_iteration(&mut self, rt: &mut Atmem) {
-        let mode = self.mode;
-        let m = rt.machine_mut();
+    fn run_iteration(&mut self, ctx: &mut MemCtx) {
         let n = self.graph.num_vertices();
         // Per-iteration re-init through the accounted path (the arrays are
         // rewritten every source on real runs too): three sequential fills.
-        write_run(&self.sigma, m, mode, 0, &vec![0.0f64; n]);
-        write_run(&self.depth, m, mode, 0, &vec![-1i32; n]);
-        write_run(&self.delta, m, mode, 0, &vec![0.0f64; n]);
-        // Forward phase.
+        ctx.write_run(&self.sigma, 0, &vec![0.0f64; n]);
+        ctx.write_run(&self.depth, 0, &vec![-1i32; n]);
+        ctx.write_run(&self.delta, 0, &vec![0.0f64; n]);
+        // Forward phase. Depth checks gate every write, so the sweep is
+        // data-dependent and stays per-element.
         let s = self.source as usize;
-        self.sigma.set(m, s, 1.0);
-        self.depth.set(m, s, 0);
+        ctx.set(&self.sigma, s, 1.0);
+        ctx.set(&self.depth, s, 0);
         let mut order: Vec<u32> = Vec::new();
         let mut frontier = vec![self.source];
         let mut level = 0i32;
         let mut nbrs: Vec<u32> = Vec::new();
+        let mut dbuf: Vec<i32> = Vec::new();
+        let mut matched: Vec<u32> = Vec::new();
+        let mut sbuf: Vec<f64> = Vec::new();
+        let mut delbuf: Vec<f64> = Vec::new();
         while !frontier.is_empty() {
             order.extend_from_slice(&frontier);
             level += 1;
             let mut next = Vec::new();
             for &v in &frontier {
-                let sv = self.sigma.get(m, v as usize);
-                let (start, end) = self.graph.edge_bounds(m, v as usize);
+                let sv = ctx.get(&self.sigma, v as usize);
+                let (start, end) = self.graph.edge_bounds(ctx, v as usize);
                 nbrs.resize((end - start) as usize, 0);
-                self.graph.neighbor_run(m, mode, start, &mut nbrs);
+                self.graph.neighbor_run(ctx, start, &mut nbrs);
                 for &u in &nbrs {
                     let u = u as usize;
-                    let du = self.depth.get(m, u);
+                    let du = ctx.get(&self.depth, u);
                     if du < 0 {
-                        self.depth.set(m, u, level);
+                        ctx.set(&self.depth, u, level);
                         next.push(u as u32);
-                        self.sigma.set(m, u, sv);
+                        ctx.set(&self.sigma, u, sv);
                     } else if du == level {
-                        let su = self.sigma.get(m, u);
-                        self.sigma.set(m, u, su + sv);
+                        let su = ctx.get(&self.sigma, u);
+                        ctx.set(&self.sigma, u, su + sv);
                     }
                 }
             }
             frontier = next;
         }
-        // Backward phase: accumulate dependencies in reverse BFS order.
+        // Backward phase: accumulate dependencies in reverse BFS order. Each
+        // vertex gathers its neighbours' depths in one window, filters the
+        // children (depth == dv + 1), then gathers their sigma and delta
+        // windows and accumulates host-side in window order.
         for &v in order.iter().rev() {
             let v = v as usize;
-            let dv = self.depth.get(m, v);
-            let sv = self.sigma.get(m, v);
-            let (start, end) = self.graph.edge_bounds(m, v);
+            let dv = ctx.get(&self.depth, v);
+            let sv = ctx.get(&self.sigma, v);
+            let (start, end) = self.graph.edge_bounds(ctx, v);
             nbrs.resize((end - start) as usize, 0);
-            self.graph.neighbor_run(m, mode, start, &mut nbrs);
-            let mut acc = self.delta.get(m, v);
-            for &u in &nbrs {
-                let u = u as usize;
-                if self.depth.get(m, u) == dv + 1 {
-                    let su = self.sigma.get(m, u);
-                    let du = self.delta.get(m, u);
-                    if su > 0.0 {
-                        acc += sv / su * (1.0 + du);
-                    }
+            self.graph.neighbor_run(ctx, start, &mut nbrs);
+            let mut acc = ctx.get(&self.delta, v);
+            dbuf.resize(nbrs.len(), 0);
+            ctx.gather(&self.depth, &nbrs, &mut dbuf);
+            matched.clear();
+            matched.extend(
+                nbrs.iter()
+                    .zip(&dbuf)
+                    .filter(|&(_, &d)| d == dv + 1)
+                    .map(|(&u, _)| u),
+            );
+            sbuf.resize(matched.len(), 0.0);
+            ctx.gather(&self.sigma, &matched, &mut sbuf);
+            delbuf.resize(matched.len(), 0.0);
+            ctx.gather(&self.delta, &matched, &mut delbuf);
+            for (&su, &du) in sbuf.iter().zip(&delbuf) {
+                if su > 0.0 {
+                    acc += sv / su * (1.0 + du);
                 }
             }
-            self.delta.set(m, v, acc);
+            ctx.set(&self.delta, v, acc);
             if v != s {
-                update_at(&self.bc, m, mode, v, |b| b + acc);
+                ctx.update(&self.bc, v, |b| b + acc);
             }
         }
     }
@@ -212,7 +219,7 @@ mod tests {
         let g = HmsGraph::load(&mut rt, &csr).unwrap();
         let mut bc = Bc::new(&mut rt, g, 0).unwrap();
         bc.reset(&mut rt);
-        bc.run_iteration(&mut rt);
+        bc.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
         assert_eq!(bc.scores(&mut rt), reference_bc(&csr, 0));
         assert_eq!(bc.scores(&mut rt), vec![0.0, 2.0, 1.0, 0.0]);
     }
@@ -224,7 +231,7 @@ mod tests {
         let g = HmsGraph::load(&mut rt, &csr).unwrap();
         let mut bc = Bc::new(&mut rt, g, 0).unwrap();
         bc.reset(&mut rt);
-        bc.run_iteration(&mut rt);
+        bc.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
         let got = bc.scores(&mut rt);
         let expect = reference_bc(&csr, 0);
         for (v, (a, b)) in got.iter().zip(&expect).enumerate() {
@@ -239,9 +246,9 @@ mod tests {
         let g = HmsGraph::load(&mut rt, &csr).unwrap();
         let mut bc = Bc::new(&mut rt, g, 0).unwrap();
         bc.reset(&mut rt);
-        bc.run_iteration(&mut rt);
+        bc.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
         let once = bc.checksum(&mut rt);
-        bc.run_iteration(&mut rt);
+        bc.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
         assert!((bc.checksum(&mut rt) - 2.0 * once).abs() < 1e-9);
     }
 }

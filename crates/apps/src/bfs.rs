@@ -7,7 +7,7 @@
 
 use atmem::{Atmem, Result};
 
-use crate::access::AccessMode;
+use crate::access::MemCtx;
 use crate::graph_data::HmsGraph;
 use crate::kernel::Kernel;
 use atmem_hms::TrackedVec;
@@ -21,7 +21,6 @@ pub struct Bfs {
     graph: HmsGraph,
     source: u32,
     dist: TrackedVec<u32>,
-    mode: AccessMode,
     /// Vertices reached by the last iteration (for assertions/reporting).
     reached: usize,
 }
@@ -38,14 +37,8 @@ impl Bfs {
             graph,
             source,
             dist,
-            mode: AccessMode::default(),
             reached: 0,
         })
-    }
-
-    /// Selects how sequential streams are driven (default: bulk).
-    pub fn set_mode(&mut self, mode: AccessMode) {
-        self.mode = mode;
     }
 
     /// The graph being traversed.
@@ -74,11 +67,9 @@ impl Kernel for Bfs {
         self.reached = 0;
     }
 
-    fn run_iteration(&mut self, rt: &mut Atmem) {
-        let mode = self.mode;
-        let m = rt.machine_mut();
+    fn run_iteration(&mut self, ctx: &mut MemCtx) {
         let mut frontier = vec![self.source];
-        self.dist.set(m, self.source as usize, 0);
+        ctx.set(&self.dist, self.source as usize, 0);
         let mut level = 0u32;
         let mut reached = 1usize;
         let mut nbrs: Vec<u32> = Vec::new();
@@ -86,14 +77,15 @@ impl Kernel for Bfs {
             level += 1;
             let mut next = Vec::new();
             for &v in &frontier {
-                let (start, end) = self.graph.edge_bounds(m, v as usize);
+                let (start, end) = self.graph.edge_bounds(ctx, v as usize);
                 // The adjacency list is a sequential run; the distance
-                // checks it drives are random and stay per-element.
+                // checks it drives are data-dependent (a write only happens
+                // on first touch) and stay per-element.
                 nbrs.resize((end - start) as usize, 0);
-                self.graph.neighbor_run(m, mode, start, &mut nbrs);
+                self.graph.neighbor_run(ctx, start, &mut nbrs);
                 for &u in &nbrs {
-                    if self.dist.get(m, u as usize) == UNREACHED {
-                        self.dist.set(m, u as usize, level);
+                    if ctx.get(&self.dist, u as usize) == UNREACHED {
+                        ctx.set(&self.dist, u as usize, level);
                         next.push(u);
                         reached += 1;
                     }
@@ -157,7 +149,7 @@ mod tests {
         let g = HmsGraph::load(&mut rt, &csr).unwrap();
         let mut bfs = Bfs::new(&mut rt, g, 0).unwrap();
         bfs.reset(&mut rt);
-        bfs.run_iteration(&mut rt);
+        bfs.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
         assert_eq!(bfs.distances(&mut rt), vec![0, 1, 2, 3]);
         assert_eq!(bfs.reached(), 4);
     }
@@ -169,7 +161,7 @@ mod tests {
         let g = HmsGraph::load(&mut rt, &csr).unwrap();
         let mut bfs = Bfs::new(&mut rt, g, 0).unwrap();
         bfs.reset(&mut rt);
-        bfs.run_iteration(&mut rt);
+        bfs.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
         assert_eq!(bfs.distances(&mut rt), reference_bfs(&csr, 0));
     }
 
@@ -180,7 +172,7 @@ mod tests {
         let g = HmsGraph::load(&mut rt, &csr).unwrap();
         let mut bfs = Bfs::new(&mut rt, g, 0).unwrap();
         bfs.reset(&mut rt);
-        bfs.run_iteration(&mut rt);
+        bfs.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
         assert_eq!(bfs.distances(&mut rt), vec![0, 1, UNREACHED]);
     }
 
@@ -191,10 +183,10 @@ mod tests {
         let g = HmsGraph::load(&mut rt, &csr).unwrap();
         let mut bfs = Bfs::new(&mut rt, g, 0).unwrap();
         bfs.reset(&mut rt);
-        bfs.run_iteration(&mut rt);
+        bfs.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
         let first = bfs.checksum(&mut rt);
         bfs.reset(&mut rt);
-        bfs.run_iteration(&mut rt);
+        bfs.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
         assert_eq!(bfs.checksum(&mut rt), first);
     }
 }

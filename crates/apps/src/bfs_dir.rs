@@ -11,7 +11,7 @@ use atmem::{Atmem, Result};
 use atmem_graph::{transpose, Csr};
 use atmem_hms::TrackedVec;
 
-use crate::access::AccessMode;
+use crate::access::MemCtx;
 use crate::bfs::UNREACHED;
 use crate::graph_data::HmsGraph;
 use crate::kernel::Kernel;
@@ -26,7 +26,6 @@ pub struct BfsDir {
     in_graph: HmsGraph,
     source: u32,
     dist: TrackedVec<u32>,
-    mode: AccessMode,
     /// (top-down levels, bottom-up levels) executed by the last iteration.
     phases: (u32, u32),
 }
@@ -47,14 +46,8 @@ impl BfsDir {
             in_graph,
             source,
             dist,
-            mode: AccessMode::default(),
             phases: (0, 0),
         })
-    }
-
-    /// Selects how sequential streams are driven (default: bulk).
-    pub fn set_mode(&mut self, mode: AccessMode) {
-        self.mode = mode;
     }
 
     /// (top-down, bottom-up) level counts of the last iteration.
@@ -78,16 +71,14 @@ impl Kernel for BfsDir {
         self.phases = (0, 0);
     }
 
-    fn run_iteration(&mut self, rt: &mut Atmem) {
-        let m = rt.machine_mut();
+    fn run_iteration(&mut self, ctx: &mut MemCtx) {
         let n = self.out_graph.num_vertices();
-        self.dist.set(m, self.source as usize, 0);
+        ctx.set(&self.dist, self.source as usize, 0);
         let mut frontier = vec![self.source];
         let mut unvisited = n - 1;
         let mut level = 0u32;
         let mut top_down_levels = 0u32;
         let mut bottom_up_levels = 0u32;
-        let mode = self.mode;
         let mut nbrs: Vec<u32> = Vec::new();
         while !frontier.is_empty() {
             level += 1;
@@ -97,14 +88,14 @@ impl Kernel for BfsDir {
                 bottom_up_levels += 1;
                 // Bottom-up: every unvisited vertex gathers over in-edges.
                 for v in 0..n {
-                    if self.dist.get(m, v) != UNREACHED {
+                    if ctx.get(&self.dist, v) != UNREACHED {
                         continue;
                     }
-                    let (s, e) = self.in_graph.edge_bounds(m, v);
+                    let (s, e) = self.in_graph.edge_bounds(ctx, v);
                     for edge in s..e {
-                        let u = self.in_graph.neighbor(m, edge) as usize;
-                        if self.dist.get(m, u) == level - 1 {
-                            self.dist.set(m, v, level);
+                        let u = self.in_graph.neighbor(ctx, edge) as usize;
+                        if ctx.get(&self.dist, u) == level - 1 {
+                            ctx.set(&self.dist, v, level);
                             next.push(v as u32);
                             break;
                         }
@@ -113,16 +104,16 @@ impl Kernel for BfsDir {
             } else {
                 top_down_levels += 1;
                 for &v in &frontier {
-                    let (s, e) = self.out_graph.edge_bounds(m, v as usize);
+                    let (s, e) = self.out_graph.edge_bounds(ctx, v as usize);
                     // Out-adjacency runs are sequential; the bottom-up
                     // search loops above stay per-element because they
                     // terminate early on the first visited parent.
                     nbrs.resize((e - s) as usize, 0);
-                    self.out_graph.neighbor_run(m, mode, s, &mut nbrs);
+                    self.out_graph.neighbor_run(ctx, s, &mut nbrs);
                     for &u in &nbrs {
                         let u = u as usize;
-                        if self.dist.get(m, u) == UNREACHED {
-                            self.dist.set(m, u, level);
+                        if ctx.get(&self.dist, u) == UNREACHED {
+                            ctx.set(&self.dist, u, level);
                             next.push(u as u32);
                         }
                     }
@@ -165,7 +156,7 @@ mod tests {
         let mut rt = runtime();
         let mut bfs = BfsDir::new(&mut rt, &csr, 0).unwrap();
         bfs.reset(&mut rt);
-        bfs.run_iteration(&mut rt);
+        bfs.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
         assert_eq!(bfs.distances(&mut rt), reference_bfs(&csr, 0));
     }
 
@@ -179,7 +170,7 @@ mod tests {
         let mut rt = runtime();
         let mut bfs = BfsDir::new(&mut rt, &csr, 0).unwrap();
         bfs.reset(&mut rt);
-        bfs.run_iteration(&mut rt);
+        bfs.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
         let (td, bu) = bfs.phases();
         assert!(td >= 1, "starts top-down");
         assert!(
@@ -195,10 +186,10 @@ mod tests {
         let mut rt = runtime();
         let mut bfs = BfsDir::new(&mut rt, &csr, 0).unwrap();
         bfs.reset(&mut rt);
-        bfs.run_iteration(&mut rt);
+        bfs.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
         let a = bfs.checksum(&mut rt);
         bfs.reset(&mut rt);
-        bfs.run_iteration(&mut rt);
+        bfs.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
         assert_eq!(bfs.checksum(&mut rt), a);
     }
 }

@@ -8,7 +8,7 @@
 use atmem::{Atmem, Result};
 use atmem_hms::TrackedVec;
 
-use crate::access::AccessMode;
+use crate::access::MemCtx;
 use crate::graph_data::HmsGraph;
 use crate::kernel::Kernel;
 
@@ -17,7 +17,6 @@ use crate::kernel::Kernel;
 pub struct Cc {
     graph: HmsGraph,
     labels: TrackedVec<u32>,
-    mode: AccessMode,
     changed_last: u64,
 }
 
@@ -32,14 +31,8 @@ impl Cc {
         Ok(Cc {
             graph,
             labels,
-            mode: AccessMode::default(),
             changed_last: 0,
         })
-    }
-
-    /// Selects how sequential streams are driven (default: bulk).
-    pub fn set_mode(&mut self, mode: AccessMode) {
-        self.mode = mode;
     }
 
     /// Label updates performed by the last iteration (0 = converged).
@@ -48,9 +41,9 @@ impl Cc {
     }
 
     /// Runs passes until convergence; returns the number of passes.
-    pub fn run_to_convergence(&mut self, rt: &mut Atmem, max_passes: usize) -> usize {
+    pub fn run_to_convergence(&mut self, ctx: &mut MemCtx, max_passes: usize) -> usize {
         for pass in 1..=max_passes {
-            self.run_iteration(rt);
+            self.run_iteration(ctx);
             if self.changed_last == 0 {
                 return pass;
             }
@@ -77,34 +70,47 @@ impl Kernel for Cc {
         self.changed_last = 0;
     }
 
-    fn run_iteration(&mut self, rt: &mut Atmem) {
-        let mode = self.mode;
-        let m = rt.machine_mut();
+    fn run_iteration(&mut self, ctx: &mut MemCtx) {
         // Stream phase: row bounds and neighbour ids.
-        let bounds = self.graph.bounds(m, mode);
+        let bounds = self.graph.bounds(ctx);
         let mut nbrs = vec![0u32; self.graph.num_edges()];
-        self.graph.neighbor_run(m, mode, 0, &mut nbrs);
-        // Propagation phase: label reads/writes are random and must see
-        // in-iteration updates, so they stay per-element in both modes.
+        self.graph.neighbor_run(ctx, 0, &mut nbrs);
+        // Propagation phase: each vertex's neighbour labels are gathered as
+        // one window, the min/lower decisions replay host-side (an overlay
+        // map makes duplicate neighbours observe in-window lowerings), and
+        // the accepted lowerings scatter back in decision order — one read
+        // per edge and one write per lowering, like the per-element loop.
         let mut changed = 0u64;
+        let mut lbuf: Vec<u32> = Vec::new();
+        let mut widx: Vec<u32> = Vec::new();
+        let mut wvals: Vec<u32> = Vec::new();
+        let mut overlay: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
         for v in 0..self.graph.num_vertices() {
             let (start, end) = (bounds[v] as usize, bounds[v + 1] as usize);
             if start == end {
                 continue;
             }
-            let mut lv = self.labels.get(m, v);
-            for &u in &nbrs[start..end] {
-                let u = u as usize;
-                let lu = self.labels.get(m, u);
+            let window = &nbrs[start..end];
+            let mut lv = ctx.get(&self.labels, v);
+            lbuf.resize(window.len(), 0);
+            ctx.gather(&self.labels, window, &mut lbuf);
+            widx.clear();
+            wvals.clear();
+            overlay.clear();
+            for (&u, &read) in window.iter().zip(&lbuf) {
+                let lu = overlay.get(&u).copied().unwrap_or(read);
                 if lu < lv {
                     lv = lu;
                     changed += 1;
                 } else if lv < lu {
-                    self.labels.set(m, u, lv);
+                    overlay.insert(u, lv);
+                    widx.push(u);
+                    wvals.push(lv);
                     changed += 1;
                 }
             }
-            self.labels.set(m, v, lv);
+            ctx.scatter(&self.labels, &widx, &wvals);
+            ctx.set(&self.labels, v, lv);
         }
         self.changed_last = changed;
     }
@@ -156,7 +162,7 @@ mod tests {
         let g = HmsGraph::load(&mut rt, &csr).unwrap();
         let mut cc = Cc::new(&mut rt, g).unwrap();
         cc.reset(&mut rt);
-        let passes = cc.run_to_convergence(&mut rt, 50);
+        let passes = cc.run_to_convergence(&mut MemCtx::bulk(rt.machine_mut()), 50);
         assert!(passes < 50);
         let labels = cc.labels(&mut rt);
         assert_eq!(labels[0], labels[1]);
@@ -172,7 +178,7 @@ mod tests {
         let g = HmsGraph::load(&mut rt, &csr).unwrap();
         let mut cc = Cc::new(&mut rt, g).unwrap();
         cc.reset(&mut rt);
-        cc.run_to_convergence(&mut rt, 200);
+        cc.run_to_convergence(&mut MemCtx::bulk(rt.machine_mut()), 200);
         let got = cc.labels(&mut rt);
         let expect = reference_components(&csr);
         // Same partition: labels equal iff reference labels equal.
@@ -194,8 +200,9 @@ mod tests {
         let g = HmsGraph::load(&mut rt, &csr).unwrap();
         let mut cc = Cc::new(&mut rt, g).unwrap();
         cc.reset(&mut rt);
-        cc.run_to_convergence(&mut rt, 10);
-        cc.run_iteration(&mut rt);
+        let mut ctx = MemCtx::bulk(rt.machine_mut());
+        cc.run_to_convergence(&mut ctx, 10);
+        cc.run_iteration(&mut ctx);
         assert_eq!(cc.changed_last(), 0);
     }
 }

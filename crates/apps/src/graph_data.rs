@@ -8,9 +8,9 @@
 
 use atmem::{Atmem, Result};
 use atmem_graph::Csr;
-use atmem_hms::{Machine, TrackedVec};
+use atmem_hms::TrackedVec;
 
-use crate::access::{read_run, AccessMode};
+use crate::access::MemCtx;
 
 /// A CSR graph whose arrays live in simulated memory.
 #[derive(Debug)]
@@ -75,14 +75,14 @@ impl HmsGraph {
 
     /// Accounted read of the edge-range bounds of vertex `v`.
     #[inline]
-    pub fn edge_bounds(&self, m: &mut Machine, v: usize) -> (u64, u64) {
-        (self.offsets.get(m, v), self.offsets.get(m, v + 1))
+    pub fn edge_bounds(&self, ctx: &mut MemCtx, v: usize) -> (u64, u64) {
+        (ctx.get(&self.offsets, v), ctx.get(&self.offsets, v + 1))
     }
 
     /// Accounted read of the destination of edge `e`.
     #[inline]
-    pub fn neighbor(&self, m: &mut Machine, e: u64) -> u32 {
-        self.neighbors.get(m, e as usize)
+    pub fn neighbor(&self, ctx: &mut MemCtx, e: u64) -> u32 {
+        ctx.get(&self.neighbors, e as usize)
     }
 
     /// Accounted read of the weight of edge `e`.
@@ -91,32 +91,30 @@ impl HmsGraph {
     ///
     /// Panics if the graph is unweighted.
     #[inline]
-    pub fn weight(&self, m: &mut Machine, e: u64) -> f32 {
-        self.weights
-            .as_ref()
-            .expect("graph loaded without weights")
-            .get(m, e as usize)
+    pub fn weight(&self, ctx: &mut MemCtx, e: u64) -> f32 {
+        let w = self.weights.as_ref().expect("graph loaded without weights");
+        ctx.get(w, e as usize)
     }
 
     /// Accounted sequential read of all `n + 1` CSR row bounds.
-    pub fn bounds(&self, m: &mut Machine, mode: AccessMode) -> Vec<u64> {
+    pub fn bounds(&self, ctx: &mut MemCtx) -> Vec<u64> {
         let mut out = Vec::new();
-        self.bounds_into(m, mode, &mut out);
+        self.bounds_into(ctx, &mut out);
         out
     }
 
     /// Like [`bounds`](HmsGraph::bounds), but reuses `out`'s allocation
     /// (kernels that stream the offsets every iteration keep one scratch
     /// buffer instead of reallocating).
-    pub fn bounds_into(&self, m: &mut Machine, mode: AccessMode, out: &mut Vec<u64>) {
+    pub fn bounds_into(&self, ctx: &mut MemCtx, out: &mut Vec<u64>) {
         out.resize(self.num_vertices + 1, 0);
-        read_run(&self.offsets, m, mode, 0, out);
+        ctx.read_run(&self.offsets, 0, out);
     }
 
     /// Accounted sequential read of `buf.len()` neighbour ids starting at
     /// edge `start`.
-    pub fn neighbor_run(&self, m: &mut Machine, mode: AccessMode, start: u64, buf: &mut [u32]) {
-        read_run(&self.neighbors, m, mode, start as usize, buf);
+    pub fn neighbor_run(&self, ctx: &mut MemCtx, start: u64, buf: &mut [u32]) {
+        ctx.read_run(&self.neighbors, start as usize, buf);
     }
 
     /// Accounted sequential read of `buf.len()` edge weights starting at
@@ -125,9 +123,9 @@ impl HmsGraph {
     /// # Panics
     ///
     /// Panics if the graph is unweighted.
-    pub fn weight_run(&self, m: &mut Machine, mode: AccessMode, start: u64, buf: &mut [f32]) {
+    pub fn weight_run(&self, ctx: &mut MemCtx, start: u64, buf: &mut [f32]) {
         let w = self.weights.as_ref().expect("graph loaded without weights");
-        read_run(w, m, mode, start as usize, buf);
+        ctx.read_run(w, start as usize, buf);
     }
 
     /// Total bytes of the resident CSR arrays.
@@ -157,10 +155,11 @@ mod tests {
         assert_eq!(g.num_vertices(), 4);
         assert_eq!(g.num_edges(), 3);
         assert!(!g.is_weighted());
-        let (s, e) = g.edge_bounds(rt.machine_mut(), 0);
+        let mut ctx = MemCtx::bulk(rt.machine_mut());
+        let (s, e) = g.edge_bounds(&mut ctx, 0);
         assert_eq!((s, e), (0, 2));
-        assert_eq!(g.neighbor(rt.machine_mut(), 0), 1);
-        assert_eq!(g.neighbor(rt.machine_mut(), 2), 3);
+        assert_eq!(g.neighbor(&mut ctx, 0), 1);
+        assert_eq!(g.neighbor(&mut ctx, 2), 3);
     }
 
     #[test]
@@ -171,7 +170,7 @@ mod tests {
         let mut rt = runtime();
         let g = HmsGraph::load(&mut rt, &csr).unwrap();
         assert!(g.is_weighted());
-        assert_eq!(g.weight(rt.machine_mut(), 1), 2.5);
+        assert_eq!(g.weight(&mut MemCtx::bulk(rt.machine_mut()), 1), 2.5);
     }
 
     #[test]
@@ -189,7 +188,7 @@ mod tests {
         let mut rt = runtime();
         let g = HmsGraph::load(&mut rt, &csr).unwrap();
         assert_eq!(g.num_edges(), 0);
-        let (s, e) = g.edge_bounds(rt.machine_mut(), 0);
+        let (s, e) = g.edge_bounds(&mut MemCtx::bulk(rt.machine_mut()), 0);
         assert_eq!((s, e), (0, 0));
     }
 }

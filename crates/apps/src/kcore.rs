@@ -10,7 +10,7 @@
 use atmem::{Atmem, Result};
 use atmem_hms::TrackedVec;
 
-use crate::access::{update_at, write_run, AccessMode};
+use crate::access::MemCtx;
 use crate::graph_data::HmsGraph;
 use crate::kernel::Kernel;
 
@@ -21,7 +21,6 @@ pub struct KCore {
     graph: HmsGraph,
     degree: TrackedVec<u32>,
     core: TrackedVec<u32>,
-    mode: AccessMode,
     max_core: u32,
 }
 
@@ -39,14 +38,8 @@ impl KCore {
             graph,
             degree,
             core,
-            mode: AccessMode::default(),
             max_core: 0,
         })
-    }
-
-    /// Selects how sequential streams are driven (default: bulk).
-    pub fn set_mode(&mut self, mode: AccessMode) {
-        self.mode = mode;
     }
 
     /// The maximum core number found by the last iteration.
@@ -73,24 +66,24 @@ impl Kernel for KCore {
         self.max_core = 0;
     }
 
-    fn run_iteration(&mut self, rt: &mut Atmem) {
-        let mode = self.mode;
-        let m = rt.machine_mut();
+    fn run_iteration(&mut self, ctx: &mut MemCtx) {
         let n = self.graph.num_vertices();
         // Initialise degrees through the accounted path (part of the work):
         // one bounds stream in, one degree stream out.
-        let bounds = self.graph.bounds(m, mode);
+        let bounds = self.graph.bounds(ctx);
         let degrees: Vec<u32> = (0..n).map(|v| (bounds[v + 1] - bounds[v]) as u32).collect();
-        write_run(&self.degree, m, mode, 0, &degrees);
+        ctx.write_run(&self.degree, 0, &degrees);
         let mut alive = n;
         let mut k = 0u32;
         let mut removed = vec![false; n];
         let mut nbrs: Vec<u32> = Vec::new();
+        let mut live: Vec<u32> = Vec::new();
+        let mut olds: Vec<u32> = Vec::new();
         while alive > 0 {
             // Peel every vertex with degree <= k until none remain, then
             // raise k. Degree reads are data-dependent: per-element.
             let mut frontier: Vec<u32> = (0..n as u32)
-                .filter(|&v| !removed[v as usize] && self.degree.get(m, v as usize) <= k)
+                .filter(|&v| !removed[v as usize] && ctx.get(&self.degree, v as usize) <= k)
                 .collect();
             if frontier.is_empty() {
                 k += 1;
@@ -103,18 +96,25 @@ impl Kernel for KCore {
                 }
                 removed[vi] = true;
                 alive -= 1;
-                self.core.set(m, vi, k);
+                ctx.set(&self.core, vi, k);
                 let (s, e) = (bounds[vi], bounds[vi + 1]);
                 nbrs.resize((e - s) as usize, 0);
-                self.graph.neighbor_run(m, mode, s, &mut nbrs);
-                for &u in &nbrs {
-                    let u = u as usize;
-                    if removed[u] {
-                        continue;
-                    }
-                    let d = update_at(&self.degree, m, mode, u, |d| d.saturating_sub(1));
+                self.graph.neighbor_run(ctx, s, &mut nbrs);
+                // Decrement phase: the still-live neighbours form one
+                // scatter-update window (removal only happens in the outer
+                // pop loop, so the filter commutes with the accesses);
+                // frontier admission replays host-side on the old values in
+                // window order.
+                live.clear();
+                live.extend(nbrs.iter().copied().filter(|&u| !removed[u as usize]));
+                olds.clear();
+                ctx.gather_update(&self.degree, &live, |_, d| {
+                    olds.push(d);
+                    d.saturating_sub(1)
+                });
+                for (&u, &d) in live.iter().zip(&olds) {
                     if d.saturating_sub(1) <= k {
-                        frontier.push(u as u32);
+                        frontier.push(u);
                     }
                 }
             }
@@ -192,7 +192,7 @@ mod tests {
         let g = HmsGraph::load(&mut rt, &csr).unwrap();
         let mut kc = KCore::new(&mut rt, g).unwrap();
         kc.reset(&mut rt);
-        kc.run_iteration(&mut rt);
+        kc.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
         assert_eq!(kc.core_numbers(&mut rt), vec![2, 2, 2, 1]);
         assert_eq!(kc.max_core(), 2);
     }
@@ -204,7 +204,7 @@ mod tests {
         let g = HmsGraph::load(&mut rt, &csr).unwrap();
         let mut kc = KCore::new(&mut rt, g).unwrap();
         kc.reset(&mut rt);
-        kc.run_iteration(&mut rt);
+        kc.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
         let cores = kc.core_numbers(&mut rt);
         assert_eq!(cores[2], 0);
         assert_eq!(cores[0], 1);
@@ -220,7 +220,7 @@ mod tests {
         let g = HmsGraph::load(&mut rt, &csr).unwrap();
         let mut kc = KCore::new(&mut rt, g).unwrap();
         kc.reset(&mut rt);
-        kc.run_iteration(&mut rt);
+        kc.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
         assert_eq!(kc.core_numbers(&mut rt), reference_kcore(&csr));
         assert!(kc.max_core() >= 2, "R-MAT at this density has dense cores");
     }
@@ -236,10 +236,10 @@ mod tests {
         let g = HmsGraph::load(&mut rt, &csr).unwrap();
         let mut kc = KCore::new(&mut rt, g).unwrap();
         kc.reset(&mut rt);
-        kc.run_iteration(&mut rt);
+        kc.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
         let first = kc.checksum(&mut rt);
         kc.reset(&mut rt);
-        kc.run_iteration(&mut rt);
+        kc.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
         assert_eq!(kc.checksum(&mut rt), first);
     }
 }

@@ -2,6 +2,7 @@
 
 use atmem::{Atmem, Result};
 
+use crate::access::MemCtx;
 use crate::bc::Bc;
 use crate::bfs::Bfs;
 use crate::cc::Cc;
@@ -23,8 +24,10 @@ pub trait Kernel {
     /// Unaccounted (happens outside the measured region).
     fn reset(&mut self, rt: &mut Atmem);
 
-    /// Runs one iteration through the accounted access path.
-    fn run_iteration(&mut self, rt: &mut Atmem);
+    /// Runs one iteration through the accounted access path. The access
+    /// mode lives in the context, chosen once by the runner or harness —
+    /// kernels carry no mode state of their own.
+    fn run_iteration(&mut self, ctx: &mut MemCtx);
 
     /// A checksum over the kernel's output arrays, for correctness
     /// comparisons across placements (unaccounted).

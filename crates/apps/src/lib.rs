@@ -46,7 +46,7 @@ pub mod sssp;
 pub mod synth;
 pub mod triangles;
 
-pub use access::AccessMode;
+pub use access::{AccessMode, MemCtx};
 pub use bc::Bc;
 pub use bfs::Bfs;
 pub use bfs_dir::BfsDir;

@@ -9,7 +9,7 @@
 use atmem::{Atmem, Result};
 use atmem_hms::TrackedVec;
 
-use crate::access::{read_run, update_at, write_run, AccessMode};
+use crate::access::MemCtx;
 use crate::graph_data::HmsGraph;
 use crate::kernel::Kernel;
 
@@ -22,7 +22,6 @@ pub struct PageRank {
     graph: HmsGraph,
     rank: TrackedVec<f64>,
     next: TrackedVec<f64>,
-    mode: AccessMode,
     iterations_run: usize,
     // Host-side staging buffers, reused across iterations.
     bounds: Vec<u64>,
@@ -47,7 +46,6 @@ impl PageRank {
             graph,
             rank,
             next,
-            mode: AccessMode::default(),
             iterations_run: 0,
             bounds: vec![0; n + 1],
             nbrs: vec![0; e],
@@ -55,11 +53,6 @@ impl PageRank {
             accs: vec![0.0; n],
             zeros: vec![0.0; n],
         })
-    }
-
-    /// Selects how sequential streams are driven (default: bulk).
-    pub fn set_mode(&mut self, mode: AccessMode) {
-        self.mode = mode;
     }
 
     /// Number of power iterations run since the last reset.
@@ -85,39 +78,35 @@ impl Kernel for PageRank {
         self.iterations_run = 0;
     }
 
-    fn run_iteration(&mut self, rt: &mut Atmem) {
-        let mode = self.mode;
-        let m = rt.machine_mut();
+    fn run_iteration(&mut self, ctx: &mut MemCtx) {
         let n = self.graph.num_vertices();
         // Stream phase: row bounds, current ranks, then all neighbour ids.
-        self.graph.bounds_into(m, mode, &mut self.bounds);
+        self.graph.bounds_into(ctx, &mut self.bounds);
         self.ranks.resize(n, 0.0);
-        read_run(&self.rank, m, mode, 0, &mut self.ranks);
+        ctx.read_run(&self.rank, 0, &mut self.ranks);
         self.nbrs.resize(self.graph.num_edges(), 0);
-        self.graph.neighbor_run(m, mode, 0, &mut self.nbrs);
-        // Push phase: scatter rank/deg along out-edges (random accumulator
-        // updates stay per-element in spirit; bulk mode fuses each
-        // read-modify-write pair).
+        self.graph.neighbor_run(ctx, 0, &mut self.nbrs);
+        // Push phase: each vertex's out-edges form one scatter-update
+        // window over the accumulator, in edge order — the window engine
+        // batches it in bulk mode with bit-identical simulated state.
         for v in 0..n {
             let (start, end) = (self.bounds[v] as usize, self.bounds[v + 1] as usize);
             if start == end {
                 continue;
             }
             let share = self.ranks[v] / (end - start) as f64;
-            for &u in &self.nbrs[start..end] {
-                update_at(&self.next, m, mode, u as usize, |acc| acc + share);
-            }
+            ctx.gather_update(&self.next, &self.nbrs[start..end], |_, acc| acc + share);
         }
         // Damping + swap phase: three sequential streams.
         let base = (1.0 - DAMPING) / n as f64;
         self.accs.resize(n, 0.0);
-        read_run(&self.next, m, mode, 0, &mut self.accs);
+        ctx.read_run(&self.next, 0, &mut self.accs);
         for acc in self.accs.iter_mut() {
             *acc = base + DAMPING * *acc;
         }
-        write_run(&self.rank, m, mode, 0, &self.accs);
+        ctx.write_run(&self.rank, 0, &self.accs);
         self.zeros.resize(n, 0.0);
-        write_run(&self.next, m, mode, 0, &self.zeros);
+        ctx.write_run(&self.next, 0, &self.zeros);
         self.iterations_run += 1;
     }
 
@@ -173,7 +162,7 @@ mod tests {
         let mut pr = PageRank::new(&mut rt, g).unwrap();
         pr.reset(&mut rt);
         for _ in 0..3 {
-            pr.run_iteration(&mut rt);
+            pr.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
         }
         let expect = reference_pagerank(&csr, 3);
         for (got, want) in pr.ranks(&mut rt).iter().zip(&expect) {
@@ -190,7 +179,7 @@ mod tests {
         let mut pr = PageRank::new(&mut rt, g).unwrap();
         pr.reset(&mut rt);
         for _ in 0..10 {
-            pr.run_iteration(&mut rt);
+            pr.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
         }
         // On a cycle (no dangling mass), total rank is conserved at 1.
         assert!((pr.checksum(&mut rt) - 1.0).abs() < 1e-9);
@@ -207,7 +196,7 @@ mod tests {
         let mut pr = PageRank::new(&mut rt, g).unwrap();
         pr.reset(&mut rt);
         for _ in 0..5 {
-            pr.run_iteration(&mut rt);
+            pr.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
         }
         let ranks = pr.ranks(&mut rt);
         assert!(ranks[0] > ranks[2] * 2.0, "hub rank {:?}", ranks);

@@ -10,7 +10,7 @@ use atmem::{Atmem, Result};
 use atmem_graph::{transpose, Csr};
 use atmem_hms::TrackedVec;
 
-use crate::access::{read_run, write_run, AccessMode};
+use crate::access::MemCtx;
 use crate::graph_data::HmsGraph;
 use crate::kernel::Kernel;
 use crate::pagerank::DAMPING;
@@ -24,7 +24,6 @@ pub struct PageRankPull {
     degree: TrackedVec<u32>,
     rank: TrackedVec<f64>,
     next: TrackedVec<f64>,
-    mode: AccessMode,
 }
 
 impl PageRankPull {
@@ -50,13 +49,7 @@ impl PageRankPull {
             degree,
             rank,
             next,
-            mode: AccessMode::default(),
         })
-    }
-
-    /// Selects how sequential streams are driven (default: bulk).
-    pub fn set_mode(&mut self, mode: AccessMode) {
-        self.mode = mode;
     }
 
     /// Copies the rank vector out of simulated memory (unaccounted).
@@ -76,38 +69,50 @@ impl Kernel for PageRankPull {
         self.next.fill(rt.machine_mut(), 0.0);
     }
 
-    fn run_iteration(&mut self, rt: &mut Atmem) {
-        let mode = self.mode;
-        let m = rt.machine_mut();
+    fn run_iteration(&mut self, ctx: &mut MemCtx) {
         let n = self.graph.num_vertices();
         // Stream phase: in-edge row bounds and source ids.
-        let bounds = self.graph.bounds(m, mode);
+        let bounds = self.graph.bounds(ctx);
         let mut nbrs = vec![0u32; self.graph.num_edges()];
-        self.graph.neighbor_run(m, mode, 0, &mut nbrs);
+        self.graph.neighbor_run(ctx, 0, &mut nbrs);
         // Gather phase: rank/degree reads follow the in-neighbour
-        // distribution (random), so they stay on the per-element path.
+        // distribution. Each row is one degree window plus one rank window
+        // over the live (deg > 0) in-neighbours, reduced host-side.
         let mut gathered = vec![0.0f64; n];
+        let mut dbuf: Vec<u32> = Vec::new();
+        let mut live: Vec<u32> = Vec::new();
+        let mut degs: Vec<u32> = Vec::new();
+        let mut rbuf: Vec<f64> = Vec::new();
         for (v, slot) in gathered.iter_mut().enumerate() {
-            let mut acc = 0.0f64;
-            for &u in &nbrs[bounds[v] as usize..bounds[v + 1] as usize] {
-                let u = u as usize;
-                let deg = self.degree.get(m, u);
+            let window = &nbrs[bounds[v] as usize..bounds[v + 1] as usize];
+            dbuf.resize(window.len(), 0);
+            ctx.gather(&self.degree, window, &mut dbuf);
+            live.clear();
+            degs.clear();
+            for (&u, &deg) in window.iter().zip(&dbuf) {
                 if deg > 0 {
-                    acc += self.rank.get(m, u) / deg as f64;
+                    live.push(u);
+                    degs.push(deg);
                 }
+            }
+            rbuf.resize(live.len(), 0.0);
+            ctx.gather(&self.rank, &live, &mut rbuf);
+            let mut acc = 0.0f64;
+            for (&r, &deg) in rbuf.iter().zip(&degs) {
+                acc += r / deg as f64;
             }
             *slot = acc;
         }
-        write_run(&self.next, m, mode, 0, &gathered);
+        ctx.write_run(&self.next, 0, &gathered);
         // Damping + swap phase: three sequential streams.
         let base = (1.0 - DAMPING) / n as f64;
         let mut accs = vec![0.0f64; n];
-        read_run(&self.next, m, mode, 0, &mut accs);
+        ctx.read_run(&self.next, 0, &mut accs);
         for acc in accs.iter_mut() {
             *acc = base + DAMPING * *acc;
         }
-        write_run(&self.rank, m, mode, 0, &accs);
-        write_run(&self.next, m, mode, 0, &vec![0.0f64; n]);
+        ctx.write_run(&self.rank, 0, &accs);
+        ctx.write_run(&self.next, 0, &vec![0.0f64; n]);
     }
 
     fn checksum(&self, rt: &mut Atmem) -> f64 {
@@ -137,7 +142,7 @@ mod tests {
         let mut pr = PageRankPull::new(&mut rt, &csr).unwrap();
         pr.reset(&mut rt);
         for _ in 0..3 {
-            pr.run_iteration(&mut rt);
+            pr.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
         }
         let expect = reference_pagerank(&csr, 3);
         for (v, (got, want)) in pr.ranks(&mut rt).iter().zip(&expect).enumerate() {
@@ -156,8 +161,8 @@ mod tests {
         let mut push = PageRank::new(&mut rt2, g).unwrap();
         push.reset(&mut rt2);
         for _ in 0..2 {
-            pull.run_iteration(&mut rt1);
-            push.run_iteration(&mut rt2);
+            pull.run_iteration(&mut MemCtx::bulk(rt1.machine_mut()));
+            push.run_iteration(&mut MemCtx::bulk(rt2.machine_mut()));
         }
         let a = pull.ranks(&mut rt1);
         let b = push.ranks(&mut rt2);

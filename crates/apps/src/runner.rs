@@ -12,6 +12,7 @@ use atmem::{Atmem, AtmemConfig, OptimizeReport, PlacementPolicy, Result};
 use atmem_graph::Csr;
 use atmem_hms::{MachineStats, Platform, SimDuration};
 
+use crate::access::MemCtx;
 use crate::graph_data::HmsGraph;
 use crate::kernel::App;
 
@@ -91,7 +92,7 @@ pub fn run_protocol(
         rt.profiling_start()?;
     }
     let t0 = rt.now();
-    kernel.run_iteration(&mut rt);
+    kernel.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
     let first_iter = SimDuration::from_ns(rt.now().as_ns() - t0.as_ns());
     if mode == Mode::Atmem {
         rt.profiling_stop()?;
@@ -108,7 +109,7 @@ pub fn run_protocol(
     kernel.reset(&mut rt);
     let before = rt.machine().stats();
     let t1 = rt.now();
-    kernel.run_iteration(&mut rt);
+    kernel.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
     let second_iter = SimDuration::from_ns(rt.now().as_ns() - t1.as_ns());
     let second_iter_stats = rt.machine().stats().delta(&before);
     let data_ratio = rt.fast_data_ratio();

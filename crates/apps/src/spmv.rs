@@ -9,7 +9,7 @@
 use atmem::{Atmem, Result};
 use atmem_hms::TrackedVec;
 
-use crate::access::{gather_run, write_run, AccessMode};
+use crate::access::MemCtx;
 use crate::graph_data::HmsGraph;
 use crate::kernel::Kernel;
 
@@ -19,7 +19,6 @@ pub struct Spmv {
     graph: HmsGraph,
     x: TrackedVec<f64>,
     y: TrackedVec<f64>,
-    mode: AccessMode,
     // Host-side staging buffers, reused across iterations.
     bounds: Vec<u64>,
     cols: Vec<u32>,
@@ -48,18 +47,12 @@ impl Spmv {
             graph,
             x,
             y,
-            mode: AccessMode::default(),
             bounds: vec![0; n + 1],
             cols: vec![0; e],
             vals: vec![0.0; e],
             xs: vec![0.0; e],
             ybuf: vec![0.0; n],
         })
-    }
-
-    /// Selects how sequential streams are driven (default: bulk).
-    pub fn set_mode(&mut self, mode: AccessMode) {
-        self.mode = mode;
     }
 
     /// Copies the output vector out of simulated memory (unaccounted).
@@ -81,22 +74,21 @@ impl Kernel for Spmv {
         }
     }
 
-    fn run_iteration(&mut self, rt: &mut Atmem) {
-        let mode = self.mode;
-        let m = rt.machine_mut();
+    fn run_iteration(&mut self, ctx: &mut MemCtx) {
         let n = self.graph.num_vertices();
         // Stream phase: row bounds, column indices, matrix values.
-        self.graph.bounds_into(m, mode, &mut self.bounds);
+        self.graph.bounds_into(ctx, &mut self.bounds);
         let num_edges = self.graph.num_edges();
         self.cols.resize(num_edges, 0);
-        self.graph.neighbor_run(m, mode, 0, &mut self.cols);
+        self.graph.neighbor_run(ctx, 0, &mut self.cols);
         self.vals.resize(num_edges, 0.0);
-        self.graph.weight_run(m, mode, 0, &mut self.vals);
-        // Gather phase: x[col] accesses follow the neighbour distribution
-        // (random), so each costs one simulated access in edge order; the
-        // row reduction then runs host-side on the staged values.
+        self.graph.weight_run(ctx, 0, &mut self.vals);
+        // Gather phase: x[col] accesses follow the neighbour distribution —
+        // one simulated access per edge in order, batched by the window
+        // engine in bulk mode; the row reduction then runs host-side on the
+        // staged values.
         self.xs.resize(num_edges, 0.0);
-        gather_run(&self.x, m, mode, &self.cols, &mut self.xs);
+        ctx.gather(&self.x, &self.cols, &mut self.xs);
         self.ybuf.resize(n, 0.0);
         for (row, y_row) in self.ybuf.iter_mut().enumerate() {
             let mut acc = 0.0f64;
@@ -106,7 +98,7 @@ impl Kernel for Spmv {
             *y_row = acc;
         }
         // Store phase: one sequential stream into y.
-        write_run(&self.y, m, mode, 0, &self.ybuf);
+        ctx.write_run(&self.y, 0, &self.ybuf);
     }
 
     fn checksum(&self, rt: &mut Atmem) -> f64 {
@@ -153,7 +145,7 @@ mod tests {
         let g = HmsGraph::load(&mut rt, &csr).unwrap();
         let mut spmv = Spmv::new(&mut rt, g).unwrap();
         spmv.reset(&mut rt);
-        spmv.run_iteration(&mut rt);
+        spmv.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
         // x = [1, 2]; y[0] = 2*x[1] = 4; y[1] = 3*x[0] = 3.
         assert_eq!(spmv.output(&mut rt), vec![4.0, 3.0]);
     }
@@ -165,7 +157,7 @@ mod tests {
         let g = HmsGraph::load(&mut rt, &csr).unwrap();
         let mut spmv = Spmv::new(&mut rt, g).unwrap();
         spmv.reset(&mut rt);
-        spmv.run_iteration(&mut rt);
+        spmv.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
         let x: Vec<f64> = (0..csr.num_vertices())
             .map(|v| 1.0 + (v % 7) as f64)
             .collect();

@@ -8,7 +8,7 @@
 use atmem::{Atmem, Result};
 use atmem_hms::TrackedVec;
 
-use crate::access::AccessMode;
+use crate::access::MemCtx;
 use crate::graph_data::HmsGraph;
 use crate::kernel::Kernel;
 
@@ -18,7 +18,6 @@ pub struct Sssp {
     graph: HmsGraph,
     source: u32,
     dist: TrackedVec<f32>,
-    mode: AccessMode,
     relaxations: u64,
 }
 
@@ -39,14 +38,8 @@ impl Sssp {
             graph,
             source,
             dist,
-            mode: AccessMode::default(),
             relaxations: 0,
         })
-    }
-
-    /// Selects how sequential streams are driven (default: bulk).
-    pub fn set_mode(&mut self, mode: AccessMode) {
-        self.mode = mode;
     }
 
     /// Edge relaxations performed by the last iteration.
@@ -70,37 +63,52 @@ impl Kernel for Sssp {
         self.relaxations = 0;
     }
 
-    fn run_iteration(&mut self, rt: &mut Atmem) {
-        let m = rt.machine_mut();
-        self.dist.set(m, self.source as usize, 0.0);
+    fn run_iteration(&mut self, ctx: &mut MemCtx) {
+        ctx.set(&self.dist, self.source as usize, 0.0);
         let mut frontier = vec![self.source];
         let mut relaxations = 0u64;
-        let mode = self.mode;
         let mut nbrs: Vec<u32> = Vec::new();
         let mut ws: Vec<f32> = Vec::new();
+        let mut dbuf: Vec<f32> = Vec::new();
+        let mut widx: Vec<u32> = Vec::new();
+        let mut wvals: Vec<f32> = Vec::new();
+        let mut overlay: std::collections::HashMap<u32, f32> = std::collections::HashMap::new();
         while !frontier.is_empty() {
             let mut next = Vec::new();
             let mut in_next = std::collections::HashSet::new();
             for &v in &frontier {
-                let dv = self.dist.get(m, v as usize);
-                let (start, end) = self.graph.edge_bounds(m, v as usize);
-                // Adjacency and weight runs are sequential; the distance
-                // relaxations they drive are random and stay per-element.
+                let dv = ctx.get(&self.dist, v as usize);
+                let (start, end) = self.graph.edge_bounds(ctx, v as usize);
                 let deg = (end - start) as usize;
                 nbrs.resize(deg, 0);
                 ws.resize(deg, 0.0);
-                self.graph.neighbor_run(m, mode, start, &mut nbrs);
-                self.graph.weight_run(m, mode, start, &mut ws);
-                for (&u, &w) in nbrs.iter().zip(&ws) {
+                self.graph.neighbor_run(ctx, start, &mut nbrs);
+                self.graph.weight_run(ctx, start, &mut ws);
+                // Relaxation: gather the neighbour distances as one window,
+                // replay the compare-and-tighten decisions host-side (an
+                // overlay map makes duplicate targets observe the in-window
+                // writes before them), then scatter the accepted writes in
+                // decision order — one read per edge and one write per
+                // relaxation, exactly like the per-element loop.
+                dbuf.resize(deg, 0.0);
+                ctx.gather(&self.dist, &nbrs, &mut dbuf);
+                widx.clear();
+                wvals.clear();
+                overlay.clear();
+                for ((&u, &w), &du) in nbrs.iter().zip(&ws).zip(&dbuf) {
+                    let cur = overlay.get(&u).copied().unwrap_or(du);
                     let candidate = dv + w;
-                    if candidate < self.dist.get(m, u as usize) {
-                        self.dist.set(m, u as usize, candidate);
+                    if candidate < cur {
+                        overlay.insert(u, candidate);
+                        widx.push(u);
+                        wvals.push(candidate);
                         relaxations += 1;
                         if in_next.insert(u) {
                             next.push(u);
                         }
                     }
                 }
+                ctx.scatter(&self.dist, &widx, &wvals);
             }
             frontier = next;
         }
@@ -181,7 +189,7 @@ mod tests {
         let g = HmsGraph::load(&mut rt, &csr).unwrap();
         let mut sssp = Sssp::new(&mut rt, g, 0).unwrap();
         sssp.reset(&mut rt);
-        sssp.run_iteration(&mut rt);
+        sssp.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
         assert_eq!(sssp.distances(&mut rt), vec![0.0, 1.0, 3.0]);
         assert!(sssp.relaxations() >= 3);
     }
@@ -193,7 +201,7 @@ mod tests {
         let g = HmsGraph::load(&mut rt, &csr).unwrap();
         let mut sssp = Sssp::new(&mut rt, g, 0).unwrap();
         sssp.reset(&mut rt);
-        sssp.run_iteration(&mut rt);
+        sssp.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
         let got = sssp.distances(&mut rt);
         let expect = reference_sssp(&csr, 0);
         for (v, (a, b)) in got.iter().zip(&expect).enumerate() {

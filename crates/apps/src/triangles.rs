@@ -8,7 +8,7 @@
 
 use atmem::{Atmem, Result};
 
-use crate::access::AccessMode;
+use crate::access::MemCtx;
 use crate::graph_data::HmsGraph;
 use crate::kernel::Kernel;
 
@@ -16,7 +16,6 @@ use crate::kernel::Kernel;
 #[derive(Debug)]
 pub struct Triangles {
     graph: HmsGraph,
-    mode: AccessMode,
     count: u64,
 }
 
@@ -30,16 +29,7 @@ impl Triangles {
     /// Currently infallible; returns `Result` for symmetry with the other
     /// kernels (future property arrays).
     pub fn new(_rt: &mut Atmem, graph: HmsGraph) -> Result<Self> {
-        Ok(Triangles {
-            graph,
-            mode: AccessMode::default(),
-            count: 0,
-        })
-    }
-
-    /// Selects how sequential streams are driven (default: bulk).
-    pub fn set_mode(&mut self, mode: AccessMode) {
-        self.mode = mode;
+        Ok(Triangles { graph, count: 0 })
     }
 
     /// Triangles found by the last iteration.
@@ -57,31 +47,29 @@ impl Kernel for Triangles {
         self.count = 0;
     }
 
-    fn run_iteration(&mut self, rt: &mut Atmem) {
-        let mode = self.mode;
-        let m = rt.machine_mut();
+    fn run_iteration(&mut self, ctx: &mut MemCtx) {
         let n = self.graph.num_vertices();
         let mut triangles = 0u64;
         let mut adj_u: Vec<u32> = Vec::new();
         for u in 0..n {
-            let (us, ue) = self.graph.edge_bounds(m, u);
+            let (us, ue) = self.graph.edge_bounds(ctx, u);
             // One sequential pass enumerates u's edges; the merge loops
             // below deliberately keep their per-element re-reads (the
             // read-reuse the kernel exists to exercise).
             adj_u.resize((ue - us) as usize, 0);
-            self.graph.neighbor_run(m, mode, us, &mut adj_u);
+            self.graph.neighbor_run(ctx, us, &mut adj_u);
             for &v32 in &adj_u {
                 let v = v32 as usize;
                 if v <= u {
                     continue; // orient: count each edge once
                 }
                 // Merge-intersect adj(u) and adj(v), counting w > v.
-                let (vs, ve) = self.graph.edge_bounds(m, v);
+                let (vs, ve) = self.graph.edge_bounds(ctx, v);
                 let mut i = us;
                 let mut j = vs;
                 while i < ue && j < ve {
-                    let a = self.graph.neighbor(m, i);
-                    let b = self.graph.neighbor(m, j);
+                    let a = self.graph.neighbor(ctx, i);
+                    let b = self.graph.neighbor(ctx, j);
                     if (a as usize) <= v {
                         i += 1;
                     } else if a == b {
@@ -158,7 +146,7 @@ mod tests {
         let g = HmsGraph::load(&mut rt, &csr).unwrap();
         let mut tc = Triangles::new(&mut rt, g).unwrap();
         tc.reset(&mut rt);
-        tc.run_iteration(&mut rt);
+        tc.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
         assert_eq!(tc.count(), 1);
         assert_eq!(reference_triangles(&csr), 1);
     }
@@ -179,7 +167,7 @@ mod tests {
         let g = HmsGraph::load(&mut rt, &csr).unwrap();
         let mut tc = Triangles::new(&mut rt, g).unwrap();
         tc.reset(&mut rt);
-        tc.run_iteration(&mut rt);
+        tc.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
         assert_eq!(tc.count(), 10);
     }
 
@@ -193,7 +181,7 @@ mod tests {
         let g = HmsGraph::load(&mut rt, &csr).unwrap();
         let mut tc = Triangles::new(&mut rt, g).unwrap();
         tc.reset(&mut rt);
-        tc.run_iteration(&mut rt);
+        tc.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
         assert_eq!(tc.count(), reference_triangles(&csr));
         assert!(
             tc.count() > 0,

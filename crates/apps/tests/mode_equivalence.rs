@@ -1,19 +1,21 @@
 //! Scalar vs. bulk access-mode equivalence for every kernel.
 //!
-//! The bulk fast path must be *invisible* in simulation space: for each of
-//! the ten kernels, running the same workload in [`AccessMode::Scalar`] and
-//! [`AccessMode::Bulk`] has to produce identical outputs and bit-identical
-//! machine counters (accesses, TLB and LLC hits/misses, simulated time).
-//! Any divergence means the block walk miscounts some boundary case the
-//! per-element loop handles.
+//! The bulk fast paths must be *invisible* in simulation space: for each of
+//! the ten kernels, running the same workload under [`AccessMode::Scalar`]
+//! and [`AccessMode::Bulk`] contexts has to produce identical outputs and
+//! bit-identical machine state — counters, simulated clock, and the
+//! PEBS/trace streams (which are order-sensitive, so they catch reorderings
+//! the aggregate counters would miss). Any divergence means a block walk or
+//! the window engine mishandles some boundary case the per-element loop
+//! gets right.
 
 use atmem::{Atmem, AtmemConfig};
 use atmem_apps::{
-    AccessMode, Bc, Bfs, BfsDir, Cc, HmsGraph, KCore, Kernel, PageRank, PageRankPull, Spmv, Sssp,
-    Triangles,
+    AccessMode, Bc, Bfs, BfsDir, Cc, HmsGraph, KCore, Kernel, MemCtx, PageRank, PageRankPull, Spmv,
+    Sssp, Triangles,
 };
 use atmem_graph::{rmat, Csr, Dataset};
-use atmem_hms::{MachineStats, Platform};
+use atmem_hms::{MachineStats, Platform, SampleRecord, SimDuration};
 
 fn runtime() -> Atmem {
     Atmem::new(Platform::testing(), AtmemConfig::default()).unwrap()
@@ -34,38 +36,55 @@ fn symmetric_graph() -> Csr {
     rmat(&config, 11)
 }
 
-/// Runs `iters` iterations of the kernel `build` constructs under `mode`
-/// and returns the checksum plus the machine counters at the end.
+/// Runs `iters` iterations of the kernel `build` constructs with a context
+/// in `mode`, and returns the checksum plus every piece of simulated state
+/// a divergent fast path could disturb.
 fn run_mode(
     csr: &Csr,
     mode: AccessMode,
     iters: usize,
-    build: impl FnOnce(&mut Atmem, &Csr, AccessMode) -> Box<dyn Kernel>,
-) -> (f64, MachineStats) {
+    build: impl FnOnce(&mut Atmem, &Csr) -> Box<dyn Kernel>,
+) -> (f64, MachineStats, SimDuration, Vec<SampleRecord>) {
     let mut rt = runtime();
-    let mut kernel = build(&mut rt, csr, mode);
+    let mut kernel = build(&mut rt, csr);
     kernel.reset(&mut rt);
+    rt.machine_mut().pebs_enable(7, 3);
     for _ in 0..iters {
-        kernel.run_iteration(&mut rt);
+        kernel.run_iteration(&mut MemCtx::new(rt.machine_mut(), mode));
     }
-    (kernel.checksum(&mut rt), rt.machine().stats())
+    let sum = kernel.checksum(&mut rt);
+    let stats = rt.machine().stats();
+    let now = rt.now();
+    let pebs = rt.machine_mut().pebs_drain();
+    (sum, stats, now, pebs)
 }
 
-/// Asserts both modes agree on output and counters.
+/// Asserts both modes agree on output, counters, clock and PEBS stream.
 fn assert_modes_agree(
     name: &str,
     csr: &Csr,
     iters: usize,
-    build: impl Fn(&mut Atmem, &Csr, AccessMode) -> Box<dyn Kernel>,
+    build: impl Fn(&mut Atmem, &Csr) -> Box<dyn Kernel>,
 ) {
-    let (scalar_sum, scalar_stats) = run_mode(csr, AccessMode::Scalar, iters, &build);
-    let (bulk_sum, bulk_stats) = run_mode(csr, AccessMode::Bulk, iters, &build);
+    let (scalar_sum, scalar_stats, scalar_now, scalar_pebs) =
+        run_mode(csr, AccessMode::Scalar, iters, &build);
+    let (bulk_sum, bulk_stats, bulk_now, bulk_pebs) =
+        run_mode(csr, AccessMode::Bulk, iters, &build);
     assert_eq!(scalar_sum, bulk_sum, "{name}: checksums diverge");
     assert_eq!(
         scalar_stats, bulk_stats,
         "{name}: machine counters diverge between access modes"
     );
+    assert_eq!(
+        scalar_now, bulk_now,
+        "{name}: simulated clocks diverge between access modes"
+    );
+    assert_eq!(
+        scalar_pebs, bulk_pebs,
+        "{name}: PEBS sample streams diverge between access modes"
+    );
     assert!(scalar_stats.accesses > 0, "{name} performed no work");
+    assert!(!scalar_pebs.is_empty(), "{name} produced no PEBS samples");
 }
 
 fn load(rt: &mut Atmem, csr: &Csr) -> HmsGraph {
@@ -74,98 +93,78 @@ fn load(rt: &mut Atmem, csr: &Csr) -> HmsGraph {
 
 #[test]
 fn pagerank_modes_agree() {
-    assert_modes_agree("PR", &plain_graph(), 2, |rt, csr, mode| {
+    assert_modes_agree("PR", &plain_graph(), 2, |rt, csr| {
         let g = load(rt, csr);
-        let mut k = PageRank::new(rt, g).unwrap();
-        k.set_mode(mode);
-        Box::new(k)
+        Box::new(PageRank::new(rt, g).unwrap())
     });
 }
 
 #[test]
 fn pagerank_pull_modes_agree() {
-    assert_modes_agree("PR-pull", &plain_graph(), 2, |rt, csr, mode| {
-        let mut k = PageRankPull::new(rt, csr).unwrap();
-        k.set_mode(mode);
-        Box::new(k)
+    assert_modes_agree("PR-pull", &plain_graph(), 2, |rt, csr| {
+        Box::new(PageRankPull::new(rt, csr).unwrap())
     });
 }
 
 #[test]
 fn spmv_modes_agree() {
-    assert_modes_agree("SpMV", &weighted_graph(), 2, |rt, csr, mode| {
+    assert_modes_agree("SpMV", &weighted_graph(), 2, |rt, csr| {
         let g = load(rt, csr);
-        let mut k = Spmv::new(rt, g).unwrap();
-        k.set_mode(mode);
-        Box::new(k)
+        Box::new(Spmv::new(rt, g).unwrap())
     });
 }
 
 #[test]
 fn bfs_modes_agree() {
-    assert_modes_agree("BFS", &plain_graph(), 1, |rt, csr, mode| {
+    assert_modes_agree("BFS", &plain_graph(), 1, |rt, csr| {
         let g = load(rt, csr);
-        let mut k = Bfs::new(rt, g, 0).unwrap();
-        k.set_mode(mode);
-        Box::new(k)
+        Box::new(Bfs::new(rt, g, 0).unwrap())
     });
 }
 
 #[test]
 fn bfs_dir_modes_agree() {
-    assert_modes_agree("BFS-dir", &symmetric_graph(), 1, |rt, csr, mode| {
-        let mut k = BfsDir::new(rt, csr, 0).unwrap();
-        k.set_mode(mode);
-        Box::new(k)
+    assert_modes_agree("BFS-dir", &symmetric_graph(), 1, |rt, csr| {
+        Box::new(BfsDir::new(rt, csr, 0).unwrap())
     });
 }
 
 #[test]
 fn sssp_modes_agree() {
-    assert_modes_agree("SSSP", &weighted_graph(), 1, |rt, csr, mode| {
+    assert_modes_agree("SSSP", &weighted_graph(), 1, |rt, csr| {
         let g = load(rt, csr);
-        let mut k = Sssp::new(rt, g, 0).unwrap();
-        k.set_mode(mode);
-        Box::new(k)
+        Box::new(Sssp::new(rt, g, 0).unwrap())
     });
 }
 
 #[test]
 fn cc_modes_agree() {
-    assert_modes_agree("CC", &plain_graph(), 2, |rt, csr, mode| {
+    assert_modes_agree("CC", &plain_graph(), 2, |rt, csr| {
         let g = load(rt, csr);
-        let mut k = Cc::new(rt, g).unwrap();
-        k.set_mode(mode);
-        Box::new(k)
+        Box::new(Cc::new(rt, g).unwrap())
     });
 }
 
 #[test]
 fn bc_modes_agree() {
-    assert_modes_agree("BC", &plain_graph(), 2, |rt, csr, mode| {
+    assert_modes_agree("BC", &plain_graph(), 2, |rt, csr| {
         let g = load(rt, csr);
-        let mut k = Bc::new(rt, g, 0).unwrap();
-        k.set_mode(mode);
-        Box::new(k)
+        Box::new(Bc::new(rt, g, 0).unwrap())
     });
 }
 
 #[test]
 fn kcore_modes_agree() {
-    assert_modes_agree("kCore", &symmetric_graph(), 1, |rt, csr, mode| {
+    assert_modes_agree("kCore", &symmetric_graph(), 1, |rt, csr| {
         let g = load(rt, csr);
-        let mut k = KCore::new(rt, g).unwrap();
-        k.set_mode(mode);
-        Box::new(k)
+        Box::new(KCore::new(rt, g).unwrap())
     });
 }
 
 #[test]
 fn triangles_modes_agree() {
-    assert_modes_agree("TC", &symmetric_graph(), 1, |rt, csr, mode| {
+    assert_modes_agree("TC", &symmetric_graph(), 1, |rt, csr| {
         let g = load(rt, csr);
-        let mut k = Triangles::new(rt, g).unwrap();
-        k.set_mode(mode);
-        Box::new(k)
+        Box::new(Triangles::new(rt, g).unwrap())
     });
 }

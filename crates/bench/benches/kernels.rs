@@ -1,27 +1,33 @@
 //! Wall-clock micro-benchmarks of one kernel iteration through the full
 //! simulated access path (host simulator throughput, not simulated time).
 //!
-//! Each kernel runs twice — once forcing the scalar per-element path and
-//! once on the bulk block fast path — and the two must agree on both the
-//! kernel checksum and the machine counters (the fast path is invisible in
-//! simulation space). SpMV and PageRank, whose iterations are dominated by
-//! sequential CSR streams, additionally assert the ≥3x host speedup the
-//! bulk path exists to deliver.
+//! Each kernel runs twice — once through a [`AccessMode::Scalar`] context
+//! (per-element path) and once through [`AccessMode::Bulk`] (block walks
+//! and the window engine) — and the two must agree on the kernel checksum,
+//! the machine counters and the simulated clock (the fast paths are
+//! invisible in simulation space). SpMV and PageRank full iterations
+//! assert the ≥3x host speedup of the stream-dominated path; the isolated
+//! PageRank scatter and SpMV gather phases assert ≥2x on the window engine
+//! alone.
+//!
+//! `--smoke` runs only the equality half on a reduced graph (no timing, no
+//! speedup gates) so CI can verify Scalar/Bulk equivalence on every push
+//! without inheriting wall-clock flakiness.
 
 use atmem::{Atmem, AtmemConfig};
-use atmem_apps::{AccessMode, HmsGraph, Kernel, PageRank, Spmv};
+use atmem_apps::{AccessMode, HmsGraph, Kernel, MemCtx, PageRank, Spmv};
 use atmem_bench::harness::{bench_with_setup, black_box};
 use atmem_graph::{rmat, Csr, Dataset};
-use atmem_hms::{MachineStats, Platform};
+use atmem_hms::{MachineStats, Placement, Platform, SimDuration, TrackedVec};
 
 const SAMPLES: usize = 15;
 
 /// R-MAT input sized so one iteration takes milliseconds host-side. The
 /// low edge factor keeps the iterations stream-dominated (road-network-like
 /// sparsity), which is the regime the bulk path targets.
-fn bench_graph(weighted: bool) -> Csr {
+fn bench_graph(weighted: bool, smoke: bool) -> Csr {
     let mut config = Dataset::Rmat24.config();
-    config.scale = 13; // 8192 vertices
+    config.scale = if smoke { 9 } else { 13 }; // 512 or 8192 vertices
     config.edge_factor = 2;
     let g = rmat(&config, 42);
     if weighted {
@@ -33,12 +39,11 @@ fn bench_graph(weighted: bool) -> Csr {
 
 fn fresh_kernel(
     csr: &Csr,
-    mode: AccessMode,
-    make: &dyn Fn(&mut Atmem, HmsGraph, AccessMode) -> Box<dyn Kernel>,
+    make: &dyn Fn(&mut Atmem, HmsGraph) -> Box<dyn Kernel>,
 ) -> (Atmem, Box<dyn Kernel>) {
     let mut rt = Atmem::new(Platform::testing(), AtmemConfig::default()).expect("runtime");
     let graph = HmsGraph::load(&mut rt, csr).expect("load");
-    let mut kernel = make(&mut rt, graph, mode);
+    let mut kernel = make(&mut rt, graph);
     kernel.reset(&mut rt);
     (rt, kernel)
 }
@@ -46,35 +51,47 @@ fn fresh_kernel(
 fn run_once(
     csr: &Csr,
     mode: AccessMode,
-    make: &dyn Fn(&mut Atmem, HmsGraph, AccessMode) -> Box<dyn Kernel>,
-) -> (f64, MachineStats) {
-    let (mut rt, mut kernel) = fresh_kernel(csr, mode, make);
-    kernel.run_iteration(&mut rt);
-    (kernel.checksum(&mut rt), rt.machine().stats())
+    make: &dyn Fn(&mut Atmem, HmsGraph) -> Box<dyn Kernel>,
+) -> (f64, MachineStats, SimDuration) {
+    let (mut rt, mut kernel) = fresh_kernel(csr, make);
+    kernel.run_iteration(&mut MemCtx::new(rt.machine_mut(), mode));
+    let sum = kernel.checksum(&mut rt);
+    (sum, rt.machine().stats(), rt.now())
 }
 
-/// Times one iteration in both modes, verifying the simulated results are
-/// unchanged, and returns the bulk-over-scalar host speedup.
+/// Runs one iteration in both modes and asserts the simulated results are
+/// bit-identical.
+fn assert_modes_agree(
+    name: &str,
+    csr: &Csr,
+    make: &dyn Fn(&mut Atmem, HmsGraph) -> Box<dyn Kernel>,
+) {
+    let (scalar_sum, scalar_stats, scalar_now) = run_once(csr, AccessMode::Scalar, make);
+    let (bulk_sum, bulk_stats, bulk_now) = run_once(csr, AccessMode::Bulk, make);
+    assert_eq!(scalar_sum, bulk_sum, "{name}: checksums diverge");
+    assert_eq!(scalar_stats, bulk_stats, "{name}: counters diverge");
+    assert_eq!(scalar_now, bulk_now, "{name}: simulated clocks diverge");
+    println!("equivalence/{name}: ok ({} accesses)", bulk_stats.accesses);
+}
+
+/// Times one iteration in both modes (equality already asserted) and
+/// returns the bulk-over-scalar host speedup.
 fn compare_modes(
     name: &str,
     csr: &Csr,
-    make: &dyn Fn(&mut Atmem, HmsGraph, AccessMode) -> Box<dyn Kernel>,
+    make: &dyn Fn(&mut Atmem, HmsGraph) -> Box<dyn Kernel>,
 ) -> f64 {
-    let (scalar_sum, scalar_stats) = run_once(csr, AccessMode::Scalar, make);
-    let (bulk_sum, bulk_stats) = run_once(csr, AccessMode::Bulk, make);
-    assert_eq!(scalar_sum, bulk_sum, "{name}: checksums diverge");
-    assert_eq!(scalar_stats, bulk_stats, "{name}: counters diverge");
-
     let mut results = Vec::new();
     for (label, mode) in [("scalar", AccessMode::Scalar), ("bulk", AccessMode::Bulk)] {
         let r = bench_with_setup(
             &format!("kernel_iteration/{name}/{label}"),
             SAMPLES,
-            || fresh_kernel(csr, mode, make),
+            || fresh_kernel(csr, make),
             |(mut rt, mut kernel)| {
                 // Time the iteration only; checksum equality was asserted
-                // above and state teardown happens after the clock stops.
-                kernel.run_iteration(&mut rt);
+                // separately and state teardown happens after the clock
+                // stops.
+                kernel.run_iteration(&mut MemCtx::new(rt.machine_mut(), mode));
                 black_box((rt, kernel))
             },
         );
@@ -88,20 +105,156 @@ fn compare_modes(
     speedup
 }
 
-fn main() {
-    let weighted = bench_graph(true);
-    let plain = bench_graph(false);
+/// State for the isolated random-access phase benchmarks: a property array
+/// plus the graph's adjacency, both simulator-resident, and the host-side
+/// staging the kernels keep.
+struct PhaseState {
+    rt: Atmem,
+    array: TrackedVec<f64>,
+    cols: TrackedVec<u32>,
+    bounds: Vec<u64>,
+    nbrs: Vec<u32>,
+    colbuf: Vec<u32>,
+}
 
-    let spmv_speedup = compare_modes("SpMV", &weighted, &|rt, g, mode| {
-        let mut k = Spmv::new(rt, g).expect("kernel");
-        k.set_mode(mode);
-        Box::new(k)
+fn phase_state(csr: &Csr) -> PhaseState {
+    let mut rt = Atmem::new(Platform::testing(), AtmemConfig::default()).expect("runtime");
+    let array = TrackedVec::<f64>::new(
+        rt.machine_mut(),
+        csr.num_vertices(),
+        Placement::Preferred(atmem_hms::TierId::FAST),
+    )
+    .expect("alloc");
+    array.fill(rt.machine_mut(), 1.0);
+    let nbrs: Vec<u32> = csr.neighbors().to_vec();
+    let cols = TrackedVec::<u32>::new(
+        rt.machine_mut(),
+        nbrs.len(),
+        Placement::Preferred(atmem_hms::TierId::FAST),
+    )
+    .expect("alloc");
+    for (e, &c) in nbrs.iter().enumerate() {
+        cols.poke(rt.machine_mut(), e, c);
+    }
+    let bounds: Vec<u64> = csr.offsets().to_vec();
+    PhaseState {
+        rt,
+        array,
+        cols,
+        bounds,
+        nbrs,
+        colbuf: Vec::new(),
+    }
+}
+
+/// The PageRank push kernel's scatter phase exactly as the kernel executes
+/// it: the neighbour windows are already host-staged (the kernel streams
+/// them once per iteration, outside this phase), so this is the pure window
+/// engine — one `gather_update` window per vertex over its out-neighbours.
+fn pr_scatter_phase(st: &mut PhaseState, mode: AccessMode) {
+    let mut ctx = MemCtx::new(st.rt.machine_mut(), mode);
+    for v in 0..st.bounds.len() - 1 {
+        let (s, e) = (st.bounds[v] as usize, st.bounds[v + 1] as usize);
+        if s == e {
+            continue;
+        }
+        let share = 1.0 / (e - s) as f64;
+        ctx.gather_update(&st.array, &st.nbrs[s..e], |_, acc| acc + share);
+    }
+}
+
+/// The SpMV kernel's gather phase exactly as the kernel executes it: the
+/// accounted column-index stream followed by the `x[col]` gather over the
+/// whole edge list (the kernel cannot gather without first reading the
+/// indices through the accounted path).
+fn spmv_gather_phase(st: &mut PhaseState, out: &mut Vec<f64>, mode: AccessMode) {
+    let mut ctx = MemCtx::new(st.rt.machine_mut(), mode);
+    st.colbuf.resize(st.nbrs.len(), 0);
+    ctx.read_run(&st.cols, 0, &mut st.colbuf);
+    out.resize(st.colbuf.len(), 0.0);
+    ctx.gather(&st.array, &st.colbuf, out);
+}
+
+/// Asserts Scalar/Bulk equality of a phase and (unless `smoke`) times it,
+/// returning the bulk-over-scalar host speedup (1.0 under `smoke`).
+fn compare_phase(
+    name: &str,
+    csr: &Csr,
+    smoke: bool,
+    run: impl Fn(&mut PhaseState, AccessMode),
+) -> f64 {
+    let mut scalar = phase_state(csr);
+    run(&mut scalar, AccessMode::Scalar);
+    let mut bulk = phase_state(csr);
+    run(&mut bulk, AccessMode::Bulk);
+    assert_eq!(
+        scalar.rt.machine().stats(),
+        bulk.rt.machine().stats(),
+        "{name}: phase counters diverge"
+    );
+    assert_eq!(
+        scalar.rt.now(),
+        bulk.rt.now(),
+        "{name}: phase clocks diverge"
+    );
+    assert_eq!(
+        scalar.array.to_vec(scalar.rt.machine_mut()),
+        bulk.array.to_vec(bulk.rt.machine_mut()),
+        "{name}: phase contents diverge"
+    );
+    println!(
+        "equivalence/{name}: ok ({} accesses)",
+        bulk.rt.machine().stats().accesses
+    );
+    if smoke {
+        return 1.0;
+    }
+    let mut results = Vec::new();
+    for (label, mode) in [("scalar", AccessMode::Scalar), ("bulk", AccessMode::Bulk)] {
+        let r = bench_with_setup(
+            &format!("phase/{name}/{label}"),
+            SAMPLES,
+            || phase_state(csr),
+            |mut st| {
+                run(&mut st, mode);
+                black_box(st)
+            },
+        );
+        results.push(r);
+    }
+    let speedup = results[0].min_ns() / results[1].min_ns();
+    println!("phase/{name}: bulk speedup {speedup:.2}x\n");
+    speedup
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let weighted = bench_graph(true, smoke);
+    let plain = bench_graph(false, smoke);
+
+    let make_spmv = |rt: &mut Atmem, g: HmsGraph| -> Box<dyn Kernel> {
+        Box::new(Spmv::new(rt, g).expect("kernel"))
+    };
+    let make_pr = |rt: &mut Atmem, g: HmsGraph| -> Box<dyn Kernel> {
+        Box::new(PageRank::new(rt, g).expect("kernel"))
+    };
+
+    assert_modes_agree("SpMV", &weighted, &make_spmv);
+    assert_modes_agree("PR", &plain, &make_pr);
+    let pr_scatter = compare_phase("PR-scatter", &plain, smoke, pr_scatter_phase);
+    let spmv_gather = compare_phase("SpMV-gather", &weighted, smoke, |st, mode| {
+        let mut out = Vec::new();
+        spmv_gather_phase(st, &mut out, mode);
+        black_box(out);
     });
-    let pr_speedup = compare_modes("PR", &plain, &|rt, g, mode| {
-        let mut k = PageRank::new(rt, g).expect("kernel");
-        k.set_mode(mode);
-        Box::new(k)
-    });
+
+    if smoke {
+        println!("smoke run: equivalence checks passed, timing gates skipped");
+        return;
+    }
+
+    let spmv_speedup = compare_modes("SpMV", &weighted, &make_spmv);
+    let pr_speedup = compare_modes("PR", &plain, &make_pr);
 
     assert!(
         spmv_speedup >= 3.0,
@@ -110,5 +263,13 @@ fn main() {
     assert!(
         pr_speedup >= 3.0,
         "PageRank bulk path must be >= 3x faster host-side, got {pr_speedup:.2}x"
+    );
+    assert!(
+        pr_scatter >= 2.0,
+        "PageRank scatter phase must be >= 2x faster in bulk, got {pr_scatter:.2}x"
+    );
+    assert!(
+        spmv_gather >= 2.0,
+        "SpMV gather phase must be >= 2x faster in bulk, got {spmv_gather:.2}x"
     );
 }

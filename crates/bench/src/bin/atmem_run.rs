@@ -15,7 +15,7 @@
 use std::process::ExitCode;
 
 use atmem::{chunk_heatmap, AtmemConfig, MigrationMechanism, ResidencyReport};
-use atmem_apps::{App, HmsGraph, Mode};
+use atmem_apps::{App, HmsGraph, MemCtx, Mode};
 use atmem_graph::{Csr, Dataset};
 use atmem_hms::Platform;
 
@@ -185,7 +185,7 @@ fn main() -> ExitCode {
             rt.profiling_start()?;
         }
         let t0 = rt.now();
-        kernel.run_iteration(&mut rt);
+        kernel.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
         let first = rt.now().as_ns() - t0.as_ns();
         if opts.mode == Mode::Atmem {
             let profile = rt.profiling_stop()?;
@@ -216,7 +216,7 @@ fn main() -> ExitCode {
 
         kernel.reset(&mut rt);
         let t1 = rt.now();
-        kernel.run_iteration(&mut rt);
+        kernel.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
         let second = rt.now().as_ns() - t1.as_ns();
         println!(
             "iteration 2: {:9.3} ms   (checksum {:.6e})",

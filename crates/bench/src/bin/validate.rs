@@ -15,8 +15,8 @@ use std::process::ExitCode;
 use atmem::{Atmem, AtmemConfig};
 use atmem_apps::{
     bc::reference_bc, bfs::reference_bfs, cc::reference_components, pagerank::reference_pagerank,
-    spmv::reference_spmv, sssp::reference_sssp, App, Bc, Bfs, Cc, HmsGraph, Kernel, Mode, PageRank,
-    Spmv, Sssp,
+    spmv::reference_spmv, sssp::reference_sssp, App, Bc, Bfs, Cc, HmsGraph, Kernel, MemCtx, Mode,
+    PageRank, Spmv, Sssp,
 };
 use atmem_graph::{Csr, Dataset};
 use atmem_hms::Platform;
@@ -70,13 +70,13 @@ fn run_app(csr: &Csr, app: App, mode: Mode) -> atmem::Result<Vec<f64>> {
     if mode == Mode::Atmem {
         rt.profiling_start()?;
     }
-    as_kernel(&mut kernel).run_iteration(&mut rt);
+    as_kernel(&mut kernel).run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
     if mode == Mode::Atmem {
         rt.profiling_stop()?;
         rt.optimize()?;
     }
     as_kernel(&mut kernel).reset(&mut rt);
-    as_kernel(&mut kernel).run_iteration(&mut rt);
+    as_kernel(&mut kernel).run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
 
     Ok(match &kernel {
         K::Bfs(x) => x.distances(&mut rt).iter().map(|&d| d as f64).collect(),

@@ -142,7 +142,8 @@ impl Atmem {
     /// Allocation failures from the memory system.
     pub fn malloc<T: Scalar>(&mut self, len: usize, name: &str) -> Result<TrackedVec<T>> {
         let placement = self.config.default_placement.placement();
-        let vec = TrackedVec::<T>::new(&mut self.machine, len, placement)?;
+        let mut vec = TrackedVec::<T>::new(&mut self.machine, len, placement)?;
+        vec.set_name(name);
         let geometry = chunk_geometry(vec.range().len, &self.config.chunks);
         self.registry.register(name, vec.range(), geometry);
         self.handles.push(vec.range());

@@ -160,6 +160,24 @@ impl Cache {
         self.ages[slot] = self.tick;
     }
 
+    /// Replays `reads + writes` guaranteed-hit re-touches of the line in
+    /// `slot` as one batch: counters, tick and the line's age end exactly as
+    /// that many interleaved [`rehit`](Cache::rehit) calls would leave them
+    /// (the interleaving order does not matter — every touch restamps the
+    /// same slot). Used by the window engine to flush deferred same-line
+    /// accesses before the next real probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `reads + writes` is zero.
+    pub(crate) fn rehit_run(&mut self, slot: usize, reads: u64, writes: u64) {
+        debug_assert!(reads + writes > 0, "empty rehit run");
+        self.tick += reads + writes;
+        self.read_hits += reads;
+        self.write_hits += writes;
+        self.ages[slot] = self.tick;
+    }
+
     /// Performs `count` consecutive accesses to the line containing `pa` as
     /// one batch, returning the outcome of the *first*. State and counters
     /// end exactly as `count` calls to [`access`](Cache::access) would leave
@@ -278,6 +296,41 @@ mod tests {
         assert_eq!(c.write_misses(), 1);
         assert_eq!(c.write_hits(), 1);
         assert_eq!(c.read_misses(), 0);
+    }
+
+    #[test]
+    fn rehit_run_matches_the_per_element_rehit_loop() {
+        let mut batched = small();
+        let mut looped = small();
+        for &(addr, reads, writes) in &[
+            (0x000u64, 4u64, 2u64),
+            (0x100, 0, 3),
+            (0x000, 5, 0),
+            (0x200, 1, 1),
+        ] {
+            let pa = PhysAddr::new(addr);
+            let (ob, sb) = batched.access_slot(pa, false);
+            let (ol, sl) = looped.access_slot(pa, false);
+            assert_eq!(ob, ol, "probe outcome at {addr:#x}");
+            batched.rehit_run(sb, reads, writes);
+            for _ in 0..reads {
+                looped.rehit(sl, false);
+            }
+            for _ in 0..writes {
+                looped.rehit(sl, true);
+            }
+        }
+        assert_eq!(batched.read_hits(), looped.read_hits());
+        assert_eq!(batched.read_misses(), looped.read_misses());
+        assert_eq!(batched.write_hits(), looped.write_hits());
+        assert_eq!(batched.write_misses(), looped.write_misses());
+        // LRU ages agree: the same victims are chosen afterwards.
+        for addr in (0..0x800u64).step_by(0x100) {
+            assert_eq!(
+                batched.access(PhysAddr::new(addr), false),
+                looped.access(PhysAddr::new(addr), false)
+            );
+        }
     }
 
     #[test]

@@ -78,6 +78,17 @@ pub(crate) struct BlockSegment {
     pub(crate) len: usize,
 }
 
+/// What each element of a batched index window does, for
+/// [`Machine::access_window`]. Passed as a const generic so each op's loop
+/// monomorphizes branch-free. `OP_RMW` is simulated as a read followed by a
+/// guaranteed-hit write of the same line, exactly like
+/// [`Machine::read_modify_write`].
+const OP_READ: u8 = 0;
+/// Write each element (see [`OP_READ`]).
+const OP_WRITE: u8 = 1;
+/// Read-modify-write each element (see [`OP_READ`]).
+const OP_RMW: u8 = 2;
+
 /// The simulated machine. See the [crate docs](crate) for an overview.
 #[derive(Debug)]
 pub struct Machine {
@@ -513,24 +524,23 @@ impl Machine {
     /// Accounted indexed gather: reads element `indices[k]` of an array of
     /// `elem_count` `T`s based at `base` into `out[k]`, for every `k`.
     ///
-    /// Each access runs the full scalar path — per-element TLB lookup, LLC
-    /// walk, PEBS sampling and clock advance in index order — so simulated
-    /// state ends **bit-identical** to the equivalent [`read`](Machine::read)
-    /// loop. Only per-call overhead (cost-model constant fetches, counter
-    /// updates, the tracing check) is hoisted out of the loop; gathers are
-    /// the dominant host cost of irregular kernels, which is the only reason
-    /// this exists.
+    /// Runs on the batched window engine ([`access_window`]
+    /// [Machine::access_window]), so simulated state ends **bit-identical**
+    /// to the equivalent [`read`](Machine::read) loop — on the success path
+    /// and, since counters are charged per element after each translation
+    /// resolves, on the error path as well.
     ///
     /// # Errors
     ///
-    /// [`HmsError::Unmapped`] if any accessed address is unmapped. Accesses
-    /// before the failing one have already been charged (and the access
-    /// totals for the whole call, which are batched up front).
+    /// [`HmsError::Unmapped`] if any accessed address is unmapped. Elements
+    /// before the failing one have been charged exactly as the scalar loop
+    /// would have charged them; the failing element has not.
     ///
     /// # Panics
     ///
-    /// Panics if `indices` and `out` differ in length or an index is out of
-    /// bounds (`>= elem_count`).
+    /// Panics if `indices` and `out` differ in length; debug builds panic on
+    /// an index out of bounds (`>= elem_count`) — callers validate windows
+    /// up front.
     pub(crate) fn read_gather<T: Scalar>(
         &mut self,
         base: VirtAddr,
@@ -539,69 +549,349 @@ impl Machine {
         out: &mut [T],
     ) -> Result<()> {
         assert_eq!(indices.len(), out.len(), "index/output length mismatch");
+        self.access_window::<T, OP_READ>(base, elem_count, indices, |k, bytes| {
+            out[k] = T::from_le_slice(bytes);
+        })
+    }
+
+    /// Accounted indexed scatter: writes `values[k]` into element
+    /// `indices[k]` of an array of `elem_count` `T`s based at `base`, for
+    /// every `k`, in index order.
+    ///
+    /// Runs on the batched window engine, so simulated state ends
+    /// **bit-identical** to the equivalent [`write`](Machine::write) loop.
+    ///
+    /// # Errors
+    ///
+    /// [`HmsError::Unmapped`] if any accessed address is unmapped; partial
+    /// state matches the scalar loop (see [`read_gather`]
+    /// [Machine::read_gather]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` and `values` differ in length; debug builds panic
+    /// on an out-of-bounds index.
+    pub(crate) fn write_scatter<T: Scalar>(
+        &mut self,
+        base: VirtAddr,
+        elem_count: usize,
+        indices: &[u32],
+        values: &[T],
+    ) -> Result<()> {
+        assert_eq!(indices.len(), values.len(), "index/value length mismatch");
+        self.access_window::<T, OP_WRITE>(base, elem_count, indices, |k, bytes| {
+            values[k].write_le_slice(bytes);
+        })
+    }
+
+    /// Accounted indexed read-modify-write window: for every `k` in index
+    /// order, replaces element `indices[k]` with `f(k, old)`, where `old` is
+    /// the element's current value. Duplicate indices observe earlier
+    /// updates from the same window, exactly like the per-element loop.
+    ///
+    /// Runs on the batched window engine, so simulated state ends
+    /// **bit-identical** to the equivalent [`read_modify_write`]
+    /// [Machine::read_modify_write] loop (which is itself bit-identical to a
+    /// read + write pair per element).
+    ///
+    /// # Errors
+    ///
+    /// [`HmsError::Unmapped`] if any accessed address is unmapped; partial
+    /// state matches the scalar loop (see [`read_gather`]
+    /// [Machine::read_gather]).
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic on an out-of-bounds index.
+    pub(crate) fn gather_update<T: Scalar>(
+        &mut self,
+        base: VirtAddr,
+        elem_count: usize,
+        indices: &[u32],
+        mut f: impl FnMut(usize, T) -> T,
+    ) -> Result<()> {
+        self.access_window::<T, OP_RMW>(base, elem_count, indices, |k, bytes| {
+            let old = T::from_le_slice(bytes);
+            f(k, old).write_le_slice(bytes);
+        })
+    }
+
+    /// The batched random-access window engine behind [`read_gather`]
+    /// [Machine::read_gather], [`write_scatter`][Machine::write_scatter] and
+    /// [`gather_update`][Machine::gather_update].
+    ///
+    /// Processes `indices` **in window order** (never sorted — reordering
+    /// would change LLC replacement decisions and the PEBS stream) and
+    /// coalesces maximal *consecutive* runs of elements that land on the
+    /// same cache line. Because a line sits inside one page, which sits
+    /// inside one TLB translation unit, which sits inside one mapping, a
+    /// same-line element is a guaranteed TLB hit and a guaranteed LLC hit in
+    /// the scalar loop; the engine therefore defers those bumps (counts per
+    /// structure) and flushes them — via [`Tlb::window_settle`] and
+    /// [`Cache::rehit_run`] — immediately before the next *real* probe of
+    /// that structure, before returning an error, and at window end. Between
+    /// flush points no other TLB/LLC operation happens, so the deferred
+    /// bumps commute with nothing and every replacement / sampling decision
+    /// is made on exactly the state the scalar loop would have had. The TLB
+    /// run additionally extends across lines while the translation key is
+    /// unchanged (keys are location-unique), and key *changes* probe through
+    /// the TLB's window side-memo ([`Tlb::window_access_run`]), which skips
+    /// the hash lookup for recently probed keys and defers their re-stamps
+    /// until the next eviction decision. Clock, counters, PEBS and trace
+    /// records are still
+    /// charged per element, in order, with the identical f64 cost
+    /// composition — so all simulated state ends bit-identical to the
+    /// scalar loop.
+    ///
+    /// `data` is invoked once per element, in order, on the element's
+    /// backing storage bytes (after accounting).
+    fn access_window<T: Scalar, const OP: u8>(
+        &mut self,
+        base: VirtAddr,
+        elem_count: usize,
+        indices: &[u32],
+        mut data: impl FnMut(usize, &mut [u8]),
+    ) -> Result<()> {
         let coalesce = self.platform.tlb_coalesce;
         let walk_cost = self.platform.cost.walk_cost();
         let hit_cost = self.platform.cost.hit_cost();
         let sample_cost = self.platform.cost.sample_cost();
-        // Per-tier read miss costs, computed once: `miss_cost` divides by
-        // the tier bandwidth, which is too expensive for the per-miss loop.
-        let tier_miss: Vec<SimDuration> = self
-            .tiers
-            .iter()
-            .map(|t| self.platform.cost.miss_cost(&t.spec, false))
-            .collect();
+        let write_probe = OP == OP_WRITE;
+        // TLB touches per element: the RMW write half folds its lookup into
+        // the read's run, exactly like `read_modify_write`.
+        let tlb_per_elem = if OP == OP_RMW { 2 } else { 1 };
+        // Per-tier miss costs, computed once: `miss_cost` divides by the
+        // tier bandwidth, which is too expensive for the per-miss loop. A
+        // stack array, not a Vec — small windows are frequent enough that a
+        // per-call heap allocation would dominate them.
+        let mut tier_miss = [SimDuration::ZERO; 8];
+        for (slot, t) in tier_miss.iter_mut().zip(&self.tiers) {
+            *slot = self.platform.cost.miss_cost(&t.spec, write_probe);
+        }
+        debug_assert!(self.tiers.len() <= 8, "more tiers than the cost table");
         let tracing = self.tracer.is_enabled();
-        self.counters.accesses += indices.len() as u64;
-        self.counters.reads += indices.len() as u64;
-        // One-entry mapping memo: gathers overwhelmingly stay inside one
+        // Guaranteed-hit element cost, composed once exactly as the scalar
+        // loop composes it per element (`ZERO + hit_cost`).
+        let mut rest_cost = SimDuration::ZERO;
+        rest_cost += hit_cost;
+
+        // One-entry mapping memo: windows overwhelmingly stay inside one
         // array, so most iterations skip the mapping-table call entirely.
         let mut cur: Option<Mapping> = None;
-        for (&i, slot) in indices.iter().zip(out.iter_mut()) {
+        // Current TLB run: deferred guaranteed-hit touches of `run_key`.
+        let mut run_key = 0u64;
+        let mut run_key_valid = false;
+        let mut tlb_pending = 0usize;
+        // Current line run: deferred guaranteed-hit touches of `cur_slot`.
+        let mut cur_vline = 0u64;
+        let mut line_valid = false;
+        let mut cur_slot = 0usize;
+        let mut pending_reads = 0u64;
+        let mut pending_writes = 0u64;
+
+        for (k, &i) in indices.iter().enumerate() {
             let i = i as usize;
-            assert!(
+            debug_assert!(
                 i < elem_count,
-                "gather index {i} out of bounds ({elem_count})"
+                "window index {i} out of bounds ({elem_count})"
             );
             let va = VirtAddr::new(base.raw() + (i * T::SIZE) as u64);
+            let vline = va.raw() / LINE_SIZE as u64;
+
+            if line_valid && vline == cur_vline {
+                // Hot path: the element continues the current line run. Same
+                // line means same page, same translation unit, same mapping,
+                // so the scalar loop's TLB access and LLC access are both
+                // guaranteed hits — defer their bumps and charge everything
+                // else exactly as the scalar loop would.
+                let mapping = cur.expect("line run without a mapping");
+                match OP {
+                    OP_READ => {
+                        self.counters.accesses += 1;
+                        self.counters.reads += 1;
+                        tlb_pending += 1;
+                        pending_reads += 1;
+                        if tracing {
+                            self.tracer.record(va, AccessKind::ReadHit);
+                        }
+                        self.clock.advance(rest_cost);
+                    }
+                    OP_WRITE => {
+                        self.counters.accesses += 1;
+                        self.counters.writes += 1;
+                        tlb_pending += 1;
+                        pending_writes += 1;
+                        if tracing {
+                            self.tracer.record(va, AccessKind::WriteHit);
+                        }
+                        self.clock.advance(rest_cost);
+                    }
+                    _ => {
+                        self.counters.accesses += 2;
+                        self.counters.reads += 1;
+                        self.counters.writes += 1;
+                        tlb_pending += 2;
+                        pending_reads += 1;
+                        pending_writes += 1;
+                        self.clock.advance(rest_cost);
+                        self.clock.advance(rest_cost);
+                        if tracing {
+                            self.tracer.record(va, AccessKind::ReadHit);
+                            self.tracer.record(va, AccessKind::WriteHit);
+                        }
+                    }
+                }
+                let (frame, offset) = mapping.translate(va);
+                let bytes = self.tiers[frame.tier.index()]
+                    .storage
+                    .slice_mut(frame.byte_offset() + offset, T::SIZE);
+                data(k, bytes);
+                continue;
+            }
+
+            // New line: resolve the mapping (memo first), scalar order —
+            // lookup precedes the counter charge, so an unmapped element
+            // leaves totals exactly where the scalar loop would.
             let vpage = va.page_index();
             let mapping = match cur {
                 Some(m) if vpage >= m.vpage_start && vpage < m.vpage_start + m.pages as u64 => m,
-                _ => {
-                    let m = self.mappings.lookup(va)?;
-                    cur = Some(m);
-                    m
-                }
+                _ => match self.mappings.lookup(va) {
+                    Ok(m) => {
+                        cur = Some(m);
+                        m
+                    }
+                    Err(e) => {
+                        // Flush deferred bumps so partial state matches the
+                        // scalar loop's at the failing element.
+                        if tlb_pending > 0 {
+                            self.tlb.window_settle(run_key, tlb_pending);
+                        }
+                        if pending_reads + pending_writes > 0 {
+                            self.llc.rehit_run(cur_slot, pending_reads, pending_writes);
+                        }
+                        return Err(e);
+                    }
+                },
             };
-            let mut cost = SimDuration::ZERO;
-            if !self.tlb.access(mapping.tlb_key(va, coalesce)) {
-                cost += walk_cost;
+            match OP {
+                OP_READ => {
+                    self.counters.accesses += 1;
+                    self.counters.reads += 1;
+                }
+                OP_WRITE => {
+                    self.counters.accesses += 1;
+                    self.counters.writes += 1;
+                }
+                _ => {
+                    self.counters.accesses += 2;
+                    self.counters.reads += 1;
+                    self.counters.writes += 1;
+                }
+            }
+
+            // TLB: extend the key run (guaranteed hit on the just-touched
+            // entry, no hash lookup) or flush the pending touches and probe.
+            let key = mapping.tlb_key(va, coalesce);
+            let pay_walk = if run_key_valid && key == run_key {
+                tlb_pending += tlb_per_elem;
+                false
+            } else {
+                if tlb_pending > 0 {
+                    self.tlb.window_settle(run_key, tlb_pending);
+                    tlb_pending = 0;
+                }
+                let tlb_hit = self.tlb.window_access_run(key, tlb_per_elem);
+                run_key = key;
+                run_key_valid = true;
+                !tlb_hit
+            };
+
+            // LLC: flush the deferred same-line touches, then probe the new
+            // line on exactly the state the scalar loop would have had.
+            if pending_reads + pending_writes > 0 {
+                self.llc.rehit_run(cur_slot, pending_reads, pending_writes);
+                pending_reads = 0;
+                pending_writes = 0;
             }
             let (frame, offset) = mapping.translate(va);
             let pa = frame.phys_addr(offset).line_aligned();
-            let hit = self.llc.access(pa, false).is_hit();
+            let (outcome, slot) = self.llc.access_slot(pa, write_probe);
+            let hit = outcome.is_hit();
+            cur_slot = slot;
+            cur_vline = vline;
+            line_valid = true;
+
+            // Cost composition identical to the scalar path.
+            let mut cost = SimDuration::ZERO;
+            if pay_walk {
+                cost += walk_cost;
+            }
             if hit {
                 cost += hit_cost;
             } else {
                 cost += tier_miss[frame.tier.index()];
-                if self.pebs.on_read_miss(va) {
+                if !write_probe && self.pebs.on_read_miss(va) {
                     cost += sample_cost;
                 }
             }
-            if tracing {
-                self.tracer.record(
-                    va,
-                    if hit {
-                        AccessKind::ReadHit
-                    } else {
-                        AccessKind::ReadMiss
-                    },
-                );
-            }
             self.clock.advance(cost);
+            match OP {
+                OP_READ => {
+                    if tracing {
+                        self.tracer.record(
+                            va,
+                            if hit {
+                                AccessKind::ReadHit
+                            } else {
+                                AccessKind::ReadMiss
+                            },
+                        );
+                    }
+                }
+                OP_WRITE => {
+                    if tracing {
+                        self.tracer.record(
+                            va,
+                            if hit {
+                                AccessKind::WriteHit
+                            } else {
+                                AccessKind::WriteMiss
+                            },
+                        );
+                    }
+                }
+                _ => {
+                    // Write half: a guaranteed rehit of the just-probed
+                    // line — deferred like any other same-line touch.
+                    pending_writes += 1;
+                    self.clock.advance(rest_cost);
+                    if tracing {
+                        self.tracer.record(
+                            va,
+                            if hit {
+                                AccessKind::ReadHit
+                            } else {
+                                AccessKind::ReadMiss
+                            },
+                        );
+                        self.tracer.record(va, AccessKind::WriteHit);
+                    }
+                }
+            }
             let bytes = self.tiers[frame.tier.index()]
                 .storage
-                .slice(frame.byte_offset() + offset, T::SIZE);
-            *slot = T::from_le_slice(bytes);
+                .slice_mut(frame.byte_offset() + offset, T::SIZE);
+            data(k, bytes);
+        }
+
+        // Window end: flush whatever is still deferred. The TLB memo's
+        // re-stamps stay deferred across windows; any non-window TLB
+        // operation settles them.
+        if tlb_pending > 0 {
+            self.tlb.window_settle(run_key, tlb_pending);
+        }
+        if pending_reads + pending_writes > 0 {
+            self.llc.rehit_run(cur_slot, pending_reads, pending_writes);
         }
         Ok(())
     }

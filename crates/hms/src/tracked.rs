@@ -17,6 +17,7 @@ use crate::machine::{Machine, Placement, Scalar};
 pub struct TrackedVec<T> {
     range: VirtRange,
     len: usize,
+    name: Option<Box<str>>,
     _marker: PhantomData<T>,
 }
 
@@ -31,6 +32,7 @@ impl<T: Scalar> TrackedVec<T> {
         Ok(TrackedVec {
             range,
             len,
+            name: None,
             _marker: PhantomData,
         })
     }
@@ -47,7 +49,38 @@ impl<T: Scalar> TrackedVec<T> {
         TrackedVec {
             range,
             len,
+            name: None,
             _marker: PhantomData,
+        }
+    }
+
+    /// Attaches a display name, used in panic messages for out-of-bounds
+    /// window indices and use-after-free. The ATMem runtime sets this to the
+    /// name the array is registered under.
+    pub fn set_name(&mut self, name: &str) {
+        self.name = Some(name.into());
+    }
+
+    /// The display name, if one was set.
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// Name used in diagnostics.
+    fn label(&self) -> &str {
+        self.name.as_deref().unwrap_or("<unnamed>")
+    }
+
+    /// Panics (naming the vec) on any out-of-bounds window index. The window
+    /// is validated *before* any simulated state changes.
+    fn check_window(&self, what: &str, indices: &[u32]) {
+        for &i in indices {
+            assert!(
+                (i as usize) < self.len,
+                "tracked vec `{}`: {what} index {i} out of bounds (len {})",
+                self.label(),
+                self.len
+            );
         }
     }
 
@@ -248,21 +281,83 @@ impl<T: Scalar> TrackedVec<T> {
     /// # Panics
     ///
     /// Panics if `indices` and `out` differ in length, an index is out of
-    /// bounds, or the array is unmapped (use-after-free).
+    /// bounds (the message names the vec, and the window is rejected before
+    /// any simulated state changes), or the array is unmapped
+    /// (use-after-free).
     pub fn gather(&self, machine: &mut Machine, indices: &[u32], out: &mut [T]) {
+        self.check_window("gather", indices);
         machine
             .read_gather::<T>(self.range.start, self.len, indices, out)
-            .expect("tracked element unmapped");
+            .unwrap_or_else(|e| panic!("tracked vec `{}` unmapped: {e}", self.label()));
     }
 
-    /// Unaccounted read (for verification and result extraction).
+    /// Accounted indexed scatter: writes `values[k]` to element `indices[k]`
+    /// for every `k`, in order, through [`Machine::write_scatter`]'s batched
+    /// window engine. Duplicate indices are written in order (the last value
+    /// wins), exactly like the per-element loop.
+    ///
+    /// Simulated state ends bit-identical to the equivalent
+    /// [`set`](TrackedVec::set) loop; only host wall-clock time differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` and `values` differ in length, an index is out of
+    /// bounds (the message names the vec, and the window is rejected before
+    /// any simulated state changes), or the array is unmapped
+    /// (use-after-free).
+    pub fn scatter(&self, machine: &mut Machine, indices: &[u32], values: &[T]) {
+        self.check_window("scatter", indices);
+        machine
+            .write_scatter::<T>(self.range.start, self.len, indices, values)
+            .unwrap_or_else(|e| panic!("tracked vec `{}` unmapped: {e}", self.label()));
+    }
+
+    /// Accounted indexed read-modify-write window: for every `k` in order,
+    /// replaces element `indices[k]` with `f(k, old)` where `old` is the
+    /// element's current value, through [`Machine::gather_update`]'s batched
+    /// window engine. Duplicate indices observe earlier updates from the
+    /// same window, exactly like an [`update`](TrackedVec::update) loop.
+    ///
+    /// Simulated state ends bit-identical to the equivalent
+    /// [`update`](TrackedVec::update) loop (itself bit-identical to a
+    /// [`get`](TrackedVec::get) + [`set`](TrackedVec::set) pair per
+    /// element); only host wall-clock time differs. This is the fast path
+    /// for scatter-update phases like PageRank's `next[u] += share`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds (the message names the vec, and
+    /// the window is rejected before any simulated state changes) or the
+    /// array is unmapped (use-after-free).
+    pub fn gather_update(
+        &self,
+        machine: &mut Machine,
+        indices: &[u32],
+        f: impl FnMut(usize, T) -> T,
+    ) {
+        self.check_window("gather_update", indices);
+        machine
+            .gather_update::<T>(self.range.start, self.len, indices, f)
+            .unwrap_or_else(|e| panic!("tracked vec `{}` unmapped: {e}", self.label()));
+    }
+
+    /// **Untracked** read of element `i`: no simulated cost, no TLB/LLC
+    /// state change, no PEBS sample — invisible to the profiler and the
+    /// clock. For setup, verification and result extraction outside the
+    /// measured region; the accounted counterpart is
+    /// [`get`](TrackedVec::get).
+    #[doc(alias = "get")]
     pub fn peek(&self, machine: &mut Machine, i: usize) -> T {
         machine
             .peek::<T>(self.addr_of(i))
             .expect("tracked element unmapped")
     }
 
-    /// Unaccounted write (for bulk initialisation outside the timed region).
+    /// **Untracked** write of element `i`: no simulated cost, no TLB/LLC
+    /// state change, no PEBS sample — invisible to the profiler and the
+    /// clock. For bulk initialisation outside the timed region; the
+    /// accounted counterpart is [`set`](TrackedVec::set).
+    #[doc(alias = "set")]
     pub fn poke(&self, machine: &mut Machine, i: usize, value: T) {
         machine
             .poke::<T>(self.addr_of(i), value)
@@ -436,6 +531,215 @@ mod tests {
             bulk.trace_drain(),
             scalar.trace_drain(),
             "trace streams diverge"
+        );
+    }
+
+    /// Builds an index window that exercises every path of the window
+    /// engine: sequential same-line runs, exact duplicates (RMW on the same
+    /// element twice in a row), strided jumps that stay in one translation
+    /// unit, and random jumps across pages and the tier boundary.
+    fn mixed_window(n: usize, len: usize, state: &mut u64) -> Vec<u32> {
+        let mut step = || {
+            *state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (*state >> 33) as usize % n
+        };
+        let mut w = Vec::with_capacity(len);
+        while w.len() < len {
+            let i = step();
+            match w.len() % 4 {
+                // Consecutive elements: same cache line for a few steps.
+                0 => {
+                    for k in 0..4.min(n - i) {
+                        w.push((i + k) as u32);
+                    }
+                }
+                // Exact duplicates back to back.
+                1 => {
+                    w.push(i as u32);
+                    w.push(i as u32);
+                }
+                // Line-strided walk within a page.
+                2 => {
+                    for k in (0..64).step_by(16) {
+                        w.push(((i + k) % n) as u32);
+                    }
+                }
+                // Pure random jump.
+                _ => w.push(i as u32),
+            }
+        }
+        w.truncate(len);
+        w
+    }
+
+    /// The PR 2 tentpole guarantee: the batched window engine behind
+    /// `scatter` and `gather_update` leaves every piece of simulated state
+    /// bit-identical to the per-element loop, across mapping-chunk, tier,
+    /// page and huge-mapping boundaries.
+    #[test]
+    fn window_engine_is_bit_identical_to_the_scalar_loop() {
+        // Preferred(FAST) spills to SLOW mid-array: windows cross mapping
+        // chunks, the tier boundary, base pages and coalescing groups.
+        let platform = || Platform::testing().with_capacities(64 * 1024, 8 * 1024 * 1024);
+        let mut bulk = Machine::new(platform());
+        let mut scalar = Machine::new(platform());
+        for m in [&mut bulk, &mut scalar] {
+            m.pebs_enable(5, 2);
+            m.trace_enable();
+        }
+        let n = 40_000;
+        let vb = TrackedVec::<u32>::new(&mut bulk, n, Placement::Preferred(TierId::FAST)).unwrap();
+        let vs =
+            TrackedVec::<u32>::new(&mut scalar, n, Placement::Preferred(TierId::FAST)).unwrap();
+        let init: Vec<u32> = (0..n as u32).collect();
+        vb.fill_from(&mut bulk, &init);
+        vs.fill_from(&mut scalar, &init);
+
+        let mut state = 0xd1b54a32d192ed03u64;
+        // Scatter vs the per-element set loop.
+        let widx = mixed_window(n, 6_000, &mut state);
+        let wvals: Vec<u32> = (0..widx.len() as u32).map(|k| k.wrapping_mul(97)).collect();
+        vb.scatter(&mut bulk, &widx, &wvals);
+        for (&i, &x) in widx.iter().zip(&wvals) {
+            vs.set(&mut scalar, i as usize, x);
+        }
+
+        // Gather-update vs the per-element update loop (which PR 1 proved
+        // bit-identical to get + set). Duplicate indices must observe the
+        // in-window updates before them.
+        let uidx = mixed_window(n, 6_000, &mut state);
+        let mut olds_b = Vec::with_capacity(uidx.len());
+        vb.gather_update(&mut bulk, &uidx, |k, x| {
+            olds_b.push(x);
+            x.wrapping_add(k as u32)
+        });
+        for (k, &i) in uidx.iter().enumerate() {
+            let old = vs.update(&mut scalar, i as usize, |x| x.wrapping_add(k as u32));
+            assert_eq!(olds_b[k], old, "RMW old value diverges at window slot {k}");
+        }
+
+        // Gather sees the combined result through the same engine.
+        let gidx = mixed_window(n, 6_000, &mut state);
+        let mut got_b = vec![0u32; gidx.len()];
+        vb.gather(&mut bulk, &gidx, &mut got_b);
+        for (&i, &got) in gidx.iter().zip(&got_b) {
+            assert_eq!(vs.get(&mut scalar, i as usize), got, "gather at {i}");
+        }
+
+        assert_eq!(bulk.stats(), scalar.stats(), "machine counters diverge");
+        assert_eq!(bulk.now(), scalar.now(), "simulated clocks diverge");
+        assert_eq!(
+            bulk.pebs_drain(),
+            scalar.pebs_drain(),
+            "PEBS streams diverge"
+        );
+        assert_eq!(
+            bulk.trace_drain(),
+            scalar.trace_drain(),
+            "trace streams diverge"
+        );
+        assert_eq!(
+            vb.to_vec(&mut bulk),
+            vs.to_vec(&mut scalar),
+            "data diverges"
+        );
+    }
+
+    /// Same guarantee across a huge-mapping / base-page boundary: a large
+    /// slow-tier array gets 2 MiB mappings for its aligned middle and base
+    /// pages for the tail, and windows jump across the seam.
+    #[test]
+    fn window_engine_crosses_huge_mapping_boundaries() {
+        let platform = || Platform::testing().with_capacities(64 * 1024, 16 * 1024 * 1024);
+        let mut bulk = Machine::new(platform());
+        let mut scalar = Machine::new(platform());
+        for m in [&mut bulk, &mut scalar] {
+            m.pebs_enable(11, 4);
+            m.trace_enable();
+        }
+        // 5 MiB of u64: two full 2 MiB huge units plus a base-page tail.
+        let n = (5 * 1024 * 1024) / 8;
+        let vb = TrackedVec::<u64>::new(&mut bulk, n, Placement::Slow).unwrap();
+        let vs = TrackedVec::<u64>::new(&mut scalar, n, Placement::Slow).unwrap();
+
+        let mut state = 0x2545f4914f6cdd1du64;
+        let widx = mixed_window(n, 4_000, &mut state);
+        let wvals: Vec<u64> = (0..widx.len() as u64).collect();
+        vb.scatter(&mut bulk, &widx, &wvals);
+        for (&i, &x) in widx.iter().zip(&wvals) {
+            vs.set(&mut scalar, i as usize, x);
+        }
+
+        let uidx = mixed_window(n, 4_000, &mut state);
+        vb.gather_update(&mut bulk, &uidx, |_, x| x ^ 0x5a5a);
+        for &i in &uidx {
+            vs.update(&mut scalar, i as usize, |x| x ^ 0x5a5a);
+        }
+
+        assert_eq!(bulk.stats(), scalar.stats(), "machine counters diverge");
+        assert_eq!(bulk.now(), scalar.now(), "simulated clocks diverge");
+        assert_eq!(bulk.pebs_drain(), scalar.pebs_drain());
+        assert_eq!(bulk.trace_drain(), scalar.trace_drain());
+    }
+
+    /// The error path charges exactly what the scalar loop charges: elements
+    /// before the unmapped one in full, nothing for the failing element
+    /// (this is the ROADMAP-noted `read_gather` drift fix).
+    #[test]
+    fn window_error_path_matches_the_scalar_loop() {
+        let mut bulk = machine();
+        let mut scalar = machine();
+        for m in [&mut bulk, &mut scalar] {
+            m.pebs_enable(3, 1);
+            m.trace_enable();
+        }
+        // Only `live` elements are mapped; the machine-level call is told
+        // the array is `n` elements long, so indices past the mapping hit
+        // unmapped memory mid-window.
+        let n = 4096;
+        let live = 1024;
+        let vb = TrackedVec::<u32>::new(&mut bulk, live, Placement::Slow).unwrap();
+        let vs = TrackedVec::<u32>::new(&mut scalar, live, Placement::Slow).unwrap();
+        let base_b = vb.range().start;
+        let base_s = vs.range().start;
+
+        // A window that walks some live lines then steps off the mapping.
+        let indices: Vec<u32> = [0u32, 1, 2, 64, 64, 700, 701, 2048, 3].to_vec();
+        let mut out = vec![0u32; indices.len()];
+        let err_b = bulk.read_gather::<u32>(base_b, n, &indices, &mut out);
+        assert!(err_b.is_err(), "gather should hit the unmapped tail");
+        let mut scalar_failed = false;
+        for &i in &indices {
+            match scalar.read::<u32>(base_s.add((i as usize * 4) as u64)) {
+                Ok(_) => {}
+                Err(_) => {
+                    scalar_failed = true;
+                    break;
+                }
+            }
+        }
+        assert!(scalar_failed);
+        assert_eq!(bulk.stats(), scalar.stats(), "error-path totals diverge");
+        assert_eq!(bulk.now(), scalar.now(), "error-path clocks diverge");
+        assert_eq!(bulk.pebs_drain(), scalar.pebs_drain());
+        assert_eq!(bulk.trace_drain(), scalar.trace_drain());
+    }
+
+    #[test]
+    fn window_panics_name_the_vec() {
+        let mut m = machine();
+        let mut v = TrackedVec::<u32>::new(&mut m, 8, Placement::Slow).unwrap();
+        v.set_name("pr.next");
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            v.gather(&mut m, &[9], &mut [0u32]);
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("pr.next") && msg.contains("out of bounds"),
+            "panic message should name the vec: {msg}"
         );
     }
 

@@ -13,7 +13,7 @@
 use std::collections::HashMap;
 
 use atmem::{Atmem, AtmemConfig, ObjectId};
-use atmem_apps::{App, HmsGraph};
+use atmem_apps::{App, HmsGraph, MemCtx};
 use atmem_graph::Dataset;
 use atmem_hms::Platform;
 
@@ -29,7 +29,7 @@ fn main() -> atmem::Result<()> {
     // apples-to-apples.
     rt.machine_mut().trace_enable();
     rt.profiling_start()?;
-    kernel.run_iteration(&mut rt);
+    kernel.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
     let profile = rt.profiling_stop()?;
     rt.machine_mut().trace_disable();
     let trace = rt.machine_mut().trace_drain();

@@ -11,7 +11,7 @@
 //! Run with: `cargo run -p atmem-bench --release --example reordering_vs_placement`
 
 use atmem::{Atmem, AtmemConfig, PlacementPolicy, Result};
-use atmem_apps::{App, HmsGraph, Mode};
+use atmem_apps::{App, HmsGraph, MemCtx, Mode};
 use atmem_graph::{degree_order, Dataset};
 use atmem_hms::Platform;
 
@@ -26,14 +26,14 @@ fn run(csr: &atmem_graph::Csr, mode: Mode) -> Result<(f64, f64)> {
     if mode == Mode::Atmem {
         rt.profiling_start()?;
     }
-    kernel.run_iteration(&mut rt);
+    kernel.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
     if mode == Mode::Atmem {
         rt.profiling_stop()?;
         rt.optimize()?;
     }
     kernel.reset(&mut rt);
     let t = rt.now();
-    kernel.run_iteration(&mut rt);
+    kernel.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
     Ok(((rt.now().as_ns() - t.as_ns()) / 1e6, rt.fast_data_ratio()))
 }
 

@@ -11,7 +11,7 @@
 //! Run with: `cargo run -p atmem-bench --release --example shared_server`
 
 use atmem::{Atmem, AtmemConfig, ResidencyReport, Result};
-use atmem_apps::{App, HmsGraph};
+use atmem_apps::{App, HmsGraph, MemCtx};
 use atmem_graph::Dataset;
 use atmem_hms::Platform;
 
@@ -41,17 +41,17 @@ fn main() -> Result<()> {
     tenant_a.reset(&mut rt);
     tenant_b.reset(&mut rt);
     rt.profiling_start()?;
-    tenant_a.run_iteration(&mut rt);
-    tenant_b.run_iteration(&mut rt);
+    tenant_a.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
+    tenant_b.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
     rt.profiling_stop()?;
 
     let t0 = rt.now();
     tenant_a.reset(&mut rt);
-    tenant_a.run_iteration(&mut rt);
+    tenant_a.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
     let a_before = rt.now().as_ns() - t0.as_ns();
     let t1 = rt.now();
     tenant_b.reset(&mut rt);
-    tenant_b.run_iteration(&mut rt);
+    tenant_b.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
     let b_before = rt.now().as_ns() - t1.as_ns();
 
     let report = rt.optimize()?;
@@ -65,11 +65,11 @@ fn main() -> Result<()> {
 
     let t2 = rt.now();
     tenant_a.reset(&mut rt);
-    tenant_a.run_iteration(&mut rt);
+    tenant_a.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
     let a_after = rt.now().as_ns() - t2.as_ns();
     let t3 = rt.now();
     tenant_b.reset(&mut rt);
-    tenant_b.run_iteration(&mut rt);
+    tenant_b.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
     let b_after = rt.now().as_ns() - t3.as_ns();
 
     println!(

@@ -4,7 +4,7 @@
 //! results across placements and (b) benefit from ATMem placement.
 
 use atmem::{Atmem, AtmemConfig, PlacementPolicy};
-use atmem_apps::{BfsDir, HmsGraph, KCore, Kernel, PageRankPull, Triangles};
+use atmem_apps::{BfsDir, HmsGraph, KCore, Kernel, MemCtx, PageRankPull, Triangles};
 use atmem_graph::{rmat, Csr, Dataset};
 use atmem_hms::Platform;
 
@@ -22,14 +22,14 @@ fn protocol(kernel: &mut dyn Kernel, rt: &mut Atmem, optimize: bool) -> (f64, f6
     if optimize {
         rt.profiling_start().unwrap();
     }
-    kernel.run_iteration(rt);
+    kernel.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
     if optimize {
         rt.profiling_stop().unwrap();
         rt.optimize().unwrap();
     }
     kernel.reset(rt);
     let t = rt.now();
-    kernel.run_iteration(rt);
+    kernel.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
     let elapsed = rt.now().as_ns() - t.as_ns();
     (elapsed, kernel.checksum(rt))
 }

@@ -2,7 +2,7 @@
 //! the fast tier, across graph shapes and configurations?
 
 use atmem::{Atmem, AtmemConfig};
-use atmem_apps::{run_protocol, App, HmsGraph, Kernel, Mode, PageRank};
+use atmem_apps::{run_protocol, App, HmsGraph, Kernel, MemCtx, Mode, PageRank};
 use atmem_graph::{erdos_renyi, Dataset};
 use atmem_hms::{Platform, TierId};
 
@@ -76,7 +76,7 @@ fn hot_vertices_property_pages_end_up_fast() {
     let mut pr = PageRank::new(&mut rt, graph).unwrap();
     pr.reset(&mut rt);
     rt.profiling_start().unwrap();
-    pr.run_iteration(&mut rt);
+    pr.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
     rt.profiling_stop().unwrap();
     let report = rt.optimize().unwrap();
     assert!(report.migration.bytes_moved > 0);
