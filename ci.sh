@@ -22,7 +22,8 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
-echo "==> bench smoke (mode-equivalence only, no timing gates)"
+echo "==> bench smoke (mode-equivalence + core-sweep invariance, no timing gates)"
+# Also emits the BENCH_kernels.json measurement snapshot at the repo root.
 cargo bench -p atmem-bench --bench kernels -- --smoke
 
 echo "CI gate passed."

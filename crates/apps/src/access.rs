@@ -1,6 +1,7 @@
-//! The kernel-facing access API: [`MemCtx`] bundles the simulated machine
-//! with an [`AccessMode`] so kernels take *one* context parameter instead of
-//! threading `(machine, mode)` pairs through every call.
+//! The kernel-facing access API: [`MemCtx`] bundles a memory port (the
+//! machine, or one simulated core of it) with an [`AccessMode`] so kernels
+//! take *one* context parameter instead of threading `(machine, mode)`
+//! pairs through every call.
 //!
 //! Kernels drive their *sequential* streams (CSR arrays, property-array
 //! fills, damping sweeps) through [`MemCtx::read_run`]/[`MemCtx::write_run`]
@@ -12,8 +13,20 @@
 //! simulated state to [`AccessMode::Scalar`]'s per-element loops (the
 //! fidelity guarantee of `Machine::access_block` and
 //! `Machine::access_window`), at a fraction of the host cost.
+//!
+//! ## Sharded execution
+//!
+//! `MemCtx` is generic over any [`MemPort`] — the concrete `Machine` (the
+//! default) or a per-core `CoreHandle` inside a `Machine::run_cores` phase.
+//! The [`par_cores`](MemCtx::par_cores) knob, set once by the runner or
+//! harness via [`with_cores`](MemCtx::with_cores), tells sharded-capable
+//! kernels how many simulated cores to partition each phase over; kernels
+//! without a sharded body simply ignore it and run scalar. At
+//! `par_cores == 1` every kernel takes its historical scalar path, which
+//! `Machine::run_cores` guarantees is bit-identical to the pre-sharding
+//! engine.
 
-use atmem_hms::{Machine, Scalar, TrackedVec};
+use atmem_hms::{Machine, MemPort, Scalar, TrackedVec};
 
 /// How a kernel's accesses are driven through the simulator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -25,29 +38,54 @@ pub enum AccessMode {
     Bulk,
 }
 
-/// Accessor context handed to kernels: the machine plus the access mode,
-/// chosen once by the runner or harness. This (with [`AccessMode`]) is the
-/// only mode surface — kernels have no mode state of their own.
+/// Accessor context handed to kernels: a memory port plus the access mode
+/// and simulated-core count, chosen once by the runner or harness. This
+/// (with [`AccessMode`]) is the only mode surface — kernels have no mode
+/// state of their own.
 #[derive(Debug)]
-pub struct MemCtx<'a> {
-    machine: &'a mut Machine,
+pub struct MemCtx<'a, M: MemPort = Machine> {
+    machine: &'a mut M,
     mode: AccessMode,
+    par_cores: usize,
 }
 
-impl<'a> MemCtx<'a> {
+impl<'a, M: MemPort> MemCtx<'a, M> {
     /// Wraps `machine` with an explicit access mode.
-    pub fn new(machine: &'a mut Machine, mode: AccessMode) -> Self {
-        MemCtx { machine, mode }
+    pub fn new(machine: &'a mut M, mode: AccessMode) -> Self {
+        MemCtx {
+            machine,
+            mode,
+            par_cores: 1,
+        }
     }
 
     /// Wraps `machine` with the default [`AccessMode::Bulk`].
-    pub fn bulk(machine: &'a mut Machine) -> Self {
+    pub fn bulk(machine: &'a mut M) -> Self {
         MemCtx::new(machine, AccessMode::Bulk)
     }
 
     /// Wraps `machine` with [`AccessMode::Scalar`].
-    pub fn scalar(machine: &'a mut Machine) -> Self {
+    pub fn scalar(machine: &'a mut M) -> Self {
         MemCtx::new(machine, AccessMode::Scalar)
+    }
+
+    /// Sets the number of simulated cores sharded-capable kernels should
+    /// partition their phases over (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0`.
+    #[must_use]
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        assert!(cores >= 1, "core count must be positive");
+        self.par_cores = cores;
+        self
+    }
+
+    /// The simulated-core count sharded kernels partition over (1 = the
+    /// historical scalar path).
+    pub fn par_cores(&self) -> usize {
+        self.par_cores
     }
 
     /// The access mode this context dispatches on.
@@ -55,9 +93,9 @@ impl<'a> MemCtx<'a> {
         self.mode
     }
 
-    /// Escape hatch to the underlying machine (e.g. for stats snapshots or
-    /// unaccounted peeks mid-kernel).
-    pub fn machine(&mut self) -> &mut Machine {
+    /// Escape hatch to the underlying memory port (e.g. for stats
+    /// snapshots, unaccounted peeks mid-kernel, or `run_cores` phases).
+    pub fn machine(&mut self) -> &mut M {
         self.machine
     }
 
@@ -126,6 +164,9 @@ impl<'a> MemCtx<'a> {
     /// Accounted indexed gather: reads element `indices[k]` into `out[k]`,
     /// in window order.
     pub fn gather<T: Scalar>(&mut self, v: &TrackedVec<T>, indices: &[u32], out: &mut [T]) {
+        if indices.is_empty() {
+            return;
+        }
         match self.mode {
             AccessMode::Bulk => v.gather(self.machine, indices, out),
             AccessMode::Scalar => {
@@ -139,6 +180,9 @@ impl<'a> MemCtx<'a> {
     /// Accounted indexed scatter: writes `values[k]` to element
     /// `indices[k]`, in window order (duplicates: last write wins).
     pub fn scatter<T: Scalar>(&mut self, v: &TrackedVec<T>, indices: &[u32], values: &[T]) {
+        if indices.is_empty() {
+            return;
+        }
         match self.mode {
             AccessMode::Bulk => v.scatter(self.machine, indices, values),
             AccessMode::Scalar => {
@@ -158,6 +202,9 @@ impl<'a> MemCtx<'a> {
         indices: &[u32],
         mut f: impl FnMut(usize, T) -> T,
     ) {
+        if indices.is_empty() {
+            return;
+        }
         match self.mode {
             AccessMode::Bulk => v.gather_update(self.machine, indices, f),
             AccessMode::Scalar => {

@@ -11,6 +11,7 @@ use atmem_hms::TrackedVec;
 use crate::access::MemCtx;
 use crate::graph_data::HmsGraph;
 use crate::kernel::Kernel;
+use crate::par;
 
 /// CC kernel state.
 #[derive(Debug)]
@@ -55,31 +56,14 @@ impl Cc {
     pub fn labels(&self, rt: &mut Atmem) -> Vec<u32> {
         self.labels.to_vec(rt.machine_mut())
     }
-}
 
-impl Kernel for Cc {
-    fn name(&self) -> &'static str {
-        "CC"
-    }
-
-    fn reset(&mut self, rt: &mut Atmem) {
-        let m = rt.machine_mut();
-        for v in 0..self.graph.num_vertices() {
-            self.labels.poke(m, v, v as u32);
-        }
-        self.changed_last = 0;
-    }
-
-    fn run_iteration(&mut self, ctx: &mut MemCtx) {
-        // Stream phase: row bounds and neighbour ids.
-        let bounds = self.graph.bounds(ctx);
-        let mut nbrs = vec![0u32; self.graph.num_edges()];
-        self.graph.neighbor_run(ctx, 0, &mut nbrs);
-        // Propagation phase: each vertex's neighbour labels are gathered as
-        // one window, the min/lower decisions replay host-side (an overlay
-        // map makes duplicate neighbours observe in-window lowerings), and
-        // the accepted lowerings scatter back in decision order — one read
-        // per edge and one write per lowering, like the per-element loop.
+    /// The propagation phase over pre-staged bounds/neighbour data. Label
+    /// lowering is Gauss–Seidel: every vertex observes lowerings made
+    /// earlier *in the same pass*, a sequential dependency chain that
+    /// admits no deterministic partition — so this phase always runs on
+    /// one core and both the scalar and sharded paths share it verbatim
+    /// (which is what keeps the output bit-identical across core counts).
+    fn propagate(&mut self, ctx: &mut MemCtx, bounds: &[u64], nbrs: &[u32]) {
         let mut changed = 0u64;
         let mut lbuf: Vec<u32> = Vec::new();
         let mut widx: Vec<u32> = Vec::new();
@@ -113,6 +97,73 @@ impl Kernel for Cc {
             ctx.set(&self.labels, v, lv);
         }
         self.changed_last = changed;
+    }
+
+    /// One pass with the CSR streams partitioned over `ctx.par_cores()`
+    /// simulated cores (each core reads its edge-balanced slice of the
+    /// bounds and neighbour arrays through its own accounted core), then
+    /// the sequential [`propagate`](Cc::propagate) phase on the resident
+    /// core over the reassembled host staging.
+    fn run_iteration_sharded(&mut self, ctx: &mut MemCtx) {
+        let cores = ctx.par_cores();
+        let mode = ctx.mode();
+        let machine = ctx.machine();
+        let host_bounds = self.graph.host_bounds(machine);
+        let cuts = par::edge_cuts(&host_bounds, cores);
+        let graph = &self.graph;
+        let slices: Vec<(Vec<u64>, Vec<u32>)> = machine.run_cores(cores, |c, h| {
+            let mut ctx = MemCtx::new(h, mode);
+            let (lo, hi) = (cuts[c], cuts[c + 1]);
+            if lo == hi {
+                return (Vec::new(), Vec::new());
+            }
+            let mut b = vec![0u64; hi - lo + 1];
+            graph.bounds_run(&mut ctx, lo, &mut b);
+            let (es, ee) = (b[0] as usize, b[hi - lo] as usize);
+            let mut nbrs = vec![0u32; ee - es];
+            graph.neighbor_run(&mut ctx, es as u64, &mut nbrs);
+            (b, nbrs)
+        });
+        let mut bounds = vec![0u64; self.graph.num_vertices() + 1];
+        let mut nbrs = Vec::with_capacity(self.graph.num_edges());
+        for (c, (b, ns)) in slices.into_iter().enumerate() {
+            if !b.is_empty() {
+                bounds[cuts[c]..=cuts[c + 1]].copy_from_slice(&b);
+            }
+            nbrs.extend_from_slice(&ns);
+        }
+        self.propagate(ctx, &bounds, &nbrs);
+    }
+}
+
+impl Kernel for Cc {
+    fn name(&self) -> &'static str {
+        "CC"
+    }
+
+    fn reset(&mut self, rt: &mut Atmem) {
+        let m = rt.machine_mut();
+        for v in 0..self.graph.num_vertices() {
+            self.labels.poke(m, v, v as u32);
+        }
+        self.changed_last = 0;
+    }
+
+    fn run_iteration(&mut self, ctx: &mut MemCtx) {
+        if ctx.par_cores() > 1 {
+            self.run_iteration_sharded(ctx);
+            return;
+        }
+        // Stream phase: row bounds and neighbour ids.
+        let bounds = self.graph.bounds(ctx);
+        let mut nbrs = vec![0u32; self.graph.num_edges()];
+        self.graph.neighbor_run(ctx, 0, &mut nbrs);
+        // Propagation phase: each vertex's neighbour labels are gathered as
+        // one window, the min/lower decisions replay host-side (an overlay
+        // map makes duplicate neighbours observe in-window lowerings), and
+        // the accepted lowerings scatter back in decision order — one read
+        // per edge and one write per lowering, like the per-element loop.
+        self.propagate(ctx, &bounds, &nbrs);
     }
 
     fn checksum(&self, rt: &mut Atmem) -> f64 {

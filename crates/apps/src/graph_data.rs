@@ -8,7 +8,7 @@
 
 use atmem::{Atmem, Result};
 use atmem_graph::Csr;
-use atmem_hms::TrackedVec;
+use atmem_hms::{MemPort, TrackedVec};
 
 use crate::access::MemCtx;
 
@@ -75,13 +75,13 @@ impl HmsGraph {
 
     /// Accounted read of the edge-range bounds of vertex `v`.
     #[inline]
-    pub fn edge_bounds(&self, ctx: &mut MemCtx, v: usize) -> (u64, u64) {
+    pub fn edge_bounds<M: MemPort>(&self, ctx: &mut MemCtx<'_, M>, v: usize) -> (u64, u64) {
         (ctx.get(&self.offsets, v), ctx.get(&self.offsets, v + 1))
     }
 
     /// Accounted read of the destination of edge `e`.
     #[inline]
-    pub fn neighbor(&self, ctx: &mut MemCtx, e: u64) -> u32 {
+    pub fn neighbor<M: MemPort>(&self, ctx: &mut MemCtx<'_, M>, e: u64) -> u32 {
         ctx.get(&self.neighbors, e as usize)
     }
 
@@ -91,13 +91,13 @@ impl HmsGraph {
     ///
     /// Panics if the graph is unweighted.
     #[inline]
-    pub fn weight(&self, ctx: &mut MemCtx, e: u64) -> f32 {
+    pub fn weight<M: MemPort>(&self, ctx: &mut MemCtx<'_, M>, e: u64) -> f32 {
         let w = self.weights.as_ref().expect("graph loaded without weights");
         ctx.get(w, e as usize)
     }
 
     /// Accounted sequential read of all `n + 1` CSR row bounds.
-    pub fn bounds(&self, ctx: &mut MemCtx) -> Vec<u64> {
+    pub fn bounds<M: MemPort>(&self, ctx: &mut MemCtx<'_, M>) -> Vec<u64> {
         let mut out = Vec::new();
         self.bounds_into(ctx, &mut out);
         out
@@ -106,14 +106,29 @@ impl HmsGraph {
     /// Like [`bounds`](HmsGraph::bounds), but reuses `out`'s allocation
     /// (kernels that stream the offsets every iteration keep one scratch
     /// buffer instead of reallocating).
-    pub fn bounds_into(&self, ctx: &mut MemCtx, out: &mut Vec<u64>) {
+    pub fn bounds_into<M: MemPort>(&self, ctx: &mut MemCtx<'_, M>, out: &mut Vec<u64>) {
         out.resize(self.num_vertices + 1, 0);
         ctx.read_run(&self.offsets, 0, out);
     }
 
+    /// Accounted sequential read of `out.len()` row bounds starting at
+    /// vertex `start` (sharded kernels stream just their partition's
+    /// slice; a core covering `lo..hi` reads `hi - lo + 1` bounds).
+    pub fn bounds_run<M: MemPort>(&self, ctx: &mut MemCtx<'_, M>, start: usize, out: &mut [u64]) {
+        ctx.read_run(&self.offsets, start, out);
+    }
+
+    /// Unaccounted host copy of all row bounds. Partitioning metadata for
+    /// the sharded kernels: the split points must be known *before* the
+    /// cores fork, and the cores then re-read their own slices through the
+    /// accounted path ([`bounds_run`](HmsGraph::bounds_run)).
+    pub fn host_bounds(&self, machine: &mut impl MemPort) -> Vec<u64> {
+        self.offsets.to_vec(machine)
+    }
+
     /// Accounted sequential read of `buf.len()` neighbour ids starting at
     /// edge `start`.
-    pub fn neighbor_run(&self, ctx: &mut MemCtx, start: u64, buf: &mut [u32]) {
+    pub fn neighbor_run<M: MemPort>(&self, ctx: &mut MemCtx<'_, M>, start: u64, buf: &mut [u32]) {
         ctx.read_run(&self.neighbors, start as usize, buf);
     }
 
@@ -123,7 +138,7 @@ impl HmsGraph {
     /// # Panics
     ///
     /// Panics if the graph is unweighted.
-    pub fn weight_run(&self, ctx: &mut MemCtx, start: u64, buf: &mut [f32]) {
+    pub fn weight_run<M: MemPort>(&self, ctx: &mut MemCtx<'_, M>, start: u64, buf: &mut [f32]) {
         let w = self.weights.as_ref().expect("graph loaded without weights");
         ctx.read_run(w, start as usize, buf);
     }

@@ -13,6 +13,7 @@ use atmem_hms::TrackedVec;
 use crate::access::MemCtx;
 use crate::graph_data::HmsGraph;
 use crate::kernel::Kernel;
+use crate::par;
 
 /// k-core kernel state. The graph should be symmetrised (undirected
 /// degrees) for the classic definition.
@@ -51,28 +52,15 @@ impl KCore {
     pub fn core_numbers(&self, rt: &mut Atmem) -> Vec<u32> {
         self.core.to_vec(rt.machine_mut())
     }
-}
 
-impl Kernel for KCore {
-    fn name(&self) -> &'static str {
-        "kCore"
-    }
-
-    fn reset(&mut self, rt: &mut Atmem) {
-        let m = rt.machine_mut();
-        for v in 0..self.graph.num_vertices() {
-            self.core.poke(m, v, 0);
-        }
-        self.max_core = 0;
-    }
-
-    fn run_iteration(&mut self, ctx: &mut MemCtx) {
+    /// The peeling phase over pre-staged bounds. Each removal immediately
+    /// decrements live neighbours' degrees, and those decrements gate what
+    /// the frontier admits next — a data-dependent sequential chain that
+    /// admits no deterministic partition — so this phase always runs on one
+    /// core and both the scalar and sharded paths share it verbatim (which
+    /// is what keeps the output bit-identical across core counts).
+    fn peel(&mut self, ctx: &mut MemCtx, bounds: &[u64]) {
         let n = self.graph.num_vertices();
-        // Initialise degrees through the accounted path (part of the work):
-        // one bounds stream in, one degree stream out.
-        let bounds = self.graph.bounds(ctx);
-        let degrees: Vec<u32> = (0..n).map(|v| (bounds[v + 1] - bounds[v]) as u32).collect();
-        ctx.write_run(&self.degree, 0, &degrees);
         let mut alive = n;
         let mut k = 0u32;
         let mut removed = vec![false; n];
@@ -120,6 +108,67 @@ impl Kernel for KCore {
             }
         }
         self.max_core = k;
+    }
+
+    /// One decomposition with the degree initialisation partitioned over
+    /// `ctx.par_cores()` simulated cores (each core streams its
+    /// edge-balanced bounds slice and writes its owned degree slice), then
+    /// the sequential [`peel`](KCore::peel) phase on the resident core.
+    fn run_iteration_sharded(&mut self, ctx: &mut MemCtx) {
+        let cores = ctx.par_cores();
+        let mode = ctx.mode();
+        let machine = ctx.machine();
+        let host_bounds = self.graph.host_bounds(machine);
+        let cuts = par::edge_cuts(&host_bounds, cores);
+        let graph = &self.graph;
+        let degree = &self.degree;
+        let slices: Vec<Vec<u64>> = machine.run_cores(cores, |c, h| {
+            let mut ctx = MemCtx::new(h, mode);
+            let (lo, hi) = (cuts[c], cuts[c + 1]);
+            if lo == hi {
+                return Vec::new();
+            }
+            let mut b = vec![0u64; hi - lo + 1];
+            graph.bounds_run(&mut ctx, lo, &mut b);
+            let degrees: Vec<u32> = (0..hi - lo).map(|v| (b[v + 1] - b[v]) as u32).collect();
+            ctx.write_run(degree, lo, &degrees);
+            b
+        });
+        let mut bounds = vec![0u64; self.graph.num_vertices() + 1];
+        for (c, b) in slices.into_iter().enumerate() {
+            if !b.is_empty() {
+                bounds[cuts[c]..=cuts[c + 1]].copy_from_slice(&b);
+            }
+        }
+        self.peel(ctx, &bounds);
+    }
+}
+
+impl Kernel for KCore {
+    fn name(&self) -> &'static str {
+        "kCore"
+    }
+
+    fn reset(&mut self, rt: &mut Atmem) {
+        let m = rt.machine_mut();
+        for v in 0..self.graph.num_vertices() {
+            self.core.poke(m, v, 0);
+        }
+        self.max_core = 0;
+    }
+
+    fn run_iteration(&mut self, ctx: &mut MemCtx) {
+        if ctx.par_cores() > 1 {
+            self.run_iteration_sharded(ctx);
+            return;
+        }
+        let n = self.graph.num_vertices();
+        // Initialise degrees through the accounted path (part of the work):
+        // one bounds stream in, one degree stream out.
+        let bounds = self.graph.bounds(ctx);
+        let degrees: Vec<u32> = (0..n).map(|v| (bounds[v + 1] - bounds[v]) as u32).collect();
+        ctx.write_run(&self.degree, 0, &degrees);
+        self.peel(ctx, &bounds);
     }
 
     fn checksum(&self, rt: &mut Atmem) -> f64 {

@@ -40,6 +40,7 @@ pub mod kcore;
 pub mod kernel;
 pub mod pagerank;
 pub mod pagerank_pull;
+pub mod par;
 pub mod runner;
 pub mod spmv;
 pub mod sssp;
@@ -56,7 +57,7 @@ pub use kcore::KCore;
 pub use kernel::{App, Kernel};
 pub use pagerank::PageRank;
 pub use pagerank_pull::PageRankPull;
-pub use runner::{run_protocol, Mode, ProtocolResult};
+pub use runner::{run_protocol, run_protocol_cores, Mode, ProtocolResult};
 pub use spmv::Spmv;
 pub use sssp::Sssp;
 pub use synth::{drive_zipf, HotWindow, Zipf};

@@ -12,6 +12,7 @@ use atmem_hms::TrackedVec;
 use crate::access::MemCtx;
 use crate::graph_data::HmsGraph;
 use crate::kernel::Kernel;
+use crate::par;
 
 /// Damping factor (the classic 0.85).
 pub const DAMPING: f64 = 0.85;
@@ -64,6 +65,86 @@ impl PageRank {
     pub fn ranks(&self, rt: &mut Atmem) -> Vec<f64> {
         self.rank.to_vec(rt.machine_mut())
     }
+
+    /// One power iteration partitioned over `ctx.par_cores()` simulated
+    /// cores, in two `run_cores` phases.
+    ///
+    /// **Phase A** splits the *source* vertices into contiguous
+    /// edge-balanced ranges: each core streams its row bounds, ranks and
+    /// neighbour ids through its own accounted core, then buckets the
+    /// resulting `(dest, share)` contributions by destination owner
+    /// (host-side, unaccounted routing). **Phase B** gives each core a
+    /// contiguous slice of the accumulator: it applies the buckets routed
+    /// to it — source cores in core order, each bucket already in edge
+    /// order, so every accumulator entry folds in **global edge order**
+    /// (f64 addition is non-associative; this ordering is what keeps the
+    /// output bit-identical to the scalar body for any core count) — and
+    /// finishes with the damping sweep over the same owned slice.
+    fn run_iteration_sharded(&mut self, ctx: &mut MemCtx) {
+        let n = self.graph.num_vertices();
+        let cores = ctx.par_cores();
+        let mode = ctx.mode();
+        let machine = ctx.machine();
+        let host_bounds = self.graph.host_bounds(machine);
+        let src_cuts = par::edge_cuts(&host_bounds, cores);
+        let dst_cuts = par::even_cuts(n, cores);
+        let graph = &self.graph;
+        let rank = &self.rank;
+        let next = &self.next;
+
+        // Phase A: partitioned streams + host-side contribution routing.
+        let buckets: Vec<Vec<(Vec<u32>, Vec<f64>)>> = machine.run_cores(cores, |c, h| {
+            let mut ctx = MemCtx::new(h, mode);
+            let (lo, hi) = (src_cuts[c], src_cuts[c + 1]);
+            let mut out: Vec<(Vec<u32>, Vec<f64>)> = vec![(Vec::new(), Vec::new()); cores];
+            if lo == hi {
+                return out;
+            }
+            let mut b = vec![0u64; hi - lo + 1];
+            graph.bounds_run(&mut ctx, lo, &mut b);
+            let mut ranks = vec![0.0f64; hi - lo];
+            ctx.read_run(rank, lo, &mut ranks);
+            let (es, ee) = (b[0] as usize, b[hi - lo] as usize);
+            let mut nbrs = vec![0u32; ee - es];
+            graph.neighbor_run(&mut ctx, es as u64, &mut nbrs);
+            for v in lo..hi {
+                let (s, e) = (b[v - lo] as usize, b[v - lo + 1] as usize);
+                if s == e {
+                    continue;
+                }
+                let share = ranks[v - lo] / (e - s) as f64;
+                for &u in &nbrs[s - es..e - es] {
+                    let owner = par::owner(&dst_cuts, u as usize);
+                    out[owner].0.push(u);
+                    out[owner].1.push(share);
+                }
+            }
+            out
+        });
+
+        // Phase B: owned accumulation in global edge order, then damping.
+        let base = (1.0 - DAMPING) / n as f64;
+        let buckets = &buckets;
+        machine.run_cores(cores, |c, h| {
+            let mut ctx = MemCtx::new(h, mode);
+            for per_src in buckets {
+                let (indices, shares) = &per_src[c];
+                ctx.gather_update(next, indices, |k, acc| acc + shares[k]);
+            }
+            let (lo, hi) = (dst_cuts[c], dst_cuts[c + 1]);
+            if lo == hi {
+                return;
+            }
+            let mut accs = vec![0.0f64; hi - lo];
+            ctx.read_run(next, lo, &mut accs);
+            for acc in accs.iter_mut() {
+                *acc = base + DAMPING * *acc;
+            }
+            ctx.write_run(rank, lo, &accs);
+            ctx.write_run(next, lo, &vec![0.0f64; hi - lo]);
+        });
+        self.iterations_run += 1;
+    }
 }
 
 impl Kernel for PageRank {
@@ -79,6 +160,10 @@ impl Kernel for PageRank {
     }
 
     fn run_iteration(&mut self, ctx: &mut MemCtx) {
+        if ctx.par_cores() > 1 {
+            self.run_iteration_sharded(ctx);
+            return;
+        }
         let n = self.graph.num_vertices();
         // Stream phase: row bounds, current ranks, then all neighbour ids.
         self.graph.bounds_into(ctx, &mut self.bounds);

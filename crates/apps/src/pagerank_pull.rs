@@ -14,6 +14,7 @@ use crate::access::MemCtx;
 use crate::graph_data::HmsGraph;
 use crate::kernel::Kernel;
 use crate::pagerank::DAMPING;
+use crate::par;
 
 /// Pull-based PageRank kernel state. Holds the *transposed* graph plus the
 /// original out-degrees.
@@ -56,6 +57,88 @@ impl PageRankPull {
     pub fn ranks(&self, rt: &mut Atmem) -> Vec<f64> {
         self.rank.to_vec(rt.machine_mut())
     }
+
+    /// One pull iteration partitioned over `ctx.par_cores()` simulated
+    /// cores, in two `run_cores` phases.
+    ///
+    /// **Phase A** splits the destinations into contiguous in-edge-balanced
+    /// ranges; each core streams its in-bounds and source ids, gathers
+    /// degree and rank windows (both read-only this phase) and writes its
+    /// owned slice of `next`. The damping sweep cannot be fused here — it
+    /// writes `rank`, which other cores are still gathering — so **phase B**
+    /// re-partitions evenly and applies damping over owned slices. Each
+    /// destination reduces in in-edge order exactly as the scalar body
+    /// does, so the output is bit-identical for any core count.
+    fn run_iteration_sharded(&mut self, ctx: &mut MemCtx) {
+        let n = self.graph.num_vertices();
+        let cores = ctx.par_cores();
+        let mode = ctx.mode();
+        let machine = ctx.machine();
+        let host_bounds = self.graph.host_bounds(machine);
+        let cuts = par::edge_cuts(&host_bounds, cores);
+        let vcuts = par::even_cuts(n, cores);
+        let graph = &self.graph;
+        let degree = &self.degree;
+        let rank = &self.rank;
+        let next = &self.next;
+
+        // Phase A: partitioned gather into owned slices of `next`.
+        machine.run_cores(cores, |c, h| {
+            let mut ctx = MemCtx::new(h, mode);
+            let (lo, hi) = (cuts[c], cuts[c + 1]);
+            if lo == hi {
+                return;
+            }
+            let mut b = vec![0u64; hi - lo + 1];
+            graph.bounds_run(&mut ctx, lo, &mut b);
+            let (es, ee) = (b[0] as usize, b[hi - lo] as usize);
+            let mut nbrs = vec![0u32; ee - es];
+            graph.neighbor_run(&mut ctx, es as u64, &mut nbrs);
+            let mut gathered = vec![0.0f64; hi - lo];
+            let mut dbuf: Vec<u32> = Vec::new();
+            let mut live: Vec<u32> = Vec::new();
+            let mut degs: Vec<u32> = Vec::new();
+            let mut rbuf: Vec<f64> = Vec::new();
+            for (v, slot) in gathered.iter_mut().enumerate() {
+                let window = &nbrs[b[v] as usize - es..b[v + 1] as usize - es];
+                dbuf.resize(window.len(), 0);
+                ctx.gather(degree, window, &mut dbuf);
+                live.clear();
+                degs.clear();
+                for (&u, &deg) in window.iter().zip(&dbuf) {
+                    if deg > 0 {
+                        live.push(u);
+                        degs.push(deg);
+                    }
+                }
+                rbuf.resize(live.len(), 0.0);
+                ctx.gather(rank, &live, &mut rbuf);
+                let mut acc = 0.0f64;
+                for (&r, &deg) in rbuf.iter().zip(&degs) {
+                    acc += r / deg as f64;
+                }
+                *slot = acc;
+            }
+            ctx.write_run(next, lo, &gathered);
+        });
+
+        // Phase B: damping + swap over evenly owned slices.
+        let base = (1.0 - DAMPING) / n as f64;
+        machine.run_cores(cores, |c, h| {
+            let mut ctx = MemCtx::new(h, mode);
+            let (lo, hi) = (vcuts[c], vcuts[c + 1]);
+            if lo == hi {
+                return;
+            }
+            let mut accs = vec![0.0f64; hi - lo];
+            ctx.read_run(next, lo, &mut accs);
+            for acc in accs.iter_mut() {
+                *acc = base + DAMPING * *acc;
+            }
+            ctx.write_run(rank, lo, &accs);
+            ctx.write_run(next, lo, &vec![0.0f64; hi - lo]);
+        });
+    }
 }
 
 impl Kernel for PageRankPull {
@@ -70,6 +153,10 @@ impl Kernel for PageRankPull {
     }
 
     fn run_iteration(&mut self, ctx: &mut MemCtx) {
+        if ctx.par_cores() > 1 {
+            self.run_iteration_sharded(ctx);
+            return;
+        }
         let n = self.graph.num_vertices();
         // Stream phase: in-edge row bounds and source ids.
         let bounds = self.graph.bounds(ctx);

@@ -1,0 +1,140 @@
+//! Deterministic contiguous partitions for sharded kernel phases.
+//!
+//! `Machine::run_cores` requires each phase to respect the partition
+//! contract: bytes written by one core must not be accessed by any other
+//! core in the same phase. The kernels therefore split their vertex (or
+//! destination) spaces into **contiguous** per-core ranges, which keeps
+//! ownership checks trivial (a range comparison), keeps every per-core
+//! stream sequential (the block fast path stays effective), and — because
+//! the split depends only on the input sizes — makes the partition itself
+//! deterministic, a prerequisite for the engine's run-to-run determinism.
+//!
+//! Two splitters cover the kernels' needs:
+//!
+//! * [`even_cuts`] — equal element counts; used for property-array sweeps
+//!   (damping steps, accumulator ownership) where work is uniform per
+//!   element.
+//! * [`edge_cuts`] — equal *edge* counts derived from a CSR row-bounds
+//!   prefix array; used for traversal phases where per-vertex work follows
+//!   the (skewed) degree distribution.
+//!
+//! All functions return `cores + 1` cut points; core `c` owns
+//! `cuts[c]..cuts[c + 1]`. Ranges may be empty (more cores than work) but
+//! always concatenate to `0..n` in core order.
+
+/// Splits `0..n` into `cores` contiguous ranges of near-equal length.
+///
+/// # Panics
+///
+/// Panics if `cores == 0`.
+pub fn even_cuts(n: usize, cores: usize) -> Vec<usize> {
+    assert!(cores >= 1, "core count must be positive");
+    (0..=cores).map(|c| n * c / cores).collect()
+}
+
+/// Splits the vertex range of a CSR prefix array `bounds` (length
+/// `n + 1`, monotone) into `cores` contiguous ranges of near-equal
+/// **edge** count: each cut lands on the first vertex at or past the next
+/// `total_edges / cores` quantile.
+///
+/// # Panics
+///
+/// Panics if `cores == 0` or `bounds` is empty.
+pub fn edge_cuts(bounds: &[u64], cores: usize) -> Vec<usize> {
+    assert!(cores >= 1, "core count must be positive");
+    assert!(!bounds.is_empty(), "bounds must hold at least one entry");
+    let n = bounds.len() - 1;
+    let total = bounds[n] - bounds[0];
+    let mut cuts = Vec::with_capacity(cores + 1);
+    cuts.push(0usize);
+    for c in 1..cores {
+        let target = bounds[0] + total * c as u64 / cores as u64;
+        let cut = bounds.partition_point(|&b| b < target).min(n);
+        let prev = *cuts.last().expect("cuts is non-empty");
+        cuts.push(cut.max(prev));
+    }
+    cuts.push(n);
+    cuts
+}
+
+/// The core owning index `i` under the partition `cuts` (the unique `c`
+/// with `cuts[c] <= i < cuts[c + 1]`, skipping empty ranges).
+///
+/// # Panics
+///
+/// Debug-asserts that `i` falls inside the partitioned range.
+pub fn owner(cuts: &[usize], i: usize) -> usize {
+    debug_assert!(cuts.len() >= 2, "partition needs at least one range");
+    debug_assert!(
+        i < *cuts.last().expect("cuts is non-empty"),
+        "index {i} outside partition"
+    );
+    cuts.partition_point(|&c| c <= i).saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_cuts_cover_and_balance() {
+        let cuts = even_cuts(10, 4);
+        assert_eq!(cuts.first(), Some(&0));
+        assert_eq!(cuts.last(), Some(&10));
+        for w in cuts.windows(2) {
+            assert!(w[0] <= w[1]);
+            assert!(w[1] - w[0] <= 3);
+        }
+    }
+
+    #[test]
+    fn even_cuts_with_more_cores_than_items() {
+        let cuts = even_cuts(2, 4);
+        assert_eq!(cuts, vec![0, 0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn edge_cuts_balance_by_degree() {
+        // Vertex 0 holds 90 of 100 edges: it gets its own range and the
+        // remaining vertices split the tail.
+        let bounds = [0u64, 90, 92, 94, 96, 98, 100];
+        let cuts = edge_cuts(&bounds, 2);
+        assert_eq!(cuts.first(), Some(&0));
+        assert_eq!(cuts.last(), Some(&6));
+        assert_eq!(cuts[1], 1, "the hub alone exceeds the per-core quota");
+    }
+
+    #[test]
+    fn edge_cuts_handle_empty_graph() {
+        let bounds = [0u64, 0, 0, 0];
+        let cuts = edge_cuts(&bounds, 3);
+        assert_eq!(cuts.first(), Some(&0));
+        assert_eq!(cuts.last(), Some(&3));
+        for w in cuts.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn owner_is_consistent_with_cuts() {
+        let cuts = vec![0, 3, 3, 7, 10];
+        for i in 0..10 {
+            let c = owner(&cuts, i);
+            assert!(cuts[c] <= i && i < cuts[c + 1], "index {i} -> core {c}");
+        }
+    }
+
+    #[test]
+    fn every_index_has_exactly_one_owner() {
+        let bounds: Vec<u64> = (0..=17u64).map(|v| v * v).collect();
+        let cuts = edge_cuts(&bounds, 4);
+        let mut counts = [0usize; 17];
+        for (c, w) in cuts.windows(2).enumerate() {
+            for (i, count) in counts.iter_mut().enumerate().take(w[1]).skip(w[0]) {
+                *count += 1;
+                assert_eq!(owner(&cuts, i), c);
+            }
+        }
+        assert!(counts.iter().all(|&k| k == 1));
+    }
+}

@@ -76,10 +76,32 @@ pub struct ProtocolResult {
 /// same reason the paper cannot report an MCDRAM ideal for large inputs.
 pub fn run_protocol(
     platform: Platform,
+    config: AtmemConfig,
+    csr: &Csr,
+    app: App,
+    mode: Mode,
+) -> Result<ProtocolResult> {
+    run_protocol_cores(platform, config, csr, app, mode, 1)
+}
+
+/// Like [`run_protocol`], but drives both measured iterations with
+/// `par_cores` simulated cores. Sharded-capable kernels (PageRank, CC,
+/// SpMV among the protocol apps) partition their phases over the cores
+/// under the deterministic reduction contract; the rest run scalar. The
+/// profiler consumes the merged (core-order-concatenated) PEBS stream
+/// exactly as it consumes the scalar one, and `par_cores == 1` is
+/// bit-identical to [`run_protocol`].
+///
+/// # Errors
+///
+/// Same failure modes as [`run_protocol`].
+pub fn run_protocol_cores(
+    platform: Platform,
     mut config: AtmemConfig,
     csr: &Csr,
     app: App,
     mode: Mode,
+    par_cores: usize,
 ) -> Result<ProtocolResult> {
     config.default_placement = mode.placement_policy();
     let mut rt = Atmem::new(platform, config)?;
@@ -92,7 +114,7 @@ pub fn run_protocol(
         rt.profiling_start()?;
     }
     let t0 = rt.now();
-    kernel.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
+    kernel.run_iteration(&mut MemCtx::bulk(rt.machine_mut()).with_cores(par_cores));
     let first_iter = SimDuration::from_ns(rt.now().as_ns() - t0.as_ns());
     if mode == Mode::Atmem {
         rt.profiling_stop()?;
@@ -109,7 +131,7 @@ pub fn run_protocol(
     kernel.reset(&mut rt);
     let before = rt.machine().stats();
     let t1 = rt.now();
-    kernel.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
+    kernel.run_iteration(&mut MemCtx::bulk(rt.machine_mut()).with_cores(par_cores));
     let second_iter = SimDuration::from_ns(rt.now().as_ns() - t1.as_ns());
     let second_iter_stats = rt.machine().stats().delta(&before);
     let data_ratio = rt.fast_data_ratio();

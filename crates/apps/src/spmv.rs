@@ -12,6 +12,7 @@ use atmem_hms::TrackedVec;
 use crate::access::MemCtx;
 use crate::graph_data::HmsGraph;
 use crate::kernel::Kernel;
+use crate::par;
 
 /// SpMV kernel state.
 #[derive(Debug)]
@@ -59,6 +60,51 @@ impl Spmv {
     pub fn output(&self, rt: &mut Atmem) -> Vec<f64> {
         self.y.to_vec(rt.machine_mut())
     }
+
+    /// One multiply partitioned over `ctx.par_cores()` simulated cores in a
+    /// single `run_cores` phase: rows split into contiguous edge-balanced
+    /// ranges, each core streaming its bounds/column/value slices, gathering
+    /// `x[col]` (read-only, so shared reads are safe under the partition
+    /// contract) and writing its owned slice of `y`. Each row reduces in
+    /// edge order exactly as the scalar body does, so the output is
+    /// bit-identical for any core count.
+    fn run_iteration_sharded(&mut self, ctx: &mut MemCtx) {
+        let cores = ctx.par_cores();
+        let mode = ctx.mode();
+        let machine = ctx.machine();
+        let host_bounds = self.graph.host_bounds(machine);
+        let cuts = par::edge_cuts(&host_bounds, cores);
+        let graph = &self.graph;
+        let x = &self.x;
+        let y = &self.y;
+        machine.run_cores(cores, |c, h| {
+            let mut ctx = MemCtx::new(h, mode);
+            let (lo, hi) = (cuts[c], cuts[c + 1]);
+            if lo == hi {
+                return;
+            }
+            let mut b = vec![0u64; hi - lo + 1];
+            graph.bounds_run(&mut ctx, lo, &mut b);
+            let (es, ee) = (b[0] as usize, b[hi - lo] as usize);
+            let mut cols = vec![0u32; ee - es];
+            let mut vals = vec![0.0f32; ee - es];
+            let mut xs = vec![0.0f64; ee - es];
+            if ee > es {
+                graph.neighbor_run(&mut ctx, es as u64, &mut cols);
+                graph.weight_run(&mut ctx, es as u64, &mut vals);
+                ctx.gather(x, &cols, &mut xs);
+            }
+            let mut ybuf = vec![0.0f64; hi - lo];
+            for (row, y_row) in ybuf.iter_mut().enumerate() {
+                let mut acc = 0.0f64;
+                for e in (b[row] as usize - es)..(b[row + 1] as usize - es) {
+                    acc += vals[e] as f64 * xs[e];
+                }
+                *y_row = acc;
+            }
+            ctx.write_run(y, lo, &ybuf);
+        });
+    }
 }
 
 impl Kernel for Spmv {
@@ -75,6 +121,10 @@ impl Kernel for Spmv {
     }
 
     fn run_iteration(&mut self, ctx: &mut MemCtx) {
+        if ctx.par_cores() > 1 {
+            self.run_iteration_sharded(ctx);
+            return;
+        }
         let n = self.graph.num_vertices();
         // Stream phase: row bounds, column indices, matrix values.
         self.graph.bounds_into(ctx, &mut self.bounds);

@@ -11,6 +11,7 @@ use atmem::{Atmem, Result};
 use crate::access::MemCtx;
 use crate::graph_data::HmsGraph;
 use crate::kernel::Kernel;
+use crate::par;
 
 /// Triangle-counting kernel state.
 #[derive(Debug)]
@@ -49,47 +50,78 @@ impl Kernel for Triangles {
 
     fn run_iteration(&mut self, ctx: &mut MemCtx) {
         let n = self.graph.num_vertices();
-        let mut triangles = 0u64;
-        let mut adj_u: Vec<u32> = Vec::new();
-        for u in 0..n {
-            let (us, ue) = self.graph.edge_bounds(ctx, u);
-            // One sequential pass enumerates u's edges; the merge loops
-            // below deliberately keep their per-element re-reads (the
-            // read-reuse the kernel exists to exercise).
-            adj_u.resize((ue - us) as usize, 0);
-            self.graph.neighbor_run(ctx, us, &mut adj_u);
-            for &v32 in &adj_u {
-                let v = v32 as usize;
-                if v <= u {
-                    continue; // orient: count each edge once
-                }
-                // Merge-intersect adj(u) and adj(v), counting w > v.
-                let (vs, ve) = self.graph.edge_bounds(ctx, v);
-                let mut i = us;
-                let mut j = vs;
-                while i < ue && j < ve {
-                    let a = self.graph.neighbor(ctx, i);
-                    let b = self.graph.neighbor(ctx, j);
-                    if (a as usize) <= v {
-                        i += 1;
-                    } else if a == b {
-                        triangles += 1;
-                        i += 1;
-                        j += 1;
-                    } else if a < b {
-                        i += 1;
-                    } else {
-                        j += 1;
-                    }
-                }
-            }
+        let cores = ctx.par_cores();
+        if cores > 1 {
+            // Read-only kernel: every phase access is a read, so any
+            // partition satisfies the contract. Anchor vertices split into
+            // contiguous edge-balanced ranges, each core intersecting its
+            // own anchors; per-core u64 counts sum in core order (integer
+            // addition is associative, so the count is bit-identical to
+            // the scalar loop for any core count).
+            let mode = ctx.mode();
+            let machine = ctx.machine();
+            let host_bounds = self.graph.host_bounds(machine);
+            let cuts = par::edge_cuts(&host_bounds, cores);
+            let graph = &self.graph;
+            let counts: Vec<u64> = machine.run_cores(cores, |c, h| {
+                let mut ctx = MemCtx::new(h, mode);
+                count_range(graph, &mut ctx, cuts[c], cuts[c + 1])
+            });
+            self.count = counts.iter().sum();
+            return;
         }
-        self.count = triangles;
+        self.count = count_range(&self.graph, ctx, 0, n);
     }
 
     fn checksum(&self, _rt: &mut Atmem) -> f64 {
         self.count as f64
     }
+}
+
+/// Counts triangles anchored at vertices `lo..hi` — the whole graph for
+/// the scalar path, one partition range per core for the sharded path.
+fn count_range<M: atmem_hms::MemPort>(
+    graph: &HmsGraph,
+    ctx: &mut MemCtx<'_, M>,
+    lo: usize,
+    hi: usize,
+) -> u64 {
+    let mut triangles = 0u64;
+    let mut adj_u: Vec<u32> = Vec::new();
+    for u in lo..hi {
+        let (us, ue) = graph.edge_bounds(ctx, u);
+        // One sequential pass enumerates u's edges; the merge loops
+        // below deliberately keep their per-element re-reads (the
+        // read-reuse the kernel exists to exercise).
+        adj_u.resize((ue - us) as usize, 0);
+        graph.neighbor_run(ctx, us, &mut adj_u);
+        for &v32 in &adj_u {
+            let v = v32 as usize;
+            if v <= u {
+                continue; // orient: count each edge once
+            }
+            // Merge-intersect adj(u) and adj(v), counting w > v.
+            let (vs, ve) = graph.edge_bounds(ctx, v);
+            let mut i = us;
+            let mut j = vs;
+            while i < ue && j < ve {
+                let a = graph.neighbor(ctx, i);
+                let b = graph.neighbor(ctx, j);
+                if (a as usize) <= v {
+                    i += 1;
+                } else if a == b {
+                    triangles += 1;
+                    i += 1;
+                    j += 1;
+                } else if a < b {
+                    i += 1;
+                } else {
+                    j += 1;
+                }
+            }
+        }
+    }
+    triangles
 }
 
 /// Host-side reference count for validation (same orientation rule).

@@ -10,9 +10,18 @@
 //! PageRank scatter and SpMV gather phases assert ≥2x on the window engine
 //! alone.
 //!
+//! The **core sweep** runs PageRank and SpMV at 1 and 4 simulated cores:
+//! kernel checksums must be bit-identical at every core count (always
+//! asserted, even under `--smoke`), and the 4-core run must be ≥2x faster
+//! wall-clock — a gate that only arms when the host actually has ≥4
+//! hardware threads to shard over (and never under `--smoke`).
+//!
 //! `--smoke` runs only the equality half on a reduced graph (no timing, no
 //! speedup gates) so CI can verify Scalar/Bulk equivalence on every push
 //! without inheriting wall-clock flakiness.
+//!
+//! Every run snapshots its measurements to `BENCH_kernels.json` at the repo
+//! root (override with `--json PATH`).
 
 use atmem::{Atmem, AtmemConfig};
 use atmem_apps::{AccessMode, HmsGraph, Kernel, MemCtx, PageRank, Spmv};
@@ -227,8 +236,93 @@ fn compare_phase(
     speedup
 }
 
+/// Runs `iters` iterations at `cores` simulated cores and returns the
+/// checksum (used by the sweep's invariance assertion).
+fn checksum_at_cores(
+    csr: &Csr,
+    make: &dyn Fn(&mut Atmem, HmsGraph) -> Box<dyn Kernel>,
+    cores: usize,
+) -> f64 {
+    let (mut rt, mut kernel) = fresh_kernel(csr, make);
+    kernel.run_iteration(&mut MemCtx::bulk(rt.machine_mut()).with_cores(cores));
+    kernel.checksum(&mut rt)
+}
+
+/// One kernel's core-count sweep: asserts checksum invariance across
+/// 1/2/4 simulated cores, then (unless `smoke`) times 1-core vs 4-core
+/// iterations and returns `(cores1_min_ns, cores4_min_ns)`.
+fn core_sweep(
+    name: &str,
+    csr: &Csr,
+    smoke: bool,
+    make: &dyn Fn(&mut Atmem, HmsGraph) -> Box<dyn Kernel>,
+) -> Option<(f64, f64)> {
+    let scalar = checksum_at_cores(csr, make, 1);
+    for cores in [2usize, 4] {
+        let sharded = checksum_at_cores(csr, make, cores);
+        assert_eq!(
+            scalar.to_bits(),
+            sharded.to_bits(),
+            "{name}: checksum diverges at {cores} cores"
+        );
+    }
+    println!("core_sweep/{name}: checksums invariant across 1/2/4 cores");
+    if smoke {
+        return None;
+    }
+    let mut mins = Vec::new();
+    for cores in [1usize, 4] {
+        let r = bench_with_setup(
+            &format!("core_sweep/{name}/cores{cores}"),
+            SAMPLES,
+            || fresh_kernel(csr, make),
+            |(mut rt, mut kernel)| {
+                kernel.run_iteration(&mut MemCtx::bulk(rt.machine_mut()).with_cores(cores));
+                black_box((rt, kernel))
+            },
+        );
+        mins.push(r.min_ns());
+    }
+    let speedup = mins[0] / mins[1];
+    println!("core_sweep/{name}: 4-core speedup {speedup:.2}x\n");
+    Some((mins[0], mins[1]))
+}
+
+/// Hand-rolled JSON snapshot of the run's measurements (no serde in-tree).
+fn write_snapshot(path: &str, smoke: bool, entries: &[(String, f64)]) {
+    let mut body = String::from("{\n");
+    body.push_str(&format!("  \"smoke\": {smoke},\n"));
+    body.push_str(&format!(
+        "  \"host_parallelism\": {},\n",
+        host_parallelism()
+    ));
+    body.push_str("  \"measurements\": {\n");
+    for (i, (key, value)) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        body.push_str(&format!("    \"{key}\": {value}{sep}\n"));
+    }
+    body.push_str("  }\n}\n");
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("warning: could not write {path}: {e}");
+    }
+}
+
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut smoke = false;
+    let mut json_path =
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json").to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--json" => json_path = args.next().expect("missing value for --json"),
+            _ => {}
+        }
+    }
     let weighted = bench_graph(true, smoke);
     let plain = bench_graph(false, smoke);
 
@@ -248,13 +342,35 @@ fn main() {
         black_box(out);
     });
 
+    // Core-count sweep: output invariance always, timings unless --smoke.
+    let pr_sweep = core_sweep("PR", &plain, smoke, &make_pr);
+    let spmv_sweep = core_sweep("SpMV", &weighted, smoke, &make_spmv);
+
     if smoke {
+        write_snapshot(&json_path, smoke, &[]);
         println!("smoke run: equivalence checks passed, timing gates skipped");
+        println!("snapshot: {json_path}");
         return;
     }
 
     let spmv_speedup = compare_modes("SpMV", &weighted, &make_spmv);
     let pr_speedup = compare_modes("PR", &plain, &make_pr);
+
+    let mut entries = vec![
+        ("bulk_speedup_SpMV".to_string(), spmv_speedup),
+        ("bulk_speedup_PR".to_string(), pr_speedup),
+        ("bulk_speedup_PR_scatter".to_string(), pr_scatter),
+        ("bulk_speedup_SpMV_gather".to_string(), spmv_gather),
+    ];
+    for (name, sweep) in [("PR", pr_sweep), ("SpMV", spmv_sweep)] {
+        if let Some((one, four)) = sweep {
+            entries.push((format!("core_sweep_{name}_cores1_ns"), one));
+            entries.push((format!("core_sweep_{name}_cores4_ns"), four));
+            entries.push((format!("core_sweep_{name}_speedup"), one / four));
+        }
+    }
+    write_snapshot(&json_path, smoke, &entries);
+    println!("snapshot: {json_path}");
 
     assert!(
         spmv_speedup >= 3.0,
@@ -272,4 +388,23 @@ fn main() {
         spmv_gather >= 2.0,
         "SpMV gather phase must be >= 2x faster in bulk, got {spmv_gather:.2}x"
     );
+
+    // The sharded-engine wall-clock gate needs real hardware threads to
+    // shard over; on smaller hosts the sweep still reports, but only the
+    // invariance half gates.
+    if host_parallelism() >= 4 {
+        for (name, sweep) in [("PR", pr_sweep), ("SpMV", spmv_sweep)] {
+            let (one, four) = sweep.expect("sweep timings present outside --smoke");
+            let speedup = one / four;
+            assert!(
+                speedup >= 2.0,
+                "{name} at 4 simulated cores must be >= 2x faster wall-clock, got {speedup:.2}x"
+            );
+        }
+    } else {
+        println!(
+            "core-sweep timing gate skipped: host parallelism {} < 4",
+            host_parallelism()
+        );
+    }
 }

@@ -4,7 +4,7 @@
 //! atmem_run [--app BFS|SSSP|PR|BC|CC|SpMV] [--dataset pokec|rmat24|twitter|rmat27|friendster]
 //!           [--platform nvm|knl|cxl] [--mode baseline|atmem|ideal|preferred]
 //!           [--epsilon F] [--arity M] [--chunks N] [--period P]
-//!           [--mechanism staged|direct|mbind] [--shrink S]
+//!           [--mechanism staged|direct|mbind] [--shrink S] [--cores N]
 //!           [--edge-list PATH] [--heatmap]
 //! ```
 //!
@@ -27,6 +27,7 @@ struct Options {
     mode: Mode,
     config: AtmemConfig,
     shrink: u32,
+    cores: usize,
     edge_list: Option<String>,
     heatmap: bool,
 }
@@ -36,7 +37,8 @@ fn usage() -> ! {
         "usage: atmem_run [--app BFS|SSSP|PR|BC|CC|SpMV] [--dataset NAME] \
          [--platform nvm|knl|cxl] [--mode baseline|atmem|ideal|preferred] \
          [--epsilon F] [--arity M] [--chunks N] [--period P] \
-         [--mechanism staged|direct|mbind] [--shrink S] [--edge-list PATH] [--heatmap]"
+         [--mechanism staged|direct|mbind] [--shrink S] [--cores N] \
+         [--edge-list PATH] [--heatmap]"
     );
     std::process::exit(2);
 }
@@ -49,6 +51,7 @@ fn parse_options() -> Options {
         mode: Mode::Atmem,
         config: AtmemConfig::default(),
         shrink: 2,
+        cores: 1,
         edge_list: None,
         heatmap: false,
     };
@@ -114,6 +117,12 @@ fn parse_options() -> Options {
                 };
             }
             "--shrink" => opts.shrink = value("--shrink").parse().unwrap_or_else(|_| usage()),
+            "--cores" => {
+                opts.cores = value("--cores").parse().unwrap_or_else(|_| usage());
+                if opts.cores == 0 {
+                    usage();
+                }
+            }
             "--edge-list" => opts.edge_list = Some(value("--edge-list")),
             "--heatmap" => opts.heatmap = true,
             "--help" | "-h" => usage(),
@@ -166,6 +175,9 @@ fn main() -> ExitCode {
         platform.name,
         opts.mode.name(),
     );
+    if opts.cores > 1 {
+        println!("simulated cores: {}", opts.cores);
+    }
 
     // Inline protocol (rather than runner::run_protocol) so the runtime
     // stays available for the residency report and heatmap afterwards.
@@ -185,7 +197,7 @@ fn main() -> ExitCode {
             rt.profiling_start()?;
         }
         let t0 = rt.now();
-        kernel.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
+        kernel.run_iteration(&mut MemCtx::bulk(rt.machine_mut()).with_cores(opts.cores));
         let first = rt.now().as_ns() - t0.as_ns();
         if opts.mode == Mode::Atmem {
             let profile = rt.profiling_stop()?;
@@ -216,7 +228,7 @@ fn main() -> ExitCode {
 
         kernel.reset(&mut rt);
         let t1 = rt.now();
-        kernel.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
+        kernel.run_iteration(&mut MemCtx::bulk(rt.machine_mut()).with_cores(opts.cores));
         let second = rt.now().as_ns() - t1.as_ns();
         println!(
             "iteration 2: {:9.3} ms   (checksum {:.6e})",

@@ -115,6 +115,10 @@ pub struct CostModel {
     /// amortised), nanoseconds. This is what makes the paper's §7.4
     /// profiling-overhead claim measurable.
     pub pebs_sample_ns: f64,
+    /// Per-rendezvous cost of one stage of a phase barrier between
+    /// simulated cores, nanoseconds. A barrier over `n` cores is modelled
+    /// as a log2-depth combining tree (see [`CostModel::barrier_cost`]).
+    pub barrier_ns: f64,
 }
 
 impl CostModel {
@@ -134,7 +138,20 @@ impl CostModel {
             walk_ns,
             app_threads,
             pebs_sample_ns: 300.0,
+            barrier_ns: 500.0,
         }
+    }
+
+    /// Cost of one phase barrier synchronising `cores` simulated cores:
+    /// `ceil(log2(cores))` combining-tree stages of `barrier_ns` each (a
+    /// single core still pays one stage — the rendezvous instruction
+    /// sequence does not vanish at n=1). Integer-exact: the stage count is
+    /// computed on integers, so equal core counts always produce
+    /// bit-identical durations.
+    pub fn barrier_cost(&self, cores: usize) -> SimDuration {
+        debug_assert!(cores > 0, "barrier over zero cores");
+        let stages = cores.next_power_of_two().trailing_zeros().max(1);
+        SimDuration(stages as f64 * self.barrier_ns)
     }
 
     /// Cost of depositing one PEBS record.

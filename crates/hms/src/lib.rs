@@ -57,6 +57,7 @@ pub mod mapping;
 mod mbind;
 pub mod pebs;
 pub mod platform;
+pub mod shard;
 pub mod stats;
 pub mod tier;
 pub mod tlb;
@@ -72,6 +73,7 @@ pub use machine::{AllocationInfo, Machine, MigrationReport, Placement, Scalar};
 pub use mapping::{Mapping, MappingTable, PageKind};
 pub use pebs::{Pebs, SampleRecord};
 pub use platform::Platform;
+pub use shard::{BlockSegment, CoreCtx, CoreHandle, MemPort};
 pub use stats::MachineStats;
 pub use tier::{TierId, TierSpec, TierStorage};
 pub use tlb::Tlb;

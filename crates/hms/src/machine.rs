@@ -3,24 +3,24 @@
 //! [`Machine`] is the single entry point applications use: allocate regions
 //! with a [`Placement`] policy, read and write scalars through the full
 //! virtual-memory + TLB + LLC + cost-model path, and migrate regions between
-//! tiers. All simulated state (clock, counters, PEBS buffer) lives here.
+//! tiers. Mutable access state (clock, counters, PEBS buffer) lives in the
+//! machine's resident [`CoreCtx`]; the access engine itself lives in
+//! [`shard`](crate::shard) and can also run one instance per simulated core
+//! ([`Machine::run_cores`]).
 
 use std::collections::BTreeMap;
 
-use crate::addr::{
-    PhysAddr, VirtAddr, VirtRange, HUGE_PAGE_FRAMES, LINE_SIZE, PAGE_SHIFT, PAGE_SIZE,
-};
-use crate::cache::Cache;
-use crate::cost::{SimClock, SimDuration};
+use crate::addr::{VirtAddr, VirtRange, HUGE_PAGE_FRAMES, PAGE_SHIFT, PAGE_SIZE};
+use crate::cost::SimDuration;
 use crate::error::{HmsError, Result};
 use crate::frame::FrameRun;
 use crate::mapping::{huge_eligible, Mapping, MappingTable, PageKind};
 use crate::pebs::{Pebs, SampleRecord};
 use crate::platform::Platform;
+use crate::shard::{BlockSegment, CoreCtx, CoreHandle, MemPort, TiersView};
 use crate::stats::MachineStats;
 use crate::tier::{Tier, TierId};
-use crate::tlb::Tlb;
-use crate::trace::{AccessKind, TraceRecord, Tracer};
+use crate::trace::{TraceRecord, Tracer};
 
 /// Where an allocation's physical frames should come from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,39 +57,14 @@ pub struct MigrationReport {
     pub mappings_after: usize,
 }
 
-#[derive(Debug, Default)]
-struct Counters {
-    accesses: u64,
-    reads: u64,
-    writes: u64,
-    bytes_migrated: u64,
-}
-
-/// One physically contiguous piece of a bulk access: `len` bytes starting at
-/// byte `offset` of `tier`'s storage. Produced by
-/// [`Machine::access_block`]; consumed by the `TrackedVec` slice APIs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct BlockSegment {
-    /// Tier whose storage backs this piece.
-    pub(crate) tier: TierId,
-    /// Byte offset into the tier storage.
-    pub(crate) offset: usize,
-    /// Length in bytes.
-    pub(crate) len: usize,
-}
-
-/// What each element of a batched index window does, for
-/// [`Machine::access_window`]. Passed as a const generic so each op's loop
-/// monomorphizes branch-free. `OP_RMW` is simulated as a read followed by a
-/// guaranteed-hit write of the same line, exactly like
-/// [`Machine::read_modify_write`].
-const OP_READ: u8 = 0;
-/// Write each element (see [`OP_READ`]).
-const OP_WRITE: u8 = 1;
-/// Read-modify-write each element (see [`OP_READ`]).
-const OP_RMW: u8 = 2;
-
 /// The simulated machine. See the [crate docs](crate) for an overview.
+///
+/// Simulated state is split in two: **shared read-mostly state** (platform,
+/// tiers, mapping table, allocation registry) lives directly on the
+/// machine, while everything the access path mutates lives in one resident
+/// [`CoreCtx`]. Every access method below routes through a [`CoreHandle`]
+/// over that resident core, making the scalar engine the n=1 special case
+/// of the sharded engine ([`Machine::run_cores`]).
 #[derive(Debug)]
 pub struct Machine {
     platform: Platform,
@@ -97,12 +72,7 @@ pub struct Machine {
     mappings: MappingTable,
     allocations: BTreeMap<u64, AllocationInfo>,
     next_vaddr: u64,
-    tlb: Tlb,
-    llc: Cache,
-    clock: SimClock,
-    pebs: Pebs,
-    tracer: Tracer,
-    counters: Counters,
+    core: CoreCtx,
 }
 
 impl Machine {
@@ -112,17 +82,13 @@ impl Machine {
             Tier::new(platform.fast.clone()),
             Tier::new(platform.slow.clone()),
         ];
+        let core = CoreCtx::resident(&platform, 0xA7_3E3, 1 << 24);
         Machine {
-            tlb: Tlb::new(platform.tlb_entries),
-            llc: Cache::new(platform.llc),
-            clock: SimClock::new(),
-            pebs: Pebs::new(0xA7_3E3),
-            tracer: Tracer::new(1 << 24),
+            core,
             mappings: MappingTable::new(),
             allocations: BTreeMap::new(),
             // Arbitrary non-zero base, 2 MiB aligned.
             next_vaddr: 0x4000_0000,
-            counters: Counters::default(),
             tiers,
             platform,
         }
@@ -135,13 +101,125 @@ impl Machine {
 
     /// Current simulated time.
     pub fn now(&self) -> SimDuration {
-        self.clock.now()
+        self.core.clock.now()
     }
 
     /// Advances the simulated clock by `d` (used by migration engines and
     /// tests that model off-path work).
     pub fn advance_clock(&mut self, d: SimDuration) {
-        self.clock.advance(d);
+        self.core.clock.advance(d);
+    }
+
+    /// A [`CoreHandle`] over the machine's resident core. All scalar access
+    /// methods below delegate here.
+    fn core_handle(&mut self) -> CoreHandle<'_> {
+        CoreHandle::new(
+            &mut self.core,
+            &self.mappings,
+            &self.platform,
+            TiersView::new(&mut self.tiers),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Sharded execution
+    // ------------------------------------------------------------------
+
+    /// Forks `n` per-core contexts off the resident core: cold TLB and LLC,
+    /// clock at zero, independent deterministic PEBS jitter streams, empty
+    /// trace rings. Pair with [`Machine::join_cores`]; most callers want
+    /// [`Machine::run_cores`], which does both around a thread scope.
+    pub fn fork_cores(&mut self, n: usize) -> Vec<CoreCtx> {
+        assert!(n > 0, "core count must be positive");
+        (0..n)
+            .map(|id| self.core.fork(&self.platform, id))
+            .collect()
+    }
+
+    /// Merges forked cores back into the resident core under the
+    /// deterministic reduction contract (see the [`shard`](crate::shard)
+    /// module docs): in **core order**, access counters and TLB/LLC totals
+    /// are summed and PEBS/trace streams are concatenated; then the machine
+    /// clock advances by the maximum per-core elapsed time plus one
+    /// [`barrier_cost`](crate::cost::CostModel::barrier_cost) over `n`
+    /// cores.
+    pub fn join_cores(&mut self, cores: Vec<CoreCtx>) {
+        let n = cores.len();
+        assert!(n > 0, "joining zero cores");
+        let mut max_elapsed = SimDuration::ZERO;
+        for c in cores {
+            self.core.counters.accesses += c.counters.accesses;
+            self.core.counters.reads += c.counters.reads;
+            self.core.counters.writes += c.counters.writes;
+            debug_assert_eq!(c.counters.bytes_migrated, 0, "cores cannot migrate");
+            self.core.tlb.absorb_counters(&c.tlb);
+            self.core.llc.absorb_counters(&c.llc);
+            self.core.pebs.absorb(c.pebs);
+            self.core.tracer.absorb(c.tracer);
+            if c.clock.now() > max_elapsed {
+                max_elapsed = c.clock.now();
+            }
+        }
+        self.core.clock.advance(max_elapsed);
+        self.core.clock.advance(self.platform.cost.barrier_cost(n));
+    }
+
+    /// Runs one simulation phase on `cores` simulated cores.
+    ///
+    /// `f(core_id, handle)` is invoked once per core — on the caller's
+    /// thread for `cores == 1`, on one OS thread per core under
+    /// [`std::thread::scope`] otherwise — and may drive any partition of
+    /// the workload through the handle's accounted access methods. Results
+    /// are returned in core order and per-core state is merged under the
+    /// deterministic reduction contract ([`Machine::join_cores`]).
+    ///
+    /// With `cores == 1` the closure runs against the machine's resident
+    /// core and no fork, merge or barrier happens at all: stats, clock,
+    /// PEBS stream and traces end bit-identical to calling the machine's
+    /// scalar access methods directly.
+    ///
+    /// Callers must respect the partition contract (see the
+    /// [`shard`](crate::shard) module docs): bytes written by one core
+    /// during the phase must not be accessed by any other core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0` or any core's closure panics.
+    pub fn run_cores<R, F>(&mut self, cores: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, &mut CoreHandle<'_>) -> R + Sync,
+    {
+        assert!(cores > 0, "core count must be positive");
+        if cores == 1 {
+            let mut h = self.core_handle();
+            return vec![f(0, &mut h)];
+        }
+        let mut ctxs = self.fork_cores(cores);
+        let results: Vec<R> = {
+            let mappings = &self.mappings;
+            let platform = &self.platform;
+            let tiers = TiersView::new(&mut self.tiers);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = ctxs
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(id, core)| {
+                        let f = &f;
+                        scope.spawn(move || {
+                            let mut h = CoreHandle::new(core, mappings, platform, tiers);
+                            f(id, &mut h)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("simulated core panicked"))
+                    .collect()
+            })
+        };
+        self.join_cores(ctxs);
+        results
     }
 
     /// Free bytes remaining on `tier`.
@@ -357,6 +435,7 @@ impl Machine {
         }
         self.invalidate_tlb_range(full);
         self.mappings.flush_cache();
+        self.core.map_memo = None;
         Ok(())
     }
 
@@ -371,54 +450,9 @@ impl Machine {
     }
 
     // ------------------------------------------------------------------
-    // Accounted access path
+    // Accounted access path (delegates to the resident core's engine in
+    // [`shard`](crate::shard))
     // ------------------------------------------------------------------
-
-    /// Performs an accounted access of `len` bytes at `va` and returns the
-    /// (tier, storage offset) servicing it. The access must not cross a page
-    /// boundary (guaranteed for naturally aligned scalars).
-    #[inline]
-    fn access(&mut self, va: VirtAddr, len: usize, write: bool) -> Result<(TierId, usize)> {
-        debug_assert!(len > 0 && va.page_offset() + len <= PAGE_SIZE);
-        let mapping = self.mappings.lookup(va)?;
-        self.counters.accesses += 1;
-        if write {
-            self.counters.writes += 1;
-        } else {
-            self.counters.reads += 1;
-        }
-
-        let mut cost = SimDuration::ZERO;
-        if !self
-            .tlb
-            .access(mapping.tlb_key(va, self.platform.tlb_coalesce))
-        {
-            cost += self.platform.cost.walk_cost();
-        }
-        let (frame, offset) = mapping.translate(va);
-        let pa = frame.phys_addr(offset).line_aligned();
-        let hit = self.llc.access(pa, write).is_hit();
-        if hit {
-            cost += self.platform.cost.hit_cost();
-        } else {
-            let spec = &self.tiers[frame.tier.index()].spec;
-            cost += self.platform.cost.miss_cost(spec, write);
-            if !write && self.pebs.on_read_miss(va) {
-                cost += self.platform.cost.sample_cost();
-            }
-        }
-        if self.tracer.is_enabled() {
-            let kind = match (write, hit) {
-                (false, true) => AccessKind::ReadHit,
-                (false, false) => AccessKind::ReadMiss,
-                (true, true) => AccessKind::WriteHit,
-                (true, false) => AccessKind::WriteMiss,
-            };
-            self.tracer.record(va, kind);
-        }
-        self.clock.advance(cost);
-        Ok((frame.tier, frame.byte_offset() + offset))
-    }
 
     /// Reads a little-endian scalar through the full accounted path.
     ///
@@ -427,9 +461,7 @@ impl Machine {
     /// [`HmsError::Unmapped`] if `va` is not mapped.
     #[inline]
     pub fn read<T: Scalar>(&mut self, va: VirtAddr) -> Result<T> {
-        let (tier, off) = self.access(va, T::SIZE, false)?;
-        let bytes = self.tiers[tier.index()].storage.slice(off, T::SIZE);
-        Ok(T::from_le_slice(bytes))
+        self.core_handle().read(va)
     }
 
     /// Writes a little-endian scalar through the full accounted path.
@@ -439,10 +471,7 @@ impl Machine {
     /// [`HmsError::Unmapped`] if `va` is not mapped.
     #[inline]
     pub fn write<T: Scalar>(&mut self, va: VirtAddr, value: T) -> Result<()> {
-        let (tier, off) = self.access(va, T::SIZE, true)?;
-        let bytes = self.tiers[tier.index()].storage.slice_mut(off, T::SIZE);
-        value.write_le_slice(bytes);
-        Ok(())
+        self.core_handle().write(va, value)
     }
 
     /// Accounted read-modify-write of one scalar: simulated exactly as a
@@ -464,61 +493,7 @@ impl Machine {
         va: VirtAddr,
         f: impl FnOnce(T) -> T,
     ) -> Result<T> {
-        debug_assert!(va.page_offset() + T::SIZE <= PAGE_SIZE);
-        let mapping = self.mappings.lookup(va)?;
-        self.counters.accesses += 2;
-        self.counters.reads += 1;
-        self.counters.writes += 1;
-        let (frame, offset) = mapping.translate(va);
-        let pa = frame.phys_addr(offset).line_aligned();
-
-        // Read half: composed exactly as `access(va, _, false)`. The write
-        // half's TLB lookup is folded into the run.
-        let mut cost = SimDuration::ZERO;
-        if !self
-            .tlb
-            .access_run(mapping.tlb_key(va, self.platform.tlb_coalesce), 2)
-        {
-            cost += self.platform.cost.walk_cost();
-        }
-        let (outcome, slot) = self.llc.access_slot(pa, false);
-        let hit = outcome.is_hit();
-        if hit {
-            cost += self.platform.cost.hit_cost();
-        } else {
-            let spec = &self.tiers[frame.tier.index()].spec;
-            cost += self.platform.cost.miss_cost(spec, false);
-            if self.pebs.on_read_miss(va) {
-                cost += self.platform.cost.sample_cost();
-            }
-        }
-        self.clock.advance(cost);
-
-        // Write half: a guaranteed hit on the just-filled line, so the tag
-        // scan is skipped.
-        self.llc.rehit(slot, true);
-        let mut wcost = SimDuration::ZERO;
-        wcost += self.platform.cost.hit_cost();
-        self.clock.advance(wcost);
-
-        if self.tracer.is_enabled() {
-            self.tracer.record(
-                va,
-                if hit {
-                    AccessKind::ReadHit
-                } else {
-                    AccessKind::ReadMiss
-                },
-            );
-            self.tracer.record(va, AccessKind::WriteHit);
-        }
-
-        let bytes = self.tiers[frame.tier.index()]
-            .storage
-            .slice_mut(frame.byte_offset() + offset, T::SIZE);
-        let old = T::from_le_slice(bytes);
-        f(old).write_le_slice(bytes);
-        Ok(old)
+        self.core_handle().read_modify_write(va, f)
     }
 
     /// Accounted indexed gather: reads element `indices[k]` of an array of
@@ -548,10 +523,8 @@ impl Machine {
         indices: &[u32],
         out: &mut [T],
     ) -> Result<()> {
-        assert_eq!(indices.len(), out.len(), "index/output length mismatch");
-        self.access_window::<T, OP_READ>(base, elem_count, indices, |k, bytes| {
-            out[k] = T::from_le_slice(bytes);
-        })
+        self.core_handle()
+            .read_gather(base, elem_count, indices, out)
     }
 
     /// Accounted indexed scatter: writes `values[k]` into element
@@ -578,10 +551,8 @@ impl Machine {
         indices: &[u32],
         values: &[T],
     ) -> Result<()> {
-        assert_eq!(indices.len(), values.len(), "index/value length mismatch");
-        self.access_window::<T, OP_WRITE>(base, elem_count, indices, |k, bytes| {
-            values[k].write_le_slice(bytes);
-        })
+        self.core_handle()
+            .write_scatter(base, elem_count, indices, values)
     }
 
     /// Accounted indexed read-modify-write window: for every `k` in index
@@ -608,292 +579,10 @@ impl Machine {
         base: VirtAddr,
         elem_count: usize,
         indices: &[u32],
-        mut f: impl FnMut(usize, T) -> T,
+        f: impl FnMut(usize, T) -> T,
     ) -> Result<()> {
-        self.access_window::<T, OP_RMW>(base, elem_count, indices, |k, bytes| {
-            let old = T::from_le_slice(bytes);
-            f(k, old).write_le_slice(bytes);
-        })
-    }
-
-    /// The batched random-access window engine behind [`read_gather`]
-    /// [Machine::read_gather], [`write_scatter`][Machine::write_scatter] and
-    /// [`gather_update`][Machine::gather_update].
-    ///
-    /// Processes `indices` **in window order** (never sorted — reordering
-    /// would change LLC replacement decisions and the PEBS stream) and
-    /// coalesces maximal *consecutive* runs of elements that land on the
-    /// same cache line. Because a line sits inside one page, which sits
-    /// inside one TLB translation unit, which sits inside one mapping, a
-    /// same-line element is a guaranteed TLB hit and a guaranteed LLC hit in
-    /// the scalar loop; the engine therefore defers those bumps (counts per
-    /// structure) and flushes them — via [`Tlb::window_settle`] and
-    /// [`Cache::rehit_run`] — immediately before the next *real* probe of
-    /// that structure, before returning an error, and at window end. Between
-    /// flush points no other TLB/LLC operation happens, so the deferred
-    /// bumps commute with nothing and every replacement / sampling decision
-    /// is made on exactly the state the scalar loop would have had. The TLB
-    /// run additionally extends across lines while the translation key is
-    /// unchanged (keys are location-unique), and key *changes* probe through
-    /// the TLB's window side-memo ([`Tlb::window_access_run`]), which skips
-    /// the hash lookup for recently probed keys and defers their re-stamps
-    /// until the next eviction decision. Clock, counters, PEBS and trace
-    /// records are still
-    /// charged per element, in order, with the identical f64 cost
-    /// composition — so all simulated state ends bit-identical to the
-    /// scalar loop.
-    ///
-    /// `data` is invoked once per element, in order, on the element's
-    /// backing storage bytes (after accounting).
-    fn access_window<T: Scalar, const OP: u8>(
-        &mut self,
-        base: VirtAddr,
-        elem_count: usize,
-        indices: &[u32],
-        mut data: impl FnMut(usize, &mut [u8]),
-    ) -> Result<()> {
-        let coalesce = self.platform.tlb_coalesce;
-        let walk_cost = self.platform.cost.walk_cost();
-        let hit_cost = self.platform.cost.hit_cost();
-        let sample_cost = self.platform.cost.sample_cost();
-        let write_probe = OP == OP_WRITE;
-        // TLB touches per element: the RMW write half folds its lookup into
-        // the read's run, exactly like `read_modify_write`.
-        let tlb_per_elem = if OP == OP_RMW { 2 } else { 1 };
-        // Per-tier miss costs, computed once: `miss_cost` divides by the
-        // tier bandwidth, which is too expensive for the per-miss loop. A
-        // stack array, not a Vec — small windows are frequent enough that a
-        // per-call heap allocation would dominate them.
-        let mut tier_miss = [SimDuration::ZERO; 8];
-        for (slot, t) in tier_miss.iter_mut().zip(&self.tiers) {
-            *slot = self.platform.cost.miss_cost(&t.spec, write_probe);
-        }
-        debug_assert!(self.tiers.len() <= 8, "more tiers than the cost table");
-        let tracing = self.tracer.is_enabled();
-        // Guaranteed-hit element cost, composed once exactly as the scalar
-        // loop composes it per element (`ZERO + hit_cost`).
-        let mut rest_cost = SimDuration::ZERO;
-        rest_cost += hit_cost;
-
-        // One-entry mapping memo: windows overwhelmingly stay inside one
-        // array, so most iterations skip the mapping-table call entirely.
-        let mut cur: Option<Mapping> = None;
-        // Current TLB run: deferred guaranteed-hit touches of `run_key`.
-        let mut run_key = 0u64;
-        let mut run_key_valid = false;
-        let mut tlb_pending = 0usize;
-        // Current line run: deferred guaranteed-hit touches of `cur_slot`.
-        let mut cur_vline = 0u64;
-        let mut line_valid = false;
-        let mut cur_slot = 0usize;
-        let mut pending_reads = 0u64;
-        let mut pending_writes = 0u64;
-
-        for (k, &i) in indices.iter().enumerate() {
-            let i = i as usize;
-            debug_assert!(
-                i < elem_count,
-                "window index {i} out of bounds ({elem_count})"
-            );
-            let va = VirtAddr::new(base.raw() + (i * T::SIZE) as u64);
-            let vline = va.raw() / LINE_SIZE as u64;
-
-            if line_valid && vline == cur_vline {
-                // Hot path: the element continues the current line run. Same
-                // line means same page, same translation unit, same mapping,
-                // so the scalar loop's TLB access and LLC access are both
-                // guaranteed hits — defer their bumps and charge everything
-                // else exactly as the scalar loop would.
-                let mapping = cur.expect("line run without a mapping");
-                match OP {
-                    OP_READ => {
-                        self.counters.accesses += 1;
-                        self.counters.reads += 1;
-                        tlb_pending += 1;
-                        pending_reads += 1;
-                        if tracing {
-                            self.tracer.record(va, AccessKind::ReadHit);
-                        }
-                        self.clock.advance(rest_cost);
-                    }
-                    OP_WRITE => {
-                        self.counters.accesses += 1;
-                        self.counters.writes += 1;
-                        tlb_pending += 1;
-                        pending_writes += 1;
-                        if tracing {
-                            self.tracer.record(va, AccessKind::WriteHit);
-                        }
-                        self.clock.advance(rest_cost);
-                    }
-                    _ => {
-                        self.counters.accesses += 2;
-                        self.counters.reads += 1;
-                        self.counters.writes += 1;
-                        tlb_pending += 2;
-                        pending_reads += 1;
-                        pending_writes += 1;
-                        self.clock.advance(rest_cost);
-                        self.clock.advance(rest_cost);
-                        if tracing {
-                            self.tracer.record(va, AccessKind::ReadHit);
-                            self.tracer.record(va, AccessKind::WriteHit);
-                        }
-                    }
-                }
-                let (frame, offset) = mapping.translate(va);
-                let bytes = self.tiers[frame.tier.index()]
-                    .storage
-                    .slice_mut(frame.byte_offset() + offset, T::SIZE);
-                data(k, bytes);
-                continue;
-            }
-
-            // New line: resolve the mapping (memo first), scalar order —
-            // lookup precedes the counter charge, so an unmapped element
-            // leaves totals exactly where the scalar loop would.
-            let vpage = va.page_index();
-            let mapping = match cur {
-                Some(m) if vpage >= m.vpage_start && vpage < m.vpage_start + m.pages as u64 => m,
-                _ => match self.mappings.lookup(va) {
-                    Ok(m) => {
-                        cur = Some(m);
-                        m
-                    }
-                    Err(e) => {
-                        // Flush deferred bumps so partial state matches the
-                        // scalar loop's at the failing element.
-                        if tlb_pending > 0 {
-                            self.tlb.window_settle(run_key, tlb_pending);
-                        }
-                        if pending_reads + pending_writes > 0 {
-                            self.llc.rehit_run(cur_slot, pending_reads, pending_writes);
-                        }
-                        return Err(e);
-                    }
-                },
-            };
-            match OP {
-                OP_READ => {
-                    self.counters.accesses += 1;
-                    self.counters.reads += 1;
-                }
-                OP_WRITE => {
-                    self.counters.accesses += 1;
-                    self.counters.writes += 1;
-                }
-                _ => {
-                    self.counters.accesses += 2;
-                    self.counters.reads += 1;
-                    self.counters.writes += 1;
-                }
-            }
-
-            // TLB: extend the key run (guaranteed hit on the just-touched
-            // entry, no hash lookup) or flush the pending touches and probe.
-            let key = mapping.tlb_key(va, coalesce);
-            let pay_walk = if run_key_valid && key == run_key {
-                tlb_pending += tlb_per_elem;
-                false
-            } else {
-                if tlb_pending > 0 {
-                    self.tlb.window_settle(run_key, tlb_pending);
-                    tlb_pending = 0;
-                }
-                let tlb_hit = self.tlb.window_access_run(key, tlb_per_elem);
-                run_key = key;
-                run_key_valid = true;
-                !tlb_hit
-            };
-
-            // LLC: flush the deferred same-line touches, then probe the new
-            // line on exactly the state the scalar loop would have had.
-            if pending_reads + pending_writes > 0 {
-                self.llc.rehit_run(cur_slot, pending_reads, pending_writes);
-                pending_reads = 0;
-                pending_writes = 0;
-            }
-            let (frame, offset) = mapping.translate(va);
-            let pa = frame.phys_addr(offset).line_aligned();
-            let (outcome, slot) = self.llc.access_slot(pa, write_probe);
-            let hit = outcome.is_hit();
-            cur_slot = slot;
-            cur_vline = vline;
-            line_valid = true;
-
-            // Cost composition identical to the scalar path.
-            let mut cost = SimDuration::ZERO;
-            if pay_walk {
-                cost += walk_cost;
-            }
-            if hit {
-                cost += hit_cost;
-            } else {
-                cost += tier_miss[frame.tier.index()];
-                if !write_probe && self.pebs.on_read_miss(va) {
-                    cost += sample_cost;
-                }
-            }
-            self.clock.advance(cost);
-            match OP {
-                OP_READ => {
-                    if tracing {
-                        self.tracer.record(
-                            va,
-                            if hit {
-                                AccessKind::ReadHit
-                            } else {
-                                AccessKind::ReadMiss
-                            },
-                        );
-                    }
-                }
-                OP_WRITE => {
-                    if tracing {
-                        self.tracer.record(
-                            va,
-                            if hit {
-                                AccessKind::WriteHit
-                            } else {
-                                AccessKind::WriteMiss
-                            },
-                        );
-                    }
-                }
-                _ => {
-                    // Write half: a guaranteed rehit of the just-probed
-                    // line — deferred like any other same-line touch.
-                    pending_writes += 1;
-                    self.clock.advance(rest_cost);
-                    if tracing {
-                        self.tracer.record(
-                            va,
-                            if hit {
-                                AccessKind::ReadHit
-                            } else {
-                                AccessKind::ReadMiss
-                            },
-                        );
-                        self.tracer.record(va, AccessKind::WriteHit);
-                    }
-                }
-            }
-            let bytes = self.tiers[frame.tier.index()]
-                .storage
-                .slice_mut(frame.byte_offset() + offset, T::SIZE);
-            data(k, bytes);
-        }
-
-        // Window end: flush whatever is still deferred. The TLB memo's
-        // re-stamps stay deferred across windows; any non-window TLB
-        // operation settles them.
-        if tlb_pending > 0 {
-            self.tlb.window_settle(run_key, tlb_pending);
-        }
-        if pending_reads + pending_writes > 0 {
-            self.llc.rehit_run(cur_slot, pending_reads, pending_writes);
-        }
-        Ok(())
+        self.core_handle()
+            .gather_update(base, elem_count, indices, f)
     }
 
     // ------------------------------------------------------------------
@@ -938,127 +627,7 @@ impl Machine {
         elem: usize,
         write: bool,
     ) -> Result<Vec<BlockSegment>> {
-        assert!(
-            elem > 0 && LINE_SIZE.is_multiple_of(elem),
-            "element size must divide a cache line"
-        );
-        assert!(
-            range.start.raw().is_multiple_of(elem as u64) && range.len.is_multiple_of(elem),
-            "bulk range must be element-aligned"
-        );
-        let mut segments = Vec::new();
-        if range.len == 0 {
-            return Ok(segments);
-        }
-
-        let coalesce = self.platform.tlb_coalesce;
-        let walk_cost = self.platform.cost.walk_cost();
-        let hit_cost = self.platform.cost.hit_cost();
-        let sample_cost = self.platform.cost.sample_cost();
-        let tracing = self.tracer.is_enabled();
-        // Non-first elements of a line run each cost exactly one LLC hit;
-        // composed once here, identically to the scalar loop's
-        // `ZERO + hit_cost` per element.
-        let mut rest_cost = SimDuration::ZERO;
-        rest_cost += hit_cost;
-
-        let mut va = range.start;
-        let end = range.end();
-        while va < end {
-            let mapping = self.mappings.lookup(va)?;
-            let chunk_end = mapping.vrange().end().min(end);
-            let chunk_len = chunk_end.offset_from(va) as usize;
-            let chunk_elems = (chunk_len / elem) as u64;
-            self.counters.accesses += chunk_elems;
-            if write {
-                self.counters.writes += chunk_elems;
-            } else {
-                self.counters.reads += chunk_elems;
-            }
-
-            // Frames are contiguous within a mapping, so both the physical
-            // address and the tier-storage offset advance linearly with the
-            // virtual address for the rest of the chunk.
-            let (frame, offset) = mapping.translate(va);
-            let pa_base = frame.phys_addr(offset).raw();
-            segments.push(BlockSegment {
-                tier: frame.tier,
-                offset: frame.byte_offset() + offset,
-                len: chunk_len,
-            });
-            let miss_cost = self
-                .platform
-                .cost
-                .miss_cost(&self.tiers[frame.tier.index()].spec, write);
-
-            let mut unit_va = va;
-            while unit_va < chunk_end {
-                let unit_end = tlb_unit_end(&mapping, unit_va, coalesce).min(chunk_end);
-                let unit_elems = unit_end.offset_from(unit_va) as usize / elem;
-                let tlb_hit = self
-                    .tlb
-                    .access_run(mapping.tlb_key(unit_va, coalesce), unit_elems);
-
-                let mut line_va = unit_va;
-                // Lines advance in lockstep with the virtual address inside
-                // a chunk, so the aligned physical address just steps by
-                // LINE_SIZE after the first line of the unit.
-                let mut pa = PhysAddr::new(pa_base + line_va.offset_from(va)).line_aligned();
-                while line_va < unit_end {
-                    let line_end = VirtAddr::new(line_va.line_aligned().raw() + LINE_SIZE as u64)
-                        .min(unit_end);
-                    let count = line_end.offset_from(line_va) as usize / elem;
-                    let hit = self.llc.access_run(pa, write, count).is_hit();
-
-                    // The first element of the run replicates the scalar
-                    // cost composition: only it can pay the walk, the fill
-                    // and the PEBS sample.
-                    let mut first_cost = SimDuration::ZERO;
-                    if line_va == unit_va && !tlb_hit {
-                        first_cost += walk_cost;
-                    }
-                    if hit {
-                        first_cost += hit_cost;
-                    } else {
-                        first_cost += miss_cost;
-                        if !write && self.pebs.on_read_miss(line_va) {
-                            first_cost += sample_cost;
-                        }
-                    }
-                    self.clock.advance(first_cost);
-                    // The remaining elements are guaranteed hits with a warm
-                    // TLB entry: one clock advance each, exactly as the
-                    // scalar loop performs them.
-                    for _ in 1..count {
-                        self.clock.advance(rest_cost);
-                    }
-
-                    if tracing {
-                        let first_kind = match (write, hit) {
-                            (false, true) => AccessKind::ReadHit,
-                            (false, false) => AccessKind::ReadMiss,
-                            (true, true) => AccessKind::WriteHit,
-                            (true, false) => AccessKind::WriteMiss,
-                        };
-                        self.tracer.record(line_va, first_kind);
-                        let rest_kind = if write {
-                            AccessKind::WriteHit
-                        } else {
-                            AccessKind::ReadHit
-                        };
-                        for i in 1..count {
-                            self.tracer
-                                .record(line_va.add((i * elem) as u64), rest_kind);
-                        }
-                    }
-                    line_va = line_end;
-                    pa = PhysAddr::new(pa.raw() + LINE_SIZE as u64);
-                }
-                unit_va = unit_end;
-            }
-            va = chunk_end;
-        }
-        Ok(segments)
+        self.core_handle().access_block(range, elem, write)
     }
 
     /// Borrows `len` bytes of `tier`'s backing storage. Bulk data path only:
@@ -1150,7 +719,7 @@ impl Machine {
         let first = range.start.page_index();
         let last = (range.end().raw() - 1) >> PAGE_SHIFT;
         let coalesce = self.platform.tlb_coalesce.max(1) as u64;
-        self.tlb.invalidate_where(|key| {
+        self.core.tlb.invalidate_where(|key| {
             let value = key >> 2;
             let (key_first, key_last) = match key & 3 {
                 2 => {
@@ -1227,7 +796,7 @@ impl Machine {
         }
         let time = self.estimate_copy_time(&jobs, threads);
         self.execute_copies(&jobs, threads);
-        self.clock.advance(time);
+        self.core.clock.advance(time);
         Ok(time)
     }
 
@@ -1266,7 +835,7 @@ impl Machine {
         }
         let time = self.estimate_copy_time(&jobs, threads);
         self.execute_copies(&jobs, threads);
-        self.clock.advance(time);
+        self.core.clock.advance(time);
         Ok(time)
     }
 
@@ -1374,6 +943,7 @@ impl Machine {
                 self.invalidate_tlb_range(m.vrange());
             }
             self.mappings.flush_cache();
+            self.core.map_memo = None;
         }
     }
 
@@ -1424,6 +994,7 @@ impl Machine {
                 }
                 self.invalidate_tlb_range(range);
                 self.mappings.flush_cache();
+                self.core.map_memo = None;
                 Ok(n)
             }
             Err(e) => {
@@ -1440,7 +1011,7 @@ impl Machine {
 
     /// Records `bytes` as migrated (called by migration engines).
     pub fn note_migrated(&mut self, bytes: usize) {
-        self.counters.bytes_migrated += bytes as u64;
+        self.core.counters.bytes_migrated += bytes as u64;
     }
 
     /// Replaces one mapping with another covering the same virtual pages.
@@ -1451,6 +1022,7 @@ impl Machine {
             self.mappings.insert(m);
         }
         self.mappings.flush_cache();
+        self.core.map_memo = None;
     }
 
     pub(crate) fn tier_mut(&mut self, tier: TierId) -> &mut Tier {
@@ -1467,27 +1039,27 @@ impl Machine {
 
     /// Enables LLC read-miss sampling (see [`Pebs::enable`]).
     pub fn pebs_enable(&mut self, period: u64, jitter: u64) {
-        self.pebs.enable(period, jitter);
+        self.core.pebs.enable(period, jitter);
     }
 
     /// Disables sampling, keeping buffered records.
     pub fn pebs_disable(&mut self) {
-        self.pebs.disable();
+        self.core.pebs.disable();
     }
 
     /// Reseeds the sampling jitter RNG (see [`Pebs::reseed`]).
     pub fn pebs_reseed(&mut self, seed: u64) {
-        self.pebs.reseed(seed);
+        self.core.pebs.reseed(seed);
     }
 
     /// Drains buffered sample records.
     pub fn pebs_drain(&mut self) -> Vec<SampleRecord> {
-        self.pebs.drain()
+        self.core.pebs.drain()
     }
 
     /// The sampling unit, for inspection.
     pub fn pebs(&self) -> &Pebs {
-        &self.pebs
+        &self.core.pebs
     }
 
     // ------------------------------------------------------------------
@@ -1497,22 +1069,22 @@ impl Machine {
     /// Starts full access-trace recording. Strictly observational: no
     /// effect on simulated time or cache/TLB state.
     pub fn trace_enable(&mut self) {
-        self.tracer.enable();
+        self.core.tracer.enable();
     }
 
     /// Stops trace recording (keeps buffered records).
     pub fn trace_disable(&mut self) {
-        self.tracer.disable();
+        self.core.tracer.disable();
     }
 
     /// Drains buffered trace records.
     pub fn trace_drain(&mut self) -> Vec<TraceRecord> {
-        self.tracer.drain()
+        self.core.tracer.drain()
     }
 
     /// The tracer, for inspection.
     pub fn tracer(&self) -> &Tracer {
-        &self.tracer
+        &self.core.tracer
     }
 
     // ------------------------------------------------------------------
@@ -1522,28 +1094,97 @@ impl Machine {
     /// Snapshot of all counters.
     pub fn stats(&self) -> MachineStats {
         MachineStats {
-            time_ns: self.clock.now().as_ns(),
-            accesses: self.counters.accesses,
-            reads: self.counters.reads,
-            writes: self.counters.writes,
-            llc_read_hits: self.llc.read_hits(),
-            llc_read_misses: self.llc.read_misses(),
-            llc_write_hits: self.llc.write_hits(),
-            llc_write_misses: self.llc.write_misses(),
-            tlb_hits: self.tlb.hits(),
-            tlb_misses: self.tlb.misses(),
+            time_ns: self.core.clock.now().as_ns(),
+            accesses: self.core.counters.accesses,
+            reads: self.core.counters.reads,
+            writes: self.core.counters.writes,
+            llc_read_hits: self.core.llc.read_hits(),
+            llc_read_misses: self.core.llc.read_misses(),
+            llc_write_hits: self.core.llc.write_hits(),
+            llc_write_misses: self.core.llc.write_misses(),
+            tlb_hits: self.core.tlb.hits(),
+            tlb_misses: self.core.tlb.misses(),
             fast_bytes_used: (self.tiers[TierId::FAST.index()].frames.used_frames() * PAGE_SIZE)
                 as u64,
             slow_bytes_used: (self.tiers[TierId::SLOW.index()].frames.used_frames() * PAGE_SIZE)
                 as u64,
-            bytes_migrated: self.counters.bytes_migrated,
+            bytes_migrated: self.core.counters.bytes_migrated,
         }
     }
 
     /// Flushes the LLC and TLB (cold restart between experiment phases).
     pub fn flush_caches(&mut self) {
-        self.llc.flush();
-        self.tlb.flush();
+        self.core.llc.flush();
+        self.core.tlb.flush();
+    }
+}
+
+impl MemPort for Machine {
+    fn read<T: Scalar>(&mut self, va: VirtAddr) -> Result<T> {
+        Machine::read(self, va)
+    }
+
+    fn write<T: Scalar>(&mut self, va: VirtAddr, value: T) -> Result<()> {
+        Machine::write(self, va, value)
+    }
+
+    fn read_modify_write<T: Scalar>(&mut self, va: VirtAddr, f: impl FnOnce(T) -> T) -> Result<T> {
+        Machine::read_modify_write(self, va, f)
+    }
+
+    fn peek<T: Scalar>(&mut self, va: VirtAddr) -> Result<T> {
+        Machine::peek(self, va)
+    }
+
+    fn poke<T: Scalar>(&mut self, va: VirtAddr, value: T) -> Result<()> {
+        Machine::poke(self, va, value)
+    }
+
+    fn access_block(
+        &mut self,
+        range: VirtRange,
+        elem: usize,
+        write: bool,
+    ) -> Result<Vec<BlockSegment>> {
+        Machine::access_block(self, range, elem, write)
+    }
+
+    fn storage_slice(&self, tier: TierId, offset: usize, len: usize) -> &[u8] {
+        Machine::storage_slice(self, tier, offset, len)
+    }
+
+    fn storage_slice_mut(&mut self, tier: TierId, offset: usize, len: usize) -> &mut [u8] {
+        Machine::storage_slice_mut(self, tier, offset, len)
+    }
+
+    fn read_gather<T: Scalar>(
+        &mut self,
+        base: VirtAddr,
+        elem_count: usize,
+        indices: &[u32],
+        out: &mut [T],
+    ) -> Result<()> {
+        Machine::read_gather(self, base, elem_count, indices, out)
+    }
+
+    fn write_scatter<T: Scalar>(
+        &mut self,
+        base: VirtAddr,
+        elem_count: usize,
+        indices: &[u32],
+        values: &[T],
+    ) -> Result<()> {
+        Machine::write_scatter(self, base, elem_count, indices, values)
+    }
+
+    fn gather_update<T: Scalar>(
+        &mut self,
+        base: VirtAddr,
+        elem_count: usize,
+        indices: &[u32],
+        f: impl FnMut(usize, T) -> T,
+    ) -> Result<()> {
+        Machine::gather_update(self, base, elem_count, indices, f)
     }
 }
 
@@ -1588,36 +1229,6 @@ unsafe fn copy_job(bases: &[SendPtr], job: &CopyJob) {
     let src = bases[job.src_tier.index()].0.add(job.src_off) as *const u8;
     let dst = bases[job.dst_tier.index()].0.add(job.dst_off);
     std::ptr::copy_nonoverlapping(src, dst, job.len);
-}
-
-/// End of the TLB translation unit containing `va` under `mapping`: the
-/// address at which [`Mapping::tlb_key`] first changes. Huge mappings share
-/// one key per huge unit; base pages in a fully covered coalescing group
-/// share one key per group; everything else is per-page. Mirrors the key
-/// logic exactly so `access_block` batches precisely the accesses the
-/// per-element loop would send to the same TLB entry.
-fn tlb_unit_end(mapping: &Mapping, va: VirtAddr, coalesce: usize) -> VirtAddr {
-    let vpage = va.page_index();
-    let end_page = match mapping.kind {
-        PageKind::Huge2M => (vpage / HUGE_PAGE_FRAMES as u64 + 1) * HUGE_PAGE_FRAMES as u64,
-        PageKind::Base4K => {
-            if coalesce > 1 {
-                let group = vpage / coalesce as u64;
-                let group_start = group * coalesce as u64;
-                let group_end = group_start + coalesce as u64;
-                if mapping.vpage_start <= group_start
-                    && group_end <= mapping.vpage_start + mapping.pages as u64
-                {
-                    group_end
-                } else {
-                    vpage + 1
-                }
-            } else {
-                vpage + 1
-            }
-        }
-    };
-    VirtAddr::new(end_page << PAGE_SHIFT)
 }
 
 /// Plain little-endian scalar types storable in simulated memory.
@@ -1908,6 +1519,135 @@ mod tests {
         let records = m.trace_drain();
         assert_eq!(records[0].kind, crate::trace::AccessKind::WriteMiss);
         assert_eq!(records[1].kind, crate::trace::AccessKind::ReadHit);
+    }
+
+    #[test]
+    fn run_cores_n1_is_bit_identical_to_scalar() {
+        let drive_scalar = |m: &mut Machine, r: VirtRange| {
+            for i in 0..4096u64 {
+                let _ = m
+                    .read::<u64>(r.start.add((i * 192) % (512 * 1024)))
+                    .unwrap();
+                m.write::<u64>(r.start.add((i * 64) % (512 * 1024)), i)
+                    .unwrap();
+            }
+        };
+        let setup = || {
+            let mut m = machine();
+            let r = m.alloc(512 * 1024, Placement::Slow).unwrap();
+            m.pebs_enable(16, 8);
+            m.trace_enable();
+            (m, r)
+        };
+
+        let (mut a, ra) = setup();
+        drive_scalar(&mut a, ra);
+        let (mut b, rb) = setup();
+        b.run_cores(1, |id, h| {
+            assert_eq!(id, 0);
+            for i in 0..4096u64 {
+                let _ = h
+                    .read::<u64>(rb.start.add((i * 192) % (512 * 1024)))
+                    .unwrap();
+                h.write::<u64>(rb.start.add((i * 64) % (512 * 1024)), i)
+                    .unwrap();
+            }
+        });
+
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.now().as_ns().to_bits(), b.now().as_ns().to_bits());
+        assert_eq!(a.pebs_drain(), b.pebs_drain());
+        assert_eq!(a.trace_drain(), b.trace_drain());
+        let _ = ra;
+    }
+
+    #[test]
+    fn sharded_merge_is_deterministic_across_runs() {
+        let run = || {
+            let mut m = machine();
+            let r = m.alloc(1024 * 1024, Placement::Slow).unwrap();
+            m.pebs_enable(8, 4);
+            let ranges = [(0u64, 512 * 1024u64), (512 * 1024, 1024 * 1024)];
+            m.run_cores(2, |id, h| {
+                let (lo, hi) = ranges[id];
+                for i in (lo..hi).step_by(192) {
+                    let _ = h.read::<u64>(r.start.add(i)).unwrap();
+                }
+            });
+            (m.stats(), m.now().as_ns().to_bits(), m.pebs_drain())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn sharded_clock_is_max_core_time_plus_barrier() {
+        let mut m = machine();
+        let r = m.alloc(1024 * 1024, Placement::Slow).unwrap();
+        let before = m.now().as_ns();
+        // Core 1 does 4x the work of core 0, so max() must pick it.
+        let elapsed = m.run_cores(2, |id, h| {
+            let n = if id == 0 { 256u64 } else { 1024 };
+            for i in 0..n {
+                let _ = h
+                    .read::<u64>(r.start.add((id as u64 * 512 + i) * 512))
+                    .unwrap();
+            }
+            h.elapsed()
+        });
+        assert!(elapsed[1] > elapsed[0]);
+        let expected = (before + elapsed[1].as_ns()) + m.platform().cost.barrier_cost(2).as_ns();
+        assert_eq!(m.now().as_ns().to_bits(), expected.to_bits());
+    }
+
+    #[test]
+    fn sharded_pebs_streams_concatenate_in_core_order() {
+        let mut m = machine();
+        let r = m.alloc(1024 * 1024, Placement::Slow).unwrap();
+        m.pebs_enable(4, 0);
+        let half = 512 * 1024u64;
+        m.run_cores(2, |id, h| {
+            let base = id as u64 * half;
+            for i in (0..half).step_by(4096) {
+                let _ = h.read::<u64>(r.start.add(base + i)).unwrap();
+            }
+        });
+        let samples = m.pebs_drain();
+        assert!(!samples.is_empty());
+        // Core 0's addresses (below the split) come before core 1's.
+        let boundary = samples
+            .iter()
+            .position(|s| s.vaddr >= r.start.add(half))
+            .expect("core 1 produced no samples");
+        assert!(samples[..boundary]
+            .iter()
+            .all(|s| s.vaddr < r.start.add(half)));
+        assert!(samples[boundary..]
+            .iter()
+            .all(|s| s.vaddr >= r.start.add(half)));
+    }
+
+    #[test]
+    fn sharded_counters_sum_over_cores() {
+        let mut m = machine();
+        let r = m.alloc(256 * 1024, Placement::Slow).unwrap();
+        let before = m.stats();
+        m.run_cores(4, |id, h| {
+            let base = id as u64 * 64 * 1024;
+            for i in 0..100u64 {
+                let _ = h.read::<u64>(r.start.add(base + i * 8)).unwrap();
+                h.write::<u64>(r.start.add(base + i * 8), i).unwrap();
+            }
+        });
+        let after = m.stats();
+        assert_eq!(after.reads - before.reads, 400);
+        assert_eq!(after.writes - before.writes, 400);
+        assert_eq!(after.accesses - before.accesses, 800);
+        assert_eq!(
+            after.llc_read_hits + after.llc_read_misses
+                - before.llc_read_hits
+                - before.llc_read_misses,
+            400
+        );
     }
 
     #[test]

@@ -206,6 +206,15 @@ impl MappingTable {
         Ok(m)
     }
 
+    /// Finds the mapping containing `va` without touching the lookup cache,
+    /// so concurrent readers (the per-core access engines) can share the
+    /// table behind `&self`. Callers keep their own one-entry memo instead.
+    pub fn lookup_ro(&self, va: VirtAddr) -> Result<Mapping> {
+        self.lookup_page(va.page_index())
+            .copied()
+            .ok_or(HmsError::Unmapped(va))
+    }
+
     /// Returns all mappings overlapping the byte range, in address order.
     pub fn overlapping(&self, range: VirtRange) -> Vec<Mapping> {
         if range.len == 0 {

@@ -26,6 +26,7 @@ pub struct Pebs {
     period: u64,
     countdown: u64,
     jitter: u64,
+    seed: u64,
     rng: SmallRng,
     buffer: Vec<SampleRecord>,
     events_seen: u64,
@@ -40,11 +41,40 @@ impl Pebs {
             period: 1024,
             countdown: 1024,
             jitter: 0,
+            seed,
             rng: SmallRng::seed_from_u64(seed),
             buffer: Vec::new(),
             events_seen: 0,
             samples_taken: 0,
         }
+    }
+
+    /// Creates the per-core sampling unit for simulated core `core_id`:
+    /// same enablement, period and jitter, but an independent deterministic
+    /// jitter stream derived from this sampler's seed and the core id, so
+    /// each core's sample placement is reproducible for a fixed (seed, core
+    /// count) pair and cores do not share one RNG (which would make the
+    /// stream depend on cross-core interleaving).
+    pub(crate) fn fork(&self, core_id: usize) -> Pebs {
+        let child_seed = self
+            .seed
+            .wrapping_add((core_id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut child = Pebs::new(child_seed);
+        child.period = self.period;
+        child.jitter = self.jitter;
+        if self.enabled {
+            child.enable(self.period, self.jitter);
+        }
+        child
+    }
+
+    /// Merges a forked core's sampler back: records are appended in call
+    /// order (the caller absorbs cores in core order, making the merged
+    /// stream deterministic) and event/sample totals are summed.
+    pub(crate) fn absorb(&mut self, child: Pebs) {
+        self.buffer.extend(child.buffer);
+        self.events_seen += child.events_seen;
+        self.samples_taken += child.samples_taken;
     }
 
     /// Enables sampling: one record per `period` LLC read misses, with a
@@ -70,6 +100,7 @@ impl Pebs {
     /// times; varying the sampling seed is the simulator's source of
     /// run-to-run variation.
     pub fn reseed(&mut self, seed: u64) {
+        self.seed = seed;
         self.rng = SmallRng::seed_from_u64(seed);
     }
 

@@ -287,6 +287,13 @@ impl Tlb {
         self.hits = 0;
         self.misses = 0;
     }
+
+    /// Adds another TLB's hit/miss counters into this one (deterministic
+    /// core merge: entries are discarded, totals are summed).
+    pub(crate) fn absorb_counters(&mut self, other: &Tlb) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
 }
 
 #[cfg(test)]

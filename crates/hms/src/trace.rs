@@ -116,6 +116,27 @@ impl Tracer {
         self.dropped = 0;
         std::mem::take(&mut self.records)
     }
+
+    /// Creates a per-core tracer with the same capacity and enablement but
+    /// an empty buffer.
+    pub(crate) fn fork(&self) -> Tracer {
+        let mut t = Tracer::new(self.capacity);
+        if self.enabled {
+            t.enable();
+        }
+        t
+    }
+
+    /// Merges a forked core's trace back: records are appended in call
+    /// order (cores are absorbed in core order) up to this tracer's
+    /// capacity; overflow counts as dropped, as does anything the core
+    /// itself dropped.
+    pub(crate) fn absorb(&mut self, child: Tracer) {
+        let room = self.capacity - self.records.len();
+        let take = child.records.len().min(room);
+        self.dropped += child.dropped + (child.records.len() - take) as u64;
+        self.records.extend(child.records.into_iter().take(take));
+    }
 }
 
 #[cfg(test)]

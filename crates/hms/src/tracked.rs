@@ -3,14 +3,18 @@
 //! [`TrackedVec<T>`] is the array type graph kernels use: every element
 //! access goes through the machine's accounted path (TLB, LLC, cost model,
 //! PEBS), so access patterns drive both simulated time and the profiler.
-//! The vector does not borrow the machine — methods take `&mut Machine`
-//! explicitly — so a kernel can interleave accesses to many arrays.
+//! The vector does not borrow the machine — accessors take any
+//! `&mut impl `[`MemPort`] explicitly (the [`Machine`] itself, or one
+//! [`CoreHandle`](crate::shard::CoreHandle) of a sharded phase) — so a
+//! kernel can interleave accesses to many arrays and the same kernel body
+//! runs on the scalar and the sharded engine.
 
 use std::marker::PhantomData;
 
 use crate::addr::{VirtAddr, VirtRange};
 use crate::error::Result;
 use crate::machine::{Machine, Placement, Scalar};
+use crate::shard::MemPort;
 
 /// A fixed-length typed array living in simulated memory.
 #[derive(Debug)]
@@ -117,7 +121,7 @@ impl<T: Scalar> TrackedVec<T> {
     /// Panics if the element is unmapped (a tracked array is always fully
     /// mapped while alive, so this indicates use-after-free).
     #[inline]
-    pub fn get(&self, machine: &mut Machine, i: usize) -> T {
+    pub fn get(&self, machine: &mut impl MemPort, i: usize) -> T {
         machine
             .read::<T>(self.addr_of(i))
             .expect("tracked element unmapped")
@@ -129,7 +133,7 @@ impl<T: Scalar> TrackedVec<T> {
     ///
     /// Panics if the element is unmapped.
     #[inline]
-    pub fn set(&self, machine: &mut Machine, i: usize, value: T) {
+    pub fn set(&self, machine: &mut impl MemPort, i: usize, value: T) {
         machine
             .write::<T>(self.addr_of(i), value)
             .expect("tracked element unmapped");
@@ -145,7 +149,7 @@ impl<T: Scalar> TrackedVec<T> {
     ///
     /// Panics if the element is unmapped.
     #[inline]
-    pub fn update(&self, machine: &mut Machine, i: usize, f: impl FnOnce(T) -> T) -> T {
+    pub fn update(&self, machine: &mut impl MemPort, i: usize, f: impl FnOnce(T) -> T) -> T {
         machine
             .read_modify_write::<T>(self.addr_of(i), f)
             .expect("tracked element unmapped")
@@ -162,7 +166,7 @@ impl<T: Scalar> TrackedVec<T> {
     ///
     /// Panics if `start + out.len() > self.len()` or if the range is
     /// unmapped (use-after-free).
-    pub fn read_slice(&self, machine: &mut Machine, start: usize, out: &mut [T]) {
+    pub fn read_slice(&self, machine: &mut impl MemPort, start: usize, out: &mut [T]) {
         assert!(
             start + out.len() <= self.len,
             "slice [{start}, {}) out of bounds (len {})",
@@ -198,7 +202,7 @@ impl<T: Scalar> TrackedVec<T> {
     ///
     /// Panics if `start + values.len() > self.len()` or if the range is
     /// unmapped.
-    pub fn write_slice(&self, machine: &mut Machine, start: usize, values: &[T]) {
+    pub fn write_slice(&self, machine: &mut impl MemPort, start: usize, values: &[T]) {
         assert!(
             start + values.len() <= self.len,
             "slice [{start}, {}) out of bounds (len {})",
@@ -239,7 +243,7 @@ impl<T: Scalar> TrackedVec<T> {
     /// Panics if `start + len > self.len()` or if the range is unmapped.
     pub fn scan(
         &self,
-        machine: &mut Machine,
+        machine: &mut impl MemPort,
         start: usize,
         len: usize,
         mut f: impl FnMut(usize, T),
@@ -284,7 +288,7 @@ impl<T: Scalar> TrackedVec<T> {
     /// bounds (the message names the vec, and the window is rejected before
     /// any simulated state changes), or the array is unmapped
     /// (use-after-free).
-    pub fn gather(&self, machine: &mut Machine, indices: &[u32], out: &mut [T]) {
+    pub fn gather(&self, machine: &mut impl MemPort, indices: &[u32], out: &mut [T]) {
         self.check_window("gather", indices);
         machine
             .read_gather::<T>(self.range.start, self.len, indices, out)
@@ -305,7 +309,7 @@ impl<T: Scalar> TrackedVec<T> {
     /// bounds (the message names the vec, and the window is rejected before
     /// any simulated state changes), or the array is unmapped
     /// (use-after-free).
-    pub fn scatter(&self, machine: &mut Machine, indices: &[u32], values: &[T]) {
+    pub fn scatter(&self, machine: &mut impl MemPort, indices: &[u32], values: &[T]) {
         self.check_window("scatter", indices);
         machine
             .write_scatter::<T>(self.range.start, self.len, indices, values)
@@ -331,7 +335,7 @@ impl<T: Scalar> TrackedVec<T> {
     /// array is unmapped (use-after-free).
     pub fn gather_update(
         &self,
-        machine: &mut Machine,
+        machine: &mut impl MemPort,
         indices: &[u32],
         f: impl FnMut(usize, T) -> T,
     ) {
@@ -347,7 +351,7 @@ impl<T: Scalar> TrackedVec<T> {
     /// measured region; the accounted counterpart is
     /// [`get`](TrackedVec::get).
     #[doc(alias = "get")]
-    pub fn peek(&self, machine: &mut Machine, i: usize) -> T {
+    pub fn peek(&self, machine: &mut impl MemPort, i: usize) -> T {
         machine
             .peek::<T>(self.addr_of(i))
             .expect("tracked element unmapped")
@@ -358,7 +362,7 @@ impl<T: Scalar> TrackedVec<T> {
     /// clock. For bulk initialisation outside the timed region; the
     /// accounted counterpart is [`set`](TrackedVec::set).
     #[doc(alias = "set")]
-    pub fn poke(&self, machine: &mut Machine, i: usize, value: T) {
+    pub fn poke(&self, machine: &mut impl MemPort, i: usize, value: T) {
         machine
             .poke::<T>(self.addr_of(i), value)
             .expect("tracked element unmapped");
@@ -369,7 +373,7 @@ impl<T: Scalar> TrackedVec<T> {
     /// # Panics
     ///
     /// Panics if `values.len() != self.len()`.
-    pub fn fill_from(&self, machine: &mut Machine, values: &[T]) {
+    pub fn fill_from(&self, machine: &mut impl MemPort, values: &[T]) {
         assert_eq!(values.len(), self.len, "length mismatch in fill_from");
         for (i, v) in values.iter().enumerate() {
             self.poke(machine, i, *v);
@@ -377,14 +381,14 @@ impl<T: Scalar> TrackedVec<T> {
     }
 
     /// Bulk unaccounted fill with one value.
-    pub fn fill(&self, machine: &mut Machine, value: T) {
+    pub fn fill(&self, machine: &mut impl MemPort, value: T) {
         for i in 0..self.len {
             self.poke(machine, i, value);
         }
     }
 
     /// Copies the array out of simulated memory (unaccounted).
-    pub fn to_vec(&self, machine: &mut Machine) -> Vec<T> {
+    pub fn to_vec(&self, machine: &mut impl MemPort) -> Vec<T> {
         (0..self.len).map(|i| self.peek(machine, i)).collect()
     }
 
