@@ -23,7 +23,10 @@ echo "==> tier-1: cargo test -q"
 cargo test -q
 
 echo "==> bench smoke (mode-equivalence + core-sweep invariance, no timing gates)"
-# Also emits the BENCH_kernels.json measurement snapshot at the repo root.
+# Covers the regular kernels' Scalar/Bulk equivalence and the --cores
+# {1,2,4} checksum-invariance of PR, SpMV and the frontier-sharded
+# traversal kernels (BFS, SSSP, BC). Also emits the BENCH_kernels.json
+# measurement snapshot at the repo root.
 cargo bench -p atmem-bench --bench kernels -- --smoke
 
 echo "CI gate passed."

@@ -20,8 +20,13 @@
 //! default) or a per-core `CoreHandle` inside a `Machine::run_cores` phase.
 //! The [`par_cores`](MemCtx::par_cores) knob, set once by the runner or
 //! harness via [`with_cores`](MemCtx::with_cores), tells sharded-capable
-//! kernels how many simulated cores to partition each phase over; kernels
-//! without a sharded body simply ignore it and run scalar. At
+//! kernels how many simulated cores to partition each phase over. The
+//! regular kernels split their streaming phases by contiguous range; the
+//! traversal kernels (BFS, BFS-dir, SSSP, BC) partition each frontier
+//! level, routing discovered vertices through per-owner queues
+//! (`atmem_hms::OwnerQueues`) so every property write stays single-writer
+//! and the next frontier is canonical for any core count. Kernels without
+//! a sharded body simply ignore the knob and run scalar. At
 //! `par_cores == 1` every kernel takes its historical scalar path, which
 //! `Machine::run_cores` guarantees is bit-identical to the pre-sharding
 //! engine.

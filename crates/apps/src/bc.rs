@@ -7,11 +7,12 @@
 //! the heaviest of the five kernels.
 
 use atmem::{Atmem, Result};
-use atmem_hms::TrackedVec;
+use atmem_hms::{merge_owner_queues, OwnerQueues, TrackedVec};
 
 use crate::access::MemCtx;
 use crate::graph_data::HmsGraph;
 use crate::kernel::Kernel;
+use crate::par;
 
 /// BC kernel state.
 #[derive(Debug)]
@@ -50,6 +51,152 @@ impl Bc {
     pub fn scores(&self, rt: &mut Atmem) -> Vec<f64> {
         self.bc.to_vec(rt.machine_mut())
     }
+
+    /// One Brandes source partitioned over `ctx.par_cores()` simulated
+    /// cores.
+    ///
+    /// **Forward** levels shard like BFS with a payload: each core expands
+    /// its slice of the sorted frontier and routes `(u, sigma[v])`
+    /// contributions to the core owning `depth[u]`/`sigma[u]`; the owner
+    /// replays its merged queue single-writer — first touch stamps the
+    /// depth and seeds sigma, later hits accumulate. Path counts are
+    /// integers carried in f64, so the accumulation is exact and the final
+    /// sigma is independent of fold order — bit-identical to scalar.
+    ///
+    /// **Backward**, the scalar reverse-order sweep becomes one phase per
+    /// depth level, deepest first (the per-level frontiers recorded on the
+    /// way down are exactly the depth-aligned slabs of `order`). All
+    /// cross-vertex dependencies go through `delta` of *strictly deeper*
+    /// vertices — finalized a phase earlier — and every slab vertex is
+    /// visited exactly once, so each core can sweep a contiguous slab
+    /// slice with the scalar per-vertex body, writing only its own
+    /// `delta[v]`/`bc[v]` entries. Each vertex folds its children in edge
+    /// order either way, so the scores are bit-identical to scalar too.
+    fn run_iteration_sharded(&mut self, ctx: &mut MemCtx) {
+        let n = self.graph.num_vertices();
+        let cores = ctx.par_cores();
+        let mode = ctx.mode();
+        let machine = ctx.machine();
+        let host_bounds = self.graph.host_bounds(machine);
+        let cuts = par::edge_cuts(&host_bounds, cores);
+        let fill_cuts = par::even_cuts(n, cores);
+        let graph = &self.graph;
+        let sigma = &self.sigma;
+        let depth = &self.depth;
+        let delta = &self.delta;
+        let bc = &self.bc;
+        let src = self.source as usize;
+
+        // Accounted re-init, partitioned, with the source seeded by its
+        // owner (same totals as the scalar body's three fills).
+        machine.run_cores(cores, |c, h| {
+            let mut cctx = MemCtx::new(h, mode);
+            let (lo, hi) = (fill_cuts[c], fill_cuts[c + 1]);
+            cctx.write_run(sigma, lo, &vec![0.0f64; hi - lo]);
+            cctx.write_run(depth, lo, &vec![-1i32; hi - lo]);
+            cctx.write_run(delta, lo, &vec![0.0f64; hi - lo]);
+            if (lo..hi).contains(&src) {
+                cctx.set(sigma, src, 1.0);
+                cctx.set(depth, src, 0);
+            }
+        });
+
+        // Forward: record the sorted frontier of every level (the
+        // depth-aligned slabs the backward sweep partitions over).
+        let mut levels: Vec<Vec<u32>> = Vec::new();
+        let mut frontier = vec![self.source];
+        let mut level = 0i32;
+        while !frontier.is_empty() {
+            level += 1;
+            let slices = par::frontier_cuts(&cuts, &frontier);
+            let cur = &frontier;
+            let per_core = machine.run_cores(cores, |c, h| {
+                let mut cctx = MemCtx::new(h, mode);
+                let mut queues = OwnerQueues::new(cores);
+                let mut nbrs: Vec<u32> = Vec::new();
+                let mut dbuf: Vec<i32> = Vec::new();
+                for &v in &cur[slices[c]..slices[c + 1]] {
+                    let sv = cctx.get(sigma, v as usize);
+                    let (start, end) = graph.edge_bounds(&mut cctx, v as usize);
+                    nbrs.resize((end - start) as usize, 0);
+                    graph.neighbor_run(&mut cctx, start, &mut nbrs);
+                    dbuf.resize(nbrs.len(), 0);
+                    cctx.gather(depth, &nbrs, &mut dbuf);
+                    for (&u, &du) in nbrs.iter().zip(&dbuf) {
+                        if du < 0 {
+                            queues.push(par::owner(&cuts, u as usize), (u, sv));
+                        }
+                    }
+                }
+                queues
+            });
+            let routed = merge_owner_queues(per_core);
+            let routed = &routed;
+            let discovered = machine.run_cores(cores, |c, h| {
+                let mut cctx = MemCtx::new(h, mode);
+                let mut new: Vec<u32> = Vec::new();
+                for &(u, sv) in &routed[c] {
+                    let u = u as usize;
+                    if cctx.get(depth, u) < 0 {
+                        cctx.set(depth, u, level);
+                        cctx.set(sigma, u, sv);
+                        new.push(u as u32);
+                    } else {
+                        cctx.update(sigma, u, |x| x + sv);
+                    }
+                }
+                new.sort_unstable();
+                new
+            });
+            levels.push(std::mem::take(&mut frontier));
+            frontier = discovered.concat();
+        }
+
+        // Backward: one phase per slab, deepest first; cores sweep
+        // contiguous slab slices with the scalar per-vertex body.
+        for slab in levels.iter().rev() {
+            let slab_cuts = par::even_cuts(slab.len(), cores);
+            machine.run_cores(cores, |c, h| {
+                let mut cctx = MemCtx::new(h, mode);
+                let mut nbrs: Vec<u32> = Vec::new();
+                let mut dbuf: Vec<i32> = Vec::new();
+                let mut matched: Vec<u32> = Vec::new();
+                let mut sbuf: Vec<f64> = Vec::new();
+                let mut delbuf: Vec<f64> = Vec::new();
+                for &v in &slab[slab_cuts[c]..slab_cuts[c + 1]] {
+                    let v = v as usize;
+                    let dv = cctx.get(depth, v);
+                    let sv = cctx.get(sigma, v);
+                    let (start, end) = graph.edge_bounds(&mut cctx, v);
+                    nbrs.resize((end - start) as usize, 0);
+                    graph.neighbor_run(&mut cctx, start, &mut nbrs);
+                    let mut acc = cctx.get(delta, v);
+                    dbuf.resize(nbrs.len(), 0);
+                    cctx.gather(depth, &nbrs, &mut dbuf);
+                    matched.clear();
+                    matched.extend(
+                        nbrs.iter()
+                            .zip(&dbuf)
+                            .filter(|&(_, &d)| d == dv + 1)
+                            .map(|(&u, _)| u),
+                    );
+                    sbuf.resize(matched.len(), 0.0);
+                    cctx.gather(sigma, &matched, &mut sbuf);
+                    delbuf.resize(matched.len(), 0.0);
+                    cctx.gather(delta, &matched, &mut delbuf);
+                    for (&su, &du) in sbuf.iter().zip(&delbuf) {
+                        if su > 0.0 {
+                            acc += sv / su * (1.0 + du);
+                        }
+                    }
+                    cctx.set(delta, v, acc);
+                    if v != src {
+                        cctx.update(bc, v, |b| b + acc);
+                    }
+                }
+            });
+        }
+    }
 }
 
 impl Kernel for Bc {
@@ -66,6 +213,10 @@ impl Kernel for Bc {
     }
 
     fn run_iteration(&mut self, ctx: &mut MemCtx) {
+        if ctx.par_cores() > 1 {
+            self.run_iteration_sharded(ctx);
+            return;
+        }
         let n = self.graph.num_vertices();
         // Per-iteration re-init through the accounted path (the arrays are
         // rewritten every source on real runs too): three sequential fills.

@@ -10,7 +10,8 @@ use atmem::{Atmem, Result};
 use crate::access::MemCtx;
 use crate::graph_data::HmsGraph;
 use crate::kernel::Kernel;
-use atmem_hms::TrackedVec;
+use crate::par;
+use atmem_hms::{merge_owner_queues, OwnerQueues, TrackedVec};
 
 /// Distance value for unreached vertices.
 pub const UNREACHED: u32 = u32::MAX;
@@ -55,6 +56,101 @@ impl Bfs {
     pub fn distances(&self, rt: &mut Atmem) -> Vec<u32> {
         self.dist.to_vec(rt.machine_mut())
     }
+
+    /// One full traversal partitioned over `ctx.par_cores()` simulated
+    /// cores via deterministic level-synchronous frontier partitioning.
+    ///
+    /// The frontier is kept in **canonical ascending-vertex order**, so
+    /// `par::frontier_cuts` hands each core a contiguous slice of it —
+    /// core `c` owns the edge-balanced vertex range `cuts[c]..cuts[c+1]`.
+    /// Each level runs two `run_cores` phases:
+    ///
+    /// * **Expand** (reads only): every core streams the adjacency runs of
+    ///   its owned frontier slice, gathers the neighbour distances, and
+    ///   routes each still-unreached neighbour into the per-owner queue of
+    ///   the core owning its distance entry.
+    /// * **Settle** (owner-only writes): the merged queues are replayed by
+    ///   their owners in `(source core, emission)` order; first touch wins,
+    ///   the owner scatters `level` into its discovered vertices and sorts
+    ///   its list. Per-owner sorted lists concatenate — owner ranges are
+    ///   contiguous and ascending — into the next globally-sorted frontier.
+    ///
+    /// The level a vertex is discovered at is independent of expansion
+    /// order, and the canonical frontier order is a pure function of the
+    /// discovered *set*, so distances (and the next frontier) are
+    /// bit-identical for every core count and to the scalar body.
+    fn run_iteration_sharded(&mut self, ctx: &mut MemCtx) {
+        let n = self.graph.num_vertices();
+        let cores = ctx.par_cores();
+        let mode = ctx.mode();
+        let machine = ctx.machine();
+        let host_bounds = self.graph.host_bounds(machine);
+        let cuts = par::edge_cuts(&host_bounds, cores);
+        let fill_cuts = par::even_cuts(n, cores);
+        let graph = &self.graph;
+        let dist = &self.dist;
+        let src = self.source as usize;
+
+        // Accounted re-init, partitioned: each core rewrites its slice of
+        // the distance array and the source's owner seeds it.
+        machine.run_cores(cores, |c, h| {
+            let mut cctx = MemCtx::new(h, mode);
+            let (lo, hi) = (fill_cuts[c], fill_cuts[c + 1]);
+            cctx.write_run(dist, lo, &vec![UNREACHED; hi - lo]);
+            if (lo..hi).contains(&src) {
+                cctx.set(dist, src, 0);
+            }
+        });
+
+        let mut frontier = vec![self.source];
+        let mut level = 0u32;
+        let mut reached = 1usize;
+        while !frontier.is_empty() {
+            level += 1;
+            let slices = par::frontier_cuts(&cuts, &frontier);
+            let cur = &frontier;
+            // Expand: owned frontier slices -> owner-routed candidates.
+            let per_core = machine.run_cores(cores, |c, h| {
+                let mut cctx = MemCtx::new(h, mode);
+                let mut queues = OwnerQueues::new(cores);
+                let mut nbrs: Vec<u32> = Vec::new();
+                let mut dbuf: Vec<u32> = Vec::new();
+                for &v in &cur[slices[c]..slices[c + 1]] {
+                    let (start, end) = graph.edge_bounds(&mut cctx, v as usize);
+                    nbrs.resize((end - start) as usize, 0);
+                    graph.neighbor_run(&mut cctx, start, &mut nbrs);
+                    dbuf.resize(nbrs.len(), 0);
+                    cctx.gather(dist, &nbrs, &mut dbuf);
+                    for (&u, &du) in nbrs.iter().zip(&dbuf) {
+                        if du == UNREACHED {
+                            queues.push(par::owner(&cuts, u as usize), u);
+                        }
+                    }
+                }
+                queues
+            });
+            let routed = merge_owner_queues(per_core);
+            let routed = &routed;
+            // Settle: owners dedup first-touch, write the level, and emit
+            // their slice of the next frontier in canonical order.
+            let discovered = machine.run_cores(cores, |c, h| {
+                let mut cctx = MemCtx::new(h, mode);
+                let mut seen = std::collections::HashSet::new();
+                let mut new: Vec<u32> = Vec::new();
+                for &u in &routed[c] {
+                    if seen.insert(u) {
+                        new.push(u);
+                    }
+                }
+                cctx.scatter(dist, &new, &vec![level; new.len()]);
+                new.sort_unstable();
+                new
+            });
+            frontier = discovered.concat();
+            reached += frontier.len();
+        }
+        self.reached = reached;
+    }
 }
 
 impl Kernel for Bfs {
@@ -68,6 +164,15 @@ impl Kernel for Bfs {
     }
 
     fn run_iteration(&mut self, ctx: &mut MemCtx) {
+        if ctx.par_cores() > 1 {
+            self.run_iteration_sharded(ctx);
+            return;
+        }
+        // Per-iteration re-init through the accounted path (the same
+        // policy as BC: every traversal kernel rewrites its state each
+        // source, so repeat-iteration timings are comparable).
+        let n = self.graph.num_vertices();
+        ctx.write_run(&self.dist, 0, &vec![UNREACHED; n]);
         let mut frontier = vec![self.source];
         ctx.set(&self.dist, self.source as usize, 0);
         let mut level = 0u32;

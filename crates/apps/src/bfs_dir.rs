@@ -9,12 +9,13 @@
 
 use atmem::{Atmem, Result};
 use atmem_graph::{transpose, Csr};
-use atmem_hms::TrackedVec;
+use atmem_hms::{merge_owner_queues, OwnerQueues, TrackedVec};
 
 use crate::access::MemCtx;
 use crate::bfs::UNREACHED;
 use crate::graph_data::HmsGraph;
 use crate::kernel::Kernel;
+use crate::par;
 
 /// Frontier-to-unvisited ratio above which the kernel switches bottom-up.
 const SWITCH_THRESHOLD: f64 = 0.05;
@@ -59,6 +60,136 @@ impl BfsDir {
     pub fn distances(&self, rt: &mut Atmem) -> Vec<u32> {
         self.dist.to_vec(rt.machine_mut())
     }
+
+    /// Direction-optimizing traversal partitioned over `ctx.par_cores()`
+    /// simulated cores.
+    ///
+    /// Top-down levels shard exactly like classic BFS (owned slices of the
+    /// sorted frontier expand over the out-graph, discovered vertices are
+    /// owner-routed and settled single-writer). Bottom-up levels split
+    /// into a read-only **scan** phase — each core sweeps its in-edge-
+    /// balanced vertex range, reads its distance slice as a level-start
+    /// snapshot, and probes unvisited vertices' in-edges for a parent at
+    /// `level - 1` — and an owner-only **claim** phase that scatters the
+    /// level into each core's found list. The naive scalar interleaving
+    /// (writing `dist[v]` while other vertices' probes read `dist`) would
+    /// violate the partition contract, which is why the scan phase works
+    /// from the immutable snapshot.
+    ///
+    /// Both directions produce the per-level discovered *set* of the
+    /// level-synchronous traversal, and the frontier is kept in canonical
+    /// ascending order, so the direction switch (a pure function of
+    /// frontier/unvisited counts) and the distances are bit-identical for
+    /// every core count and to the scalar body.
+    fn run_iteration_sharded(&mut self, ctx: &mut MemCtx) {
+        let n = self.out_graph.num_vertices();
+        let cores = ctx.par_cores();
+        let mode = ctx.mode();
+        let machine = ctx.machine();
+        let out_cuts = par::edge_cuts(&self.out_graph.host_bounds(machine), cores);
+        let in_cuts = par::edge_cuts(&self.in_graph.host_bounds(machine), cores);
+        let fill_cuts = par::even_cuts(n, cores);
+        let out_graph = &self.out_graph;
+        let in_graph = &self.in_graph;
+        let dist = &self.dist;
+        let src = self.source as usize;
+
+        machine.run_cores(cores, |c, h| {
+            let mut cctx = MemCtx::new(h, mode);
+            let (lo, hi) = (fill_cuts[c], fill_cuts[c + 1]);
+            cctx.write_run(dist, lo, &vec![UNREACHED; hi - lo]);
+            if (lo..hi).contains(&src) {
+                cctx.set(dist, src, 0);
+            }
+        });
+
+        let mut frontier = vec![self.source];
+        let mut unvisited = n - 1;
+        let mut level = 0u32;
+        let mut top_down_levels = 0u32;
+        let mut bottom_up_levels = 0u32;
+        while !frontier.is_empty() {
+            level += 1;
+            let go_bottom_up = frontier.len() as f64 > SWITCH_THRESHOLD * (unvisited.max(1)) as f64;
+            if go_bottom_up {
+                bottom_up_levels += 1;
+                // Scan (reads only): owned in-edge-balanced vertex ranges
+                // probe for parents against the level-start snapshot.
+                let found = machine.run_cores(cores, |c, h| {
+                    let mut cctx = MemCtx::new(h, mode);
+                    let (lo, hi) = (in_cuts[c], in_cuts[c + 1]);
+                    let mut mine = vec![0u32; hi - lo];
+                    cctx.read_run(dist, lo, &mut mine);
+                    let mut found: Vec<u32> = Vec::new();
+                    for (v, &dv) in (lo..hi).zip(&mine) {
+                        if dv != UNREACHED {
+                            continue;
+                        }
+                        let (s, e) = in_graph.edge_bounds(&mut cctx, v);
+                        for edge in s..e {
+                            let u = in_graph.neighbor(&mut cctx, edge) as usize;
+                            if cctx.get(dist, u) == level - 1 {
+                                found.push(v as u32);
+                                break;
+                            }
+                        }
+                    }
+                    found
+                });
+                let found = &found;
+                // Claim (owner-only writes): each core stamps the level
+                // into the vertices its own scan discovered.
+                machine.run_cores(cores, |c, h| {
+                    let mut cctx = MemCtx::new(h, mode);
+                    cctx.scatter(dist, &found[c], &vec![level; found[c].len()]);
+                });
+                // Scan ranges are contiguous and ascending, so the found
+                // lists concatenate into the canonical sorted frontier.
+                frontier = found.concat();
+            } else {
+                top_down_levels += 1;
+                let slices = par::frontier_cuts(&out_cuts, &frontier);
+                let cur = &frontier;
+                let per_core = machine.run_cores(cores, |c, h| {
+                    let mut cctx = MemCtx::new(h, mode);
+                    let mut queues = OwnerQueues::new(cores);
+                    let mut nbrs: Vec<u32> = Vec::new();
+                    let mut dbuf: Vec<u32> = Vec::new();
+                    for &v in &cur[slices[c]..slices[c + 1]] {
+                        let (s, e) = out_graph.edge_bounds(&mut cctx, v as usize);
+                        nbrs.resize((e - s) as usize, 0);
+                        out_graph.neighbor_run(&mut cctx, s, &mut nbrs);
+                        dbuf.resize(nbrs.len(), 0);
+                        cctx.gather(dist, &nbrs, &mut dbuf);
+                        for (&u, &du) in nbrs.iter().zip(&dbuf) {
+                            if du == UNREACHED {
+                                queues.push(par::owner(&out_cuts, u as usize), u);
+                            }
+                        }
+                    }
+                    queues
+                });
+                let routed = merge_owner_queues(per_core);
+                let routed = &routed;
+                let discovered = machine.run_cores(cores, |c, h| {
+                    let mut cctx = MemCtx::new(h, mode);
+                    let mut seen = std::collections::HashSet::new();
+                    let mut new: Vec<u32> = Vec::new();
+                    for &u in &routed[c] {
+                        if seen.insert(u) {
+                            new.push(u);
+                        }
+                    }
+                    cctx.scatter(dist, &new, &vec![level; new.len()]);
+                    new.sort_unstable();
+                    new
+                });
+                frontier = discovered.concat();
+            }
+            unvisited -= frontier.len().min(unvisited);
+        }
+        self.phases = (top_down_levels, bottom_up_levels);
+    }
 }
 
 impl Kernel for BfsDir {
@@ -72,7 +203,15 @@ impl Kernel for BfsDir {
     }
 
     fn run_iteration(&mut self, ctx: &mut MemCtx) {
+        if ctx.par_cores() > 1 {
+            self.run_iteration_sharded(ctx);
+            return;
+        }
         let n = self.out_graph.num_vertices();
+        // Per-iteration re-init through the accounted path (the same
+        // policy as BC: every traversal kernel rewrites its state each
+        // source, so repeat-iteration timings are comparable).
+        ctx.write_run(&self.dist, 0, &vec![UNREACHED; n]);
         ctx.set(&self.dist, self.source as usize, 0);
         let mut frontier = vec![self.source];
         let mut unvisited = n - 1;

@@ -48,7 +48,9 @@ pub fn edge_cuts(bounds: &[u64], cores: usize) -> Vec<usize> {
     let mut cuts = Vec::with_capacity(cores + 1);
     cuts.push(0usize);
     for c in 1..cores {
-        let target = bounds[0] + total * c as u64 / cores as u64;
+        // The quantile product can exceed u64 for edge counts near
+        // u64::MAX / cores, so widen before multiplying.
+        let target = bounds[0] + (u128::from(total) * c as u128 / cores as u128) as u64;
         let cut = bounds.partition_point(|&b| b < target).min(n);
         let prev = *cuts.last().expect("cuts is non-empty");
         cuts.push(cut.max(prev));
@@ -62,14 +64,39 @@ pub fn edge_cuts(bounds: &[u64], cores: usize) -> Vec<usize> {
 ///
 /// # Panics
 ///
-/// Debug-asserts that `i` falls inside the partitioned range.
+/// Panics in every build profile when `i` falls outside the partitioned
+/// range: a silently misrouted index would be folded by the wrong core,
+/// corrupting the deterministic merge with no diagnostic, so the check
+/// must survive release builds.
 pub fn owner(cuts: &[usize], i: usize) -> usize {
-    debug_assert!(cuts.len() >= 2, "partition needs at least one range");
-    debug_assert!(
+    assert!(cuts.len() >= 2, "partition needs at least one range");
+    assert!(
         i < *cuts.last().expect("cuts is non-empty"),
         "index {i} outside partition"
     );
     cuts.partition_point(|&c| c <= i).saturating_sub(1)
+}
+
+/// Slices a **sorted** frontier along the vertex partition `cuts`:
+/// returns `cuts.len()` positions into `frontier` such that core `c` owns
+/// the frontier slice `out[c]..out[c + 1]`.
+///
+/// Because the partition ranges are contiguous and the frontier is sorted
+/// ascending, each core's share of the frontier is itself contiguous —
+/// the sharded traversal kernels rely on this to hand every core a plain
+/// subslice instead of a filtered copy.
+///
+/// # Panics
+///
+/// Panics if `frontier` is not sorted in ascending order.
+pub fn frontier_cuts(cuts: &[usize], frontier: &[u32]) -> Vec<usize> {
+    assert!(
+        frontier.windows(2).all(|w| w[0] <= w[1]),
+        "frontier must be sorted for contiguous owner slices"
+    );
+    cuts.iter()
+        .map(|&c| frontier.partition_point(|&v| (v as usize) < c))
+        .collect()
 }
 
 #[cfg(test)]
@@ -122,6 +149,53 @@ mod tests {
             let c = owner(&cuts, i);
             assert!(cuts[c] <= i && i < cuts[c + 1], "index {i} -> core {c}");
         }
+    }
+
+    #[test]
+    fn edge_cuts_survive_near_max_edge_counts() {
+        // total * c used to overflow u64 before the divide; with u128
+        // quantile math the hub vertex still takes the first range and the
+        // remaining cuts stay monotone.
+        let bounds = [0u64, u64::MAX / 2, u64::MAX - 1];
+        let cuts = edge_cuts(&bounds, 3);
+        assert_eq!(cuts, vec![0, 1, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside partition")]
+    fn owner_rejects_out_of_range_index_in_all_profiles() {
+        // Must panic even in release builds: silently attributing an
+        // out-of-range index to the last core corrupts the merge.
+        let cuts = vec![0, 3, 7];
+        let _ = owner(&cuts, 7);
+    }
+
+    #[test]
+    fn frontier_cuts_give_contiguous_owner_slices() {
+        let cuts = vec![0, 3, 3, 7, 10];
+        let frontier = vec![0u32, 2, 4, 5, 6, 9];
+        let slices = frontier_cuts(&cuts, &frontier);
+        assert_eq!(slices, vec![0, 2, 2, 5, 6]);
+        for (c, w) in slices.windows(2).enumerate() {
+            for &v in &frontier[w[0]..w[1]] {
+                assert_eq!(owner(&cuts, v as usize), c);
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_cuts_handle_empty_frontier_and_idle_cores() {
+        let cuts = vec![0, 5, 10];
+        assert_eq!(frontier_cuts(&cuts, &[]), vec![0, 0, 0]);
+        // More cores than frontier vertices: trailing cores own nothing.
+        let cuts = vec![0, 1, 2, 3, 4];
+        assert_eq!(frontier_cuts(&cuts, &[0]), vec![0, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn frontier_cuts_reject_unsorted_frontiers() {
+        let _ = frontier_cuts(&[0, 5], &[3, 1]);
     }
 
     #[test]

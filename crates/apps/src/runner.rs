@@ -85,9 +85,11 @@ pub fn run_protocol(
 }
 
 /// Like [`run_protocol`], but drives both measured iterations with
-/// `par_cores` simulated cores. Sharded-capable kernels (PageRank, CC,
-/// SpMV among the protocol apps) partition their phases over the cores
-/// under the deterministic reduction contract; the rest run scalar. The
+/// `par_cores` simulated cores. Every protocol app is sharded-capable:
+/// the regular kernels (PageRank, CC, SpMV) partition their streaming
+/// phases and the traversal kernels (BFS, BFS-dir, SSSP, BC) partition
+/// each frontier level with owner-routed next-frontier queues, all under
+/// the deterministic reduction contract. The
 /// profiler consumes the merged (core-order-concatenated) PEBS stream
 /// exactly as it consumes the scalar one, and `par_cores == 1` is
 /// bit-identical to [`run_protocol`].

@@ -6,11 +6,12 @@
 //! through the accounted path.
 
 use atmem::{Atmem, Result};
-use atmem_hms::TrackedVec;
+use atmem_hms::{merge_owner_queues, OwnerQueues, TrackedVec};
 
 use crate::access::MemCtx;
 use crate::graph_data::HmsGraph;
 use crate::kernel::Kernel;
+use crate::par;
 
 /// SSSP kernel state.
 #[derive(Debug)]
@@ -51,6 +52,121 @@ impl Sssp {
     pub fn distances(&self, rt: &mut Atmem) -> Vec<f32> {
         self.dist.to_vec(rt.machine_mut())
     }
+
+    /// Frontier-sharded Bellman-Ford over `ctx.par_cores()` simulated
+    /// cores.
+    ///
+    /// Each level runs two phases. **Relax-scan** (reads only): every core
+    /// streams its contiguous slice of the sorted frontier, reads each
+    /// `dist[v]` plus the neighbour/weight runs, gathers the target
+    /// distances as a level-start snapshot, and routes every improving
+    /// candidate `(u, dist[v] + w)` to the core owning `dist[u]`.
+    /// **Tighten** (owner-only writes): each owner replays its merged
+    /// candidate queue through the same compare-and-tighten overlay as the
+    /// scalar body — single-writer, so no cross-core ordering hazard —
+    /// scatters the accepted writes, and emits its slice of the next
+    /// frontier sorted ascending.
+    ///
+    /// Candidate queues merge in `(source core, emission)` order, which
+    /// for contiguous slices of a sorted frontier **is** global
+    /// `(vertex, edge)` order — identical for every core count, so the
+    /// accepted writes and the relaxation counter are too. Against the
+    /// scalar body the per-level schedule differs (scalar lets later
+    /// frontier vertices observe earlier in-level writes), but both are
+    /// monotone descents to the same least fixed point of the f32
+    /// relaxation, so the final distances are bit-identical.
+    fn run_iteration_sharded(&mut self, ctx: &mut MemCtx) {
+        let n = self.graph.num_vertices();
+        let cores = ctx.par_cores();
+        let mode = ctx.mode();
+        let machine = ctx.machine();
+        let host_bounds = self.graph.host_bounds(machine);
+        let cuts = par::edge_cuts(&host_bounds, cores);
+        let fill_cuts = par::even_cuts(n, cores);
+        let graph = &self.graph;
+        let dist = &self.dist;
+        let src = self.source as usize;
+
+        machine.run_cores(cores, |c, h| {
+            let mut cctx = MemCtx::new(h, mode);
+            let (lo, hi) = (fill_cuts[c], fill_cuts[c + 1]);
+            cctx.write_run(dist, lo, &vec![f32::INFINITY; hi - lo]);
+            if (lo..hi).contains(&src) {
+                cctx.set(dist, src, 0.0);
+            }
+        });
+
+        let mut frontier = vec![self.source];
+        let mut relaxations = 0u64;
+        while !frontier.is_empty() {
+            let slices = par::frontier_cuts(&cuts, &frontier);
+            let cur = &frontier;
+            // Relax-scan: emit owner-routed improving candidates.
+            let per_core = machine.run_cores(cores, |c, h| {
+                let mut cctx = MemCtx::new(h, mode);
+                let mut queues = OwnerQueues::new(cores);
+                let mut nbrs: Vec<u32> = Vec::new();
+                let mut ws: Vec<f32> = Vec::new();
+                let mut dbuf: Vec<f32> = Vec::new();
+                for &v in &cur[slices[c]..slices[c + 1]] {
+                    let dv = cctx.get(dist, v as usize);
+                    let (start, end) = graph.edge_bounds(&mut cctx, v as usize);
+                    let deg = (end - start) as usize;
+                    nbrs.resize(deg, 0);
+                    ws.resize(deg, 0.0);
+                    graph.neighbor_run(&mut cctx, start, &mut nbrs);
+                    graph.weight_run(&mut cctx, start, &mut ws);
+                    dbuf.resize(deg, 0.0);
+                    cctx.gather(dist, &nbrs, &mut dbuf);
+                    for ((&u, &w), &du) in nbrs.iter().zip(&ws).zip(&dbuf) {
+                        let candidate = dv + w;
+                        if candidate < du {
+                            queues.push(par::owner(&cuts, u as usize), (u, candidate));
+                        }
+                    }
+                }
+                queues
+            });
+            let routed = merge_owner_queues(per_core);
+            let routed = &routed;
+            // Tighten: owners replay their queue single-writer.
+            let settled = machine.run_cores(cores, |c, h| {
+                let mut cctx = MemCtx::new(h, mode);
+                let bucket = &routed[c];
+                let idx: Vec<u32> = bucket.iter().map(|&(u, _)| u).collect();
+                let mut dbuf = vec![0.0f32; idx.len()];
+                cctx.gather(dist, &idx, &mut dbuf);
+                let mut overlay: std::collections::HashMap<u32, f32> =
+                    std::collections::HashMap::new();
+                let mut widx: Vec<u32> = Vec::new();
+                let mut wvals: Vec<f32> = Vec::new();
+                let mut next: Vec<u32> = Vec::new();
+                let mut in_next = std::collections::HashSet::new();
+                let mut relaxed = 0u64;
+                for (k, &(u, candidate)) in bucket.iter().enumerate() {
+                    let current = overlay.get(&u).copied().unwrap_or(dbuf[k]);
+                    if candidate < current {
+                        overlay.insert(u, candidate);
+                        widx.push(u);
+                        wvals.push(candidate);
+                        relaxed += 1;
+                        if in_next.insert(u) {
+                            next.push(u);
+                        }
+                    }
+                }
+                cctx.scatter(dist, &widx, &wvals);
+                next.sort_unstable();
+                (next, relaxed)
+            });
+            frontier = Vec::new();
+            for (next, relaxed) in settled {
+                frontier.extend_from_slice(&next);
+                relaxations += relaxed;
+            }
+        }
+        self.relaxations = relaxations;
+    }
 }
 
 impl Kernel for Sssp {
@@ -64,6 +180,15 @@ impl Kernel for Sssp {
     }
 
     fn run_iteration(&mut self, ctx: &mut MemCtx) {
+        if ctx.par_cores() > 1 {
+            self.run_iteration_sharded(ctx);
+            return;
+        }
+        // Per-iteration re-init through the accounted path (the same
+        // policy as BC: every traversal kernel rewrites its state each
+        // source, so repeat-iteration timings are comparable).
+        let n = self.graph.num_vertices();
+        ctx.write_run(&self.dist, 0, &vec![f32::INFINITY; n]);
         ctx.set(&self.dist, self.source as usize, 0.0);
         let mut frontier = vec![self.source];
         let mut relaxations = 0u64;

@@ -10,11 +10,13 @@
 //! PageRank scatter and SpMV gather phases assert ≥2x on the window engine
 //! alone.
 //!
-//! The **core sweep** runs PageRank and SpMV at 1 and 4 simulated cores:
-//! kernel checksums must be bit-identical at every core count (always
-//! asserted, even under `--smoke`), and the 4-core run must be ≥2x faster
-//! wall-clock — a gate that only arms when the host actually has ≥4
-//! hardware threads to shard over (and never under `--smoke`).
+//! The **core sweep** runs PageRank, SpMV and the traversal kernels (BFS,
+//! SSSP, BC) at 1 and 4 simulated cores: kernel checksums must be
+//! bit-identical at every core count (always asserted, even under
+//! `--smoke`), the 4-core run of the regular kernels must be ≥2x faster
+//! wall-clock, and at least one frontier-sharded traversal kernel must
+//! show a wall-clock speedup — gates that only arm when the host actually
+//! has ≥4 hardware threads to shard over (and never under `--smoke`).
 //!
 //! `--smoke` runs only the equality half on a reduced graph (no timing, no
 //! speedup gates) so CI can verify Scalar/Bulk equivalence on every push
@@ -24,7 +26,7 @@
 //! root (override with `--json PATH`).
 
 use atmem::{Atmem, AtmemConfig};
-use atmem_apps::{AccessMode, HmsGraph, Kernel, MemCtx, PageRank, Spmv};
+use atmem_apps::{AccessMode, Bc, Bfs, HmsGraph, Kernel, MemCtx, PageRank, Spmv, Sssp};
 use atmem_bench::harness::{bench_with_setup, black_box};
 use atmem_graph::{rmat, Csr, Dataset};
 use atmem_hms::{MachineStats, Placement, Platform, SimDuration, TrackedVec};
@@ -41,6 +43,22 @@ fn bench_graph(weighted: bool, smoke: bool) -> Csr {
     let g = rmat(&config, 42);
     if weighted {
         g.with_random_weights(16.0, 7)
+    } else {
+        g
+    }
+}
+
+/// Denser R-MAT for the traversal sweeps: each frontier level must carry
+/// enough edge work to amortize the sharded engine's per-level fork and
+/// merge, which the low-edge-factor stream graph above would not (its
+/// levels are a few hundred vertices — thread-spawn territory).
+fn traversal_graph(weighted: bool, smoke: bool) -> Csr {
+    let mut config = Dataset::Rmat24.config();
+    config.scale = if smoke { 9 } else { 13 }; // 512 or 8192 vertices
+    config.edge_factor = 16;
+    let g = rmat(&config, 24);
+    if weighted {
+        g.with_random_weights(16.0, 5)
     } else {
         g
     }
@@ -343,8 +361,25 @@ fn main() {
     });
 
     // Core-count sweep: output invariance always, timings unless --smoke.
+    // The traversal kernels run their frontier-sharded bodies here — the
+    // smoke half is the CI gate that distances/scores survive the
+    // partition bit-for-bit at 1/2/4 cores.
+    let trav = traversal_graph(false, smoke);
+    let trav_weighted = traversal_graph(true, smoke);
+    let make_bfs = |rt: &mut Atmem, g: HmsGraph| -> Box<dyn Kernel> {
+        Box::new(Bfs::new(rt, g, 0).expect("kernel"))
+    };
+    let make_sssp = |rt: &mut Atmem, g: HmsGraph| -> Box<dyn Kernel> {
+        Box::new(Sssp::new(rt, g, 0).expect("kernel"))
+    };
+    let make_bc = |rt: &mut Atmem, g: HmsGraph| -> Box<dyn Kernel> {
+        Box::new(Bc::new(rt, g, 0).expect("kernel"))
+    };
     let pr_sweep = core_sweep("PR", &plain, smoke, &make_pr);
     let spmv_sweep = core_sweep("SpMV", &weighted, smoke, &make_spmv);
+    let bfs_sweep = core_sweep("BFS", &trav, smoke, &make_bfs);
+    let sssp_sweep = core_sweep("SSSP", &trav_weighted, smoke, &make_sssp);
+    let bc_sweep = core_sweep("BC", &trav, smoke, &make_bc);
 
     if smoke {
         write_snapshot(&json_path, smoke, &[]);
@@ -362,7 +397,13 @@ fn main() {
         ("bulk_speedup_PR_scatter".to_string(), pr_scatter),
         ("bulk_speedup_SpMV_gather".to_string(), spmv_gather),
     ];
-    for (name, sweep) in [("PR", pr_sweep), ("SpMV", spmv_sweep)] {
+    for (name, sweep) in [
+        ("PR", pr_sweep),
+        ("SpMV", spmv_sweep),
+        ("BFS", bfs_sweep),
+        ("SSSP", sssp_sweep),
+        ("BC", bc_sweep),
+    ] {
         if let Some((one, four)) = sweep {
             entries.push((format!("core_sweep_{name}_cores1_ns"), one));
             entries.push((format!("core_sweep_{name}_cores4_ns"), four));
@@ -401,6 +442,28 @@ fn main() {
                 "{name} at 4 simulated cores must be >= 2x faster wall-clock, got {speedup:.2}x"
             );
         }
+        // Frontier-sharded traversals pay a fork/merge barrier per level,
+        // so the bar is lower than the streaming kernels' 2x — but at
+        // least one of them must come out ahead of scalar wall-clock.
+        let best = [("BFS", bfs_sweep), ("SSSP", sssp_sweep), ("BC", bc_sweep)]
+            .into_iter()
+            .map(|(name, sweep)| {
+                let (one, four) = sweep.expect("sweep timings present outside --smoke");
+                (name, one / four)
+            })
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("traversal sweeps ran");
+        assert!(
+            best.1 >= 1.1,
+            "at least one frontier-sharded traversal kernel must beat scalar \
+             wall-clock at 4 cores; best was {} at {:.2}x",
+            best.0,
+            best.1
+        );
+        println!(
+            "core_sweep traversal gate: best {} at {:.2}x",
+            best.0, best.1
+        );
     } else {
         println!(
             "core-sweep timing gate skipped: host parallelism {} < 4",

@@ -1212,5 +1212,143 @@ impl MemPort for CoreHandle<'_> {
     }
 }
 
+/// Per-owner routing buckets for owner-routed fan-out phases.
+///
+/// A sharded expansion phase discovers work items (frontier vertices,
+/// relaxation candidates, rank contributions) that belong to other cores'
+/// partitions. Each core pushes every item it discovers into its own
+/// `OwnerQueues`, keyed by the owning core; items land in **emission
+/// order**, which for a core streaming its owned range sequentially is the
+/// global traversal order restricted to that range.
+///
+/// [`merge_owner_queues`] then folds the per-core queues into one queue
+/// per owner, concatenating in `(core, emission)` order. Because each
+/// core's emissions are a deterministic function of its owned input slice,
+/// the merged per-owner queues are deterministic too — the receiving
+/// phase can replay them single-writer without any cross-core ordering
+/// hazard.
+#[derive(Debug)]
+pub struct OwnerQueues<T> {
+    queues: Vec<Vec<T>>,
+}
+
+impl<T> OwnerQueues<T> {
+    /// Creates empty queues for `owners` receiving cores.
+    pub fn new(owners: usize) -> Self {
+        Self {
+            queues: (0..owners).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Appends `item` to the queue bound for `owner`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owner` is out of range — a misrouted item would be
+    /// replayed by the wrong core and silently corrupt the merge.
+    pub fn push(&mut self, owner: usize, item: T) {
+        self.queues[owner].push(item);
+    }
+
+    /// The number of receiving cores.
+    pub fn owners(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Total items across all queues.
+    pub fn len(&self) -> usize {
+        self.queues.iter().map(Vec::len).sum()
+    }
+
+    /// Whether no items have been routed.
+    pub fn is_empty(&self) -> bool {
+        self.queues.iter().all(Vec::is_empty)
+    }
+
+    /// Consumes the queues, yielding one `Vec` per owner.
+    pub fn into_queues(self) -> Vec<Vec<T>> {
+        self.queues
+    }
+}
+
+/// Merges per-core [`OwnerQueues`] into one queue per owner, folding in
+/// `(core, emission)` order: owner `o` receives core 0's items for `o`
+/// first (in the order core 0 emitted them), then core 1's, and so on.
+///
+/// The order is a pure function of each core's emissions, so as long as
+/// the emitting phase partitions its input deterministically the merged
+/// queues are identical run to run.
+///
+/// # Panics
+///
+/// Panics if the per-core queue sets disagree on the owner count.
+pub fn merge_owner_queues<T>(per_core: Vec<OwnerQueues<T>>) -> Vec<Vec<T>> {
+    let owners = per_core.first().map_or(0, OwnerQueues::owners);
+    let mut merged: Vec<Vec<T>> = (0..owners).map(|_| Vec::new()).collect();
+    for core_queues in per_core {
+        assert_eq!(
+            core_queues.owners(),
+            owners,
+            "per-core queue sets must agree on the owner count"
+        );
+        for (owner, mut queue) in core_queues.into_queues().into_iter().enumerate() {
+            merged[owner].append(&mut queue);
+        }
+    }
+    merged
+}
+
 // Silence an unused-import false positive when error docs reference it.
 const _: fn(HmsError) = |_| {};
+
+#[cfg(test)]
+mod owner_queue_tests {
+    use super::*;
+
+    #[test]
+    fn merge_folds_in_core_then_emission_order() {
+        let mut core0 = OwnerQueues::new(2);
+        core0.push(0, "c0a");
+        core0.push(1, "c0b");
+        core0.push(0, "c0c");
+        let mut core1 = OwnerQueues::new(2);
+        core1.push(1, "c1a");
+        core1.push(0, "c1b");
+        let merged = merge_owner_queues(vec![core0, core1]);
+        assert_eq!(merged[0], vec!["c0a", "c0c", "c1b"]);
+        assert_eq!(merged[1], vec!["c0b", "c1a"]);
+    }
+
+    #[test]
+    fn merge_of_empty_queues_yields_empty_owners() {
+        let queues: Vec<OwnerQueues<u32>> = vec![OwnerQueues::new(3), OwnerQueues::new(3)];
+        assert!(queues.iter().all(OwnerQueues::is_empty));
+        let merged = merge_owner_queues(queues);
+        assert_eq!(merged.len(), 3);
+        assert!(merged.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn len_counts_across_owners() {
+        let mut q = OwnerQueues::new(4);
+        assert!(q.is_empty());
+        q.push(0, 1u32);
+        q.push(3, 2);
+        q.push(3, 3);
+        assert_eq!(q.len(), 3);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn push_to_unknown_owner_panics() {
+        let mut q = OwnerQueues::new(2);
+        q.push(2, 0u32);
+    }
+
+    #[test]
+    #[should_panic(expected = "owner count")]
+    fn merge_rejects_mismatched_owner_counts() {
+        let _ = merge_owner_queues(vec![OwnerQueues::<u32>::new(2), OwnerQueues::new(3)]);
+    }
+}

@@ -17,8 +17,8 @@
 
 use atmem::{Atmem, AtmemConfig};
 use atmem_apps::{
-    run_protocol_cores, App, Cc, HmsGraph, KCore, Kernel, MemCtx, Mode, PageRank, PageRankPull,
-    Spmv, Triangles,
+    run_protocol_cores, App, Bc, Bfs, BfsDir, Cc, HmsGraph, KCore, Kernel, MemCtx, Mode, PageRank,
+    PageRankPull, Spmv, Sssp, Triangles,
 };
 use atmem_graph::{Csr, Dataset};
 use atmem_hms::Platform;
@@ -62,7 +62,7 @@ fn assert_core_count_invariant(
     make: &dyn Fn(&mut Atmem, &Csr) -> Box<dyn Kernel>,
 ) {
     let scalar = checksum_at_cores(csr, make, 1, iters);
-    for cores in [2usize, 4] {
+    for cores in [2usize, 4, 8] {
         let sharded = checksum_at_cores(csr, make, cores, iters);
         assert_eq!(
             scalar.to_bits(),
@@ -101,6 +101,118 @@ fn kernel_outputs_are_core_count_invariant() {
         let g = HmsGraph::load(rt, csr).unwrap();
         Box::new(Triangles::new(rt, g).unwrap())
     });
+}
+
+#[test]
+fn traversal_outputs_are_core_count_invariant() {
+    let skewed = skewed_graph();
+    let weighted = skewed.clone().with_random_weights(16.0, 1);
+
+    assert_core_count_invariant("BFS", &skewed, 2, &|rt, csr| {
+        let g = HmsGraph::load(rt, csr).unwrap();
+        Box::new(Bfs::new(rt, g, 0).unwrap())
+    });
+    assert_core_count_invariant("BFS-dir", &skewed, 2, &|rt, csr| {
+        Box::new(BfsDir::new(rt, csr, 0).unwrap())
+    });
+    assert_core_count_invariant("SSSP", &weighted, 2, &|rt, csr| {
+        let g = HmsGraph::load(rt, csr).unwrap();
+        Box::new(Sssp::new(rt, g, 0).unwrap())
+    });
+    assert_core_count_invariant("BC", &skewed, 2, &|rt, csr| {
+        let g = HmsGraph::load(rt, csr).unwrap();
+        Box::new(Bc::new(rt, g, 0).unwrap())
+    });
+}
+
+/// Element-wise (not just checksum) bit-identity of every traversal
+/// kernel's output arrays across core counts, with `par_cores == 1`
+/// (the scalar body) as the reference — the frontier partition must not
+/// change a single distance, phase count or centrality bit.
+#[test]
+fn traversal_outputs_match_scalar_elementwise() {
+    let csr = skewed_graph();
+    let weighted = csr.clone().with_random_weights(16.0, 1);
+
+    let bfs_at = |cores: usize| {
+        let mut rt = runtime();
+        let g = HmsGraph::load(&mut rt, &csr).unwrap();
+        let mut bfs = Bfs::new(&mut rt, g, 0).unwrap();
+        bfs.reset(&mut rt);
+        bfs.run_iteration(&mut MemCtx::bulk(rt.machine_mut()).with_cores(cores));
+        (bfs.distances(&mut rt), bfs.reached())
+    };
+    let bfs_dir_at = |cores: usize| {
+        let mut rt = runtime();
+        let mut bfs = BfsDir::new(&mut rt, &csr, 0).unwrap();
+        bfs.reset(&mut rt);
+        bfs.run_iteration(&mut MemCtx::bulk(rt.machine_mut()).with_cores(cores));
+        (bfs.distances(&mut rt), bfs.phases())
+    };
+    let sssp_at = |cores: usize| {
+        let mut rt = runtime();
+        let g = HmsGraph::load(&mut rt, &weighted).unwrap();
+        let mut sssp = Sssp::new(&mut rt, g, 0).unwrap();
+        sssp.reset(&mut rt);
+        sssp.run_iteration(&mut MemCtx::bulk(rt.machine_mut()).with_cores(cores));
+        let bits: Vec<u32> = sssp
+            .distances(&mut rt)
+            .into_iter()
+            .map(f32::to_bits)
+            .collect();
+        bits
+    };
+    let bc_at = |cores: usize| {
+        let mut rt = runtime();
+        let g = HmsGraph::load(&mut rt, &csr).unwrap();
+        let mut bc = Bc::new(&mut rt, g, 0).unwrap();
+        bc.reset(&mut rt);
+        bc.run_iteration(&mut MemCtx::bulk(rt.machine_mut()).with_cores(cores));
+        let bits: Vec<u64> = bc.scores(&mut rt).into_iter().map(f64::to_bits).collect();
+        bits
+    };
+
+    let (bfs, bfs_dir, sssp, bc) = (bfs_at(1), bfs_dir_at(1), sssp_at(1), bc_at(1));
+    let (td, bu) = bfs_dir.1;
+    assert!(td >= 1 && bu >= 1, "graph must exercise both directions");
+    for cores in [2usize, 4, 8] {
+        assert_eq!(bfs, bfs_at(cores), "BFS diverges at {cores} cores");
+        assert_eq!(
+            bfs_dir,
+            bfs_dir_at(cores),
+            "BFS-dir diverges at {cores} cores"
+        );
+        assert_eq!(sssp, sssp_at(cores), "SSSP diverges at {cores} cores");
+        assert_eq!(bc, bc_at(cores), "BC diverges at {cores} cores");
+    }
+}
+
+/// Same seed, same core count ⇒ the sharded traversal reproduces its
+/// stats, clock, merged PEBS stream and outputs bit-for-bit — the
+/// frontier partition introduces no scheduling nondeterminism.
+#[test]
+fn sharded_traversal_is_deterministic_across_runs() {
+    let csr = skewed_graph();
+    let run = || {
+        let mut rt = runtime();
+        let g = HmsGraph::load(&mut rt, &csr).unwrap();
+        let mut bfs = Bfs::new(&mut rt, g, 0).unwrap();
+        bfs.reset(&mut rt);
+        rt.machine_mut().pebs_enable(64, 16);
+        for _ in 0..2 {
+            bfs.run_iteration(&mut MemCtx::bulk(rt.machine_mut()).with_cores(4));
+        }
+        let stats = rt.machine().stats();
+        let now = rt.machine().now().as_ns().to_bits();
+        let pebs = rt.machine_mut().pebs_drain();
+        (stats, now, pebs, bfs.distances(&mut rt))
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0, "stats diverge");
+    assert_eq!(a.1, b.1, "clocks diverge");
+    assert_eq!(a.2, b.2, "PEBS streams diverge");
+    assert_eq!(a.3, b.3, "outputs diverge");
 }
 
 #[test]
