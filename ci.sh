@@ -22,6 +22,15 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> fault-injection smoke (set ATMEM_PROP_CASES to widen the sweep)"
+# Quick pass over the fault-injection property harness: a handful of
+# random (kernel, fault-plan) cases per property plus the deterministic
+# stage-boundary rollback checks. The full sweep (200+ cases, the
+# default of `cargo test --test faults`) already ran under tier-1 above;
+# this step exists as the dedicated knob: ATMEM_PROP_CASES=1000 ./ci.sh
+# (or any value) widens every property in the harness.
+ATMEM_PROP_CASES="${ATMEM_PROP_CASES:-8}" cargo test -q -p atmem-bench --test faults
+
 echo "==> bench smoke (mode-equivalence + core-sweep invariance, no timing gates)"
 # Covers the regular kernels' Scalar/Bulk equivalence and the --cores
 # {1,2,4} checksum-invariance of PR, SpMV and the frontier-sharded

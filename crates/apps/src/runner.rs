@@ -65,6 +65,12 @@ pub struct ProtocolResult {
     pub data_ratio: f64,
     /// Kernel output checksum, for cross-mode correctness checks.
     pub checksum: f64,
+    /// Memory-system invariant violations found by [`Machine::audit`] after
+    /// the run (empty on a healthy run). Tests assert on this so every
+    /// end-to-end scenario doubles as an invariant check.
+    ///
+    /// [`Machine::audit`]: atmem_hms::Machine::audit
+    pub audit: Vec<String>,
 }
 
 /// Runs the two-iteration protocol of the paper for `app` on `csr`.
@@ -138,6 +144,7 @@ pub fn run_protocol_cores(
     let second_iter_stats = rt.machine().stats().delta(&before);
     let data_ratio = rt.fast_data_ratio();
     let checksum = kernel.checksum(&mut rt);
+    let audit = rt.machine_mut().audit();
 
     Ok(ProtocolResult {
         first_iter,
@@ -146,6 +153,7 @@ pub fn run_protocol_cores(
         second_iter_stats,
         data_ratio,
         checksum,
+        audit,
     })
 }
 
@@ -232,6 +240,7 @@ mod tests {
             )
             .unwrap();
             assert!(r.second_iter.as_ns() > 0.0, "{app} produced no work");
+            assert!(r.audit.is_empty(), "{app} audit: {:?}", r.audit);
         }
     }
 }

@@ -98,6 +98,19 @@ pub fn build_plan(
 /// fast-tier space: a `budget_frac` headroom, minus a reserve for one
 /// staging buffer (the transient of the staged mechanism), never more
 /// than half the headroom on small tiers.
+///
+/// **Why the reserve is sufficient** (checked by the exact-fit regression
+/// test in `migrate::staged`): regions execute one at a time, so the peak
+/// transient fast-tier usage while executing a plan of total size `T ≤
+/// budget` is `T + rᵢ`, where `rᵢ ≤ max_region_bytes` is the staging buffer
+/// of the region in flight. With `reserve = min(max_region_bytes,
+/// headroom/2)` two cases close the argument: if `max_region_bytes ≤
+/// headroom/2` then `T + rᵢ ≤ (headroom − reserve) + max_region_bytes =
+/// headroom`; otherwise `reserve = headroom/2`, every admissible region
+/// also satisfies `rᵢ ≤ T ≤ budget = headroom/2`, and again `T + rᵢ ≤
+/// headroom`. Since `headroom ≤ free_bytes`, a plan that fills the budget
+/// exactly still executes without staging-allocation pressure on a
+/// quiescent machine.
 pub fn promotion_budget(free_bytes: usize, config: &MigrationConfig) -> usize {
     let headroom = (free_bytes as f64 * config.budget_frac) as usize;
     let staging_reserve = config.max_region_bytes.min(headroom / 2);

@@ -54,13 +54,14 @@ impl std::fmt::Display for OptimizeReport {
         writeln!(
             f,
             "optimize: {} sampled + {} promoted chunks -> {} regions, \
-             {:.2} MiB moved in {} ({} skipped, {:.2} MiB over budget)",
+             {:.2} MiB moved in {} ({} skipped, {} failed, {:.2} MiB over budget)",
             self.analysis.sampled_chunks(),
             self.analysis.promoted_chunks(),
             self.migration.regions,
             self.migration.bytes_moved as f64 / (1 << 20) as f64,
             self.migration.time,
             self.migration.regions_skipped,
+            self.migration.regions_failed,
             self.plan.dropped_bytes as f64 / (1 << 20) as f64,
         )?;
         if let Some(d) = &self.demotion {
@@ -390,6 +391,43 @@ mod tests {
         assert!(text.contains("optimize:"), "{text}");
         assert!(text.contains("placement:"), "{text}");
         assert!(text.contains("fast tier"), "{text}");
+    }
+
+    #[test]
+    fn failed_regions_are_retried_on_the_next_optimize() {
+        use atmem_hms::{FaultPlan, FaultSite};
+        let mut rt = runtime();
+        let v = rt.malloc::<u64>(512 * 1024, "data").unwrap();
+        rt.profiling_start().unwrap();
+        skewed_reads(&mut rt, &v, 100_000, 0.08);
+        rt.profiling_stop().unwrap();
+
+        // Fail the first remap: that region rolls back to the slow tier and
+        // is counted as failed, not silently dropped.
+        rt.machine_mut()
+            .set_fault_plan(Some(FaultPlan::new().fail_at(FaultSite::Remap, 0)));
+        let r1 = rt.optimize().unwrap();
+        assert!(r1.migration.regions_failed >= 1, "{r1:?}");
+        assert_eq!(
+            r1.migration.bytes_moved + r1.migration.bytes_skipped + r1.migration.bytes_failed,
+            r1.plan.total_bytes
+        );
+        let degraded = rt.fast_data_ratio();
+
+        // Samples persist until the next profiling_start, so the next round
+        // replans the rolled-back region; the scripted fault is consumed and
+        // the retry lands it on the fast tier.
+        let r2 = rt.optimize().unwrap();
+        assert!(r2.migration.bytes_moved > 0, "{r2:?}");
+        assert_eq!(r2.migration.regions_failed, 0, "{r2:?}");
+        assert!(
+            rt.fast_data_ratio() > degraded,
+            "retry should recover placement: {} -> {}",
+            degraded,
+            rt.fast_data_ratio()
+        );
+        let violations = rt.machine_mut().audit();
+        assert!(violations.is_empty(), "{violations:?}");
     }
 
     #[test]

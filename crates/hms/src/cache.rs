@@ -392,6 +392,55 @@ impl Cache {
         self.ages.fill(0);
     }
 
+    /// Evicts every resident line whose line id satisfies `pred`, as a
+    /// back-invalidation for reclaimed physical frames would. The vacated
+    /// ways become immediate eviction victims (tag empty, age zero);
+    /// counters are untouched.
+    pub fn invalidate_where(&mut self, mut pred: impl FnMut(u64) -> bool) {
+        if self.memo_occ != 0 {
+            self.memo_flush();
+        }
+        let set_bits = self.set_mask.count_ones();
+        for (slot, tag) in self.tags.iter_mut().enumerate() {
+            if *tag == u64::MAX {
+                continue;
+            }
+            let set = (slot / self.config.assoc) as u64;
+            let line_id = (*tag << set_bits) | set;
+            if pred(line_id) {
+                *tag = u64::MAX;
+                self.ages[slot] = 0;
+            }
+        }
+    }
+
+    /// The line id of every resident line, in unspecified order. Used by the
+    /// machine invariant auditor to check that no line references a freed
+    /// frame. Flushes the window memo first so audits see settled state.
+    pub fn live_lines(&mut self) -> Vec<u64> {
+        if self.memo_occ != 0 {
+            self.memo_flush();
+        }
+        let set_bits = self.set_mask.count_ones();
+        self.tags
+            .iter()
+            .enumerate()
+            .filter(|(_, &tag)| tag != u64::MAX)
+            .map(|(slot, &tag)| (tag << set_bits) | (slot / self.config.assoc) as u64)
+            .collect()
+    }
+
+    /// Reconstructs the physical byte address of the first byte of a line id
+    /// produced by [`Cache::live_lines`].
+    pub fn line_base_addr(&self, line_id: u64) -> u64 {
+        line_id << self.line_shift
+    }
+
+    /// The line id containing physical byte address `raw`.
+    pub fn line_id_of(&self, raw: u64) -> u64 {
+        raw >> self.line_shift
+    }
+
     /// Read hits since creation or the last counter reset.
     pub fn read_hits(&self) -> u64 {
         self.read_hits

@@ -44,6 +44,10 @@ pub enum HmsError {
     UnknownTier(TierId),
     /// An allocation request of zero bytes was made.
     ZeroSizedAllocation,
+    /// A [`FaultPlan`](crate::FaultPlan) injected a failure at this site.
+    /// Only produced when a fault plan is installed; models non-capacity
+    /// failures (e.g. a copier thread dying mid-move).
+    FaultInjected(crate::fault::FaultSite),
 }
 
 impl fmt::Display for HmsError {
@@ -64,6 +68,7 @@ impl fmt::Display for HmsError {
             }
             HmsError::UnknownTier(tier) => write!(f, "unknown tier {tier}"),
             HmsError::ZeroSizedAllocation => write!(f, "zero-sized allocation"),
+            HmsError::FaultInjected(site) => write!(f, "injected fault at {site}"),
         }
     }
 }

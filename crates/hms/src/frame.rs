@@ -160,6 +160,13 @@ impl FrameAllocator {
         let i = index as usize;
         i < self.total && self.is_set(i)
     }
+
+    /// Allocated-frame count recomputed from the bitmap (a popcount), for
+    /// auditing the incrementally maintained `free` counter against ground
+    /// truth.
+    pub fn bitmap_used_frames(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
 }
 
 #[cfg(test)]

@@ -51,6 +51,7 @@ pub mod addr;
 pub mod cache;
 pub mod cost;
 pub mod error;
+pub mod fault;
 pub mod frame;
 pub mod machine;
 pub mod mapping;
@@ -68,6 +69,7 @@ pub use addr::{Frame, PhysAddr, VirtAddr, VirtRange};
 pub use cache::{Cache, CacheConfig, CacheOutcome};
 pub use cost::{CostModel, SimClock, SimDuration};
 pub use error::{HmsError, Result};
+pub use fault::{FaultPlan, FaultSite, FAULT_SITES};
 pub use frame::{FrameAllocator, FrameRun};
 pub use machine::{AllocationInfo, Machine, MigrationReport, Placement, Scalar};
 pub use mapping::{Mapping, MappingTable, PageKind};

@@ -10,9 +10,10 @@
 
 use std::collections::BTreeMap;
 
-use crate::addr::{VirtAddr, VirtRange, HUGE_PAGE_FRAMES, PAGE_SHIFT, PAGE_SIZE};
+use crate::addr::{Frame, VirtAddr, VirtRange, HUGE_PAGE_FRAMES, PAGE_SHIFT, PAGE_SIZE};
 use crate::cost::SimDuration;
 use crate::error::{HmsError, Result};
+use crate::fault::{FaultPlan, FaultSite};
 use crate::frame::FrameRun;
 use crate::mapping::{huge_eligible, Mapping, MappingTable, PageKind};
 use crate::pebs::{Pebs, SampleRecord};
@@ -73,6 +74,14 @@ pub struct Machine {
     allocations: BTreeMap<u64, AllocationInfo>,
     next_vaddr: u64,
     core: CoreCtx,
+    /// Installed fault schedule, consulted at every [`FaultSite`] crossing.
+    fault: Option<FaultPlan>,
+    /// Staging frame runs handed out by [`Machine::alloc_frames`] and not
+    /// yet released — the auditor's account of legitimate unmapped usage.
+    staged_runs: Vec<(TierId, FrameRun)>,
+    /// Counter snapshot from the previous [`Machine::audit`], for the
+    /// monotonicity check.
+    last_audit_stats: Option<MachineStats>,
 }
 
 impl Machine {
@@ -91,7 +100,53 @@ impl Machine {
             next_vaddr: 0x4000_0000,
             tiers,
             platform,
+            fault: None,
+            staged_runs: Vec::new(),
+            last_audit_stats: None,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Installs a fault plan (replacing any present one), or clears it with
+    /// `None`. See [`FaultPlan`] for the schedule semantics.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan;
+    }
+
+    /// Removes and returns the installed fault plan, leaving the machine
+    /// fault-free.
+    pub fn take_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.fault.take()
+    }
+
+    /// The installed fault plan, for inspecting consult counters and the
+    /// injected-fault log.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    /// Masks fault injection (no-op without a plan). Recovery code runs
+    /// under suspension so a rollback cannot itself be faulted; pair with
+    /// [`Machine::resume_faults`].
+    pub fn suspend_faults(&mut self) {
+        if let Some(plan) = &mut self.fault {
+            plan.suspend();
+        }
+    }
+
+    /// Re-enables fault injection after [`Machine::suspend_faults`].
+    pub fn resume_faults(&mut self) {
+        if let Some(plan) = &mut self.fault {
+            plan.resume();
+        }
+    }
+
+    /// Consults the installed plan (if any) at `site`.
+    fn fault_fires(&mut self, site: FaultSite) -> bool {
+        self.fault.as_mut().is_some_and(|p| p.should_fail(site))
     }
 
     /// The platform this machine was built from.
@@ -309,6 +364,9 @@ impl Machine {
         mut pages: usize,
         out: &mut Vec<Mapping>,
     ) -> Result<()> {
+        if self.fault_fires(FaultSite::FrameAlloc) {
+            return Err(self.oom_error(tier, pages * PAGE_SIZE));
+        }
         let huge_ok = self.platform.huge_pages;
         while pages > 0 {
             // Walk up to the next 2 MiB boundary with base pages so the
@@ -413,9 +471,23 @@ impl Machine {
     }
 
     fn unmap_one(&mut self, m: &Mapping) {
-        self.tiers[m.tier.index()]
-            .frames
-            .free_run(FrameRun::new(m.frame_start, m.pages));
+        let run = FrameRun::new(m.frame_start, m.pages);
+        self.tiers[m.tier.index()].frames.free_run(run);
+        self.invalidate_llc_frames(m.tier, run);
+    }
+
+    /// Back-invalidates every LLC line caching bytes of a freed frame run,
+    /// so no resident line ever references a frame that may be handed out
+    /// again. Counters are unaffected; the vacated ways become preferred
+    /// eviction victims.
+    fn invalidate_llc_frames(&mut self, tier: TierId, run: FrameRun) {
+        let lo = Frame::new(tier, run.start).phys_addr(0).raw();
+        let hi = lo + run.bytes() as u64;
+        let first = self.core.llc.line_id_of(lo);
+        let last = self.core.llc.line_id_of(hi - 1);
+        self.core
+            .llc
+            .invalidate_where(|line| (first..=last).contains(&line));
     }
 
     /// Frees the allocation starting at `range.start`.
@@ -741,22 +813,59 @@ impl Machine {
     // ------------------------------------------------------------------
 
     /// Allocates a physically contiguous staging run of `pages` frames on
-    /// `tier` (not mapped into any virtual range).
+    /// `tier` (not mapped into any virtual range). The run is tracked as
+    /// outstanding staging until released with [`Machine::free_frames`];
+    /// [`Machine::audit`] accounts it as legitimate unmapped usage.
     ///
     /// # Errors
     ///
     /// [`HmsError::OutOfMemory`] / [`HmsError::Fragmented`] on failure.
     pub fn alloc_frames(&mut self, tier: TierId, pages: usize) -> Result<FrameRun> {
-        self.tiers[tier.index()]
+        if self.fault_fires(FaultSite::StagingAlloc) {
+            return Err(self.oom_error(tier, pages * PAGE_SIZE));
+        }
+        let run = self.tiers[tier.index()]
             .frames
             .alloc_run(pages)
-            .ok_or_else(|| self.oom_error(tier, pages * PAGE_SIZE))
+            .ok_or_else(|| self.oom_error(tier, pages * PAGE_SIZE))?;
+        self.staged_runs.push((tier, run));
+        Ok(run)
     }
 
     /// Frees a frame run previously returned by [`Machine::alloc_frames`]
     /// (or released by a remap).
     pub fn free_frames(&mut self, tier: TierId, run: FrameRun) {
+        if let Some(pos) = self
+            .staged_runs
+            .iter()
+            .position(|&(t, r)| t == tier && r == run)
+        {
+            self.staged_runs.swap_remove(pos);
+        }
         self.tiers[tier.index()].frames.free_run(run);
+        self.invalidate_llc_frames(tier, run);
+    }
+
+    /// Staging frame runs currently outstanding (allocated via
+    /// [`Machine::alloc_frames`], not yet freed). Empty whenever no
+    /// migration is mid-flight; the migration engine's tests assert this to
+    /// prove staging buffers are never leaked on fault paths.
+    pub fn outstanding_staging(&self) -> &[(TierId, FrameRun)] {
+        &self.staged_runs
+    }
+
+    /// Allocates one frame destined to back a mapping immediately (the
+    /// `mbind` per-page path). Unlike [`Machine::alloc_frames`] the frame is
+    /// *not* tracked as staging — it becomes mapped within the same
+    /// operation — and the fault site is [`FaultSite::FrameAlloc`].
+    pub(crate) fn alloc_page_frame(&mut self, tier: TierId) -> Result<FrameRun> {
+        if self.fault_fires(FaultSite::FrameAlloc) {
+            return Err(self.oom_error(tier, PAGE_SIZE));
+        }
+        self.tiers[tier.index()]
+            .frames
+            .alloc_run(1)
+            .ok_or_else(|| self.oom_error(tier, PAGE_SIZE))
     }
 
     /// Copies the page-aligned virtual `range` into the staging frame run
@@ -767,7 +876,9 @@ impl Machine {
     /// # Errors
     ///
     /// [`HmsError::InvalidRange`] if `range` is not page-aligned or `dst` is
-    /// too small; [`HmsError::Unmapped`] for holes in `range`.
+    /// too small; [`HmsError::Unmapped`] for holes in `range`;
+    /// [`HmsError::FaultInjected`] under an armed [`FaultPlan`] (no bytes
+    /// are copied and no state changes in that case).
     pub fn copy_region_to_frames(
         &mut self,
         range: VirtRange,
@@ -781,6 +892,9 @@ impl Machine {
                 start: range.start,
                 len: range.len,
             });
+        }
+        if self.fault_fires(FaultSite::Move) {
+            return Err(HmsError::FaultInjected(FaultSite::Move));
         }
         let mut jobs = Vec::with_capacity(segments.len());
         let mut dst_off = dst.start as usize * PAGE_SIZE;
@@ -820,6 +934,9 @@ impl Machine {
                 start: range.start,
                 len: range.len,
             });
+        }
+        if self.fault_fires(FaultSite::Move) {
+            return Err(HmsError::FaultInjected(FaultSite::Move));
         }
         let mut jobs = Vec::with_capacity(segments.len());
         let mut src_off = src.start as usize * PAGE_SIZE;
@@ -969,6 +1086,11 @@ impl Machine {
                 len: range.len,
             });
         }
+        // Fault gate sits before any mapping-table mutation, so a faulted
+        // remap leaves the region's mappings, frames and TLB untouched.
+        if self.fault_fires(FaultSite::Remap) {
+            return Err(self.oom_error(dst_tier, range.len));
+        }
         self.split_mappings_at(range);
         let old = self.mappings.take_overlapping(range);
         let covered: usize = old.iter().map(|m| (m.pages as usize) * PAGE_SIZE).sum();
@@ -1116,6 +1238,252 @@ impl Machine {
     pub fn flush_caches(&mut self) {
         self.core.llc.flush();
         self.core.tlb.flush();
+    }
+
+    // ------------------------------------------------------------------
+    // Invariant audit
+    // ------------------------------------------------------------------
+
+    /// Checks every structural invariant of the machine and returns the
+    /// violations found (empty = clean). Intended to run at quiescent
+    /// points — between iterations, after a migration or a rollback — and
+    /// cheap enough to call at the end of every test:
+    ///
+    /// 1. mappings are virtually disjoint, frame-in-bounds, and every
+    ///    backing frame is live in its tier's allocator;
+    /// 2. huge mappings are 2 MiB-aligned virtually and physically;
+    /// 3. frame conservation per tier: the frames owned by mappings plus
+    ///    outstanding staging runs are pairwise disjoint (no double
+    ///    mapping) and account for *exactly* the allocator's used count
+    ///    (no leaks), and the allocator's incremental free counter matches
+    ///    a bitmap popcount (no double free slipped through);
+    /// 4. every allocation is fully mapped, and every mapping belongs to a
+    ///    live allocation;
+    /// 5. every TLB entry decodes to a live mapping of matching
+    ///    granularity (no stale entries after remaps or splinters);
+    /// 6. every resident LLC line references an allocated frame;
+    /// 7. monotone counters (time, accesses, hit/miss totals, migrated
+    ///    bytes) never run backwards between audits.
+    ///
+    /// Needs `&mut self` only to settle the LLC window memo and to store
+    /// the counter snapshot for the next monotonicity check.
+    pub fn audit(&mut self) -> Vec<String> {
+        let mut violations: Vec<String> = Vec::new();
+        let coalesce = self.platform.tlb_coalesce.max(1) as u64;
+
+        // Invariants 1 + 2, and collection of per-tier frame ownership.
+        let mut owners: Vec<Vec<(u32, u32, String)>> = vec![Vec::new(); self.tiers.len()];
+        let mut prev_end: Option<u64> = None;
+        for m in self.mappings.iter() {
+            if let Some(end) = prev_end {
+                if m.vpage_start < end {
+                    violations.push(format!(
+                        "mapping at vpage {:#x} overlaps the previous mapping",
+                        m.vpage_start
+                    ));
+                }
+            }
+            prev_end = Some(m.vpage_start + m.pages as u64);
+            let frames = &self.tiers[m.tier.index()].frames;
+            if m.frame_start as usize + m.pages as usize > frames.total() {
+                violations.push(format!(
+                    "mapping at vpage {:#x} references out-of-bounds frames {}..{} on {}",
+                    m.vpage_start,
+                    m.frame_start,
+                    m.frame_start + m.pages,
+                    m.tier
+                ));
+                continue;
+            }
+            if let Some(f) =
+                (m.frame_start..m.frame_start + m.pages).find(|&f| !frames.is_allocated(f))
+            {
+                violations.push(format!(
+                    "mapping at vpage {:#x} references freed frame {f} on {}",
+                    m.vpage_start, m.tier
+                ));
+            }
+            if m.kind == PageKind::Huge2M
+                && (!m.vpage_start.is_multiple_of(HUGE_PAGE_FRAMES as u64)
+                    || !(m.frame_start as usize).is_multiple_of(HUGE_PAGE_FRAMES)
+                    || !(m.pages as usize).is_multiple_of(HUGE_PAGE_FRAMES))
+            {
+                violations.push(format!(
+                    "huge mapping at vpage {:#x} is not 2 MiB-aligned (frame {}, {} pages)",
+                    m.vpage_start, m.frame_start, m.pages
+                ));
+            }
+            owners[m.tier.index()].push((
+                m.frame_start,
+                m.pages,
+                format!("mapping at vpage {:#x}", m.vpage_start),
+            ));
+        }
+        for &(tier, run) in &self.staged_runs {
+            let frames = &self.tiers[tier.index()].frames;
+            if run.start as usize + run.count as usize > frames.total() {
+                violations.push(format!(
+                    "staging run {}..{} is out of bounds on {tier}",
+                    run.start,
+                    run.start + run.count
+                ));
+                continue;
+            }
+            if let Some(f) = (run.start..run.start + run.count).find(|&f| !frames.is_allocated(f)) {
+                violations.push(format!("staging run on {tier} holds freed frame {f}"));
+            }
+            owners[tier.index()].push((run.start, run.count, "staging run".into()));
+        }
+
+        // Invariant 3: per-tier frame conservation.
+        for (ti, tier) in self.tiers.iter().enumerate() {
+            let owned = &mut owners[ti];
+            owned.sort_by_key(|&(start, _, _)| start);
+            for pair in owned.windows(2) {
+                let (a_start, a_count, a_what) = &pair[0];
+                let (b_start, _, b_what) = &pair[1];
+                if a_start + a_count > *b_start {
+                    violations.push(format!(
+                        "{} and {} double-map frames on {}",
+                        a_what, b_what, tier.spec.name
+                    ));
+                }
+            }
+            let owned_frames: usize = owned.iter().map(|&(_, count, _)| count as usize).sum();
+            let used = tier.frames.used_frames();
+            if owned_frames != used {
+                violations.push(format!(
+                    "frame leak on {}: allocator reports {used} used frames, \
+                     mappings + staging own {owned_frames}",
+                    tier.spec.name
+                ));
+            }
+            if tier.frames.bitmap_used_frames() != used {
+                violations.push(format!(
+                    "allocator counter drift on {}: bitmap holds {} set bits, \
+                     counter says {used}",
+                    tier.spec.name,
+                    tier.frames.bitmap_used_frames()
+                ));
+            }
+        }
+
+        // Invariant 4: allocations fully mapped; no orphan mappings.
+        for info in self.allocations.values() {
+            let full = VirtRange::new(info.range.start, info.pages * PAGE_SIZE);
+            let covered: usize = self
+                .mappings
+                .overlapping(full)
+                .iter()
+                .filter_map(|m| m.vrange().intersect(full))
+                .map(|r| r.len)
+                .sum();
+            if covered != full.len {
+                violations.push(format!(
+                    "allocation at {} has {} of {} bytes mapped",
+                    info.range.start, covered, full.len
+                ));
+            }
+        }
+        for m in self.mappings.iter() {
+            let start = m.vpage_start << PAGE_SHIFT;
+            let end = (m.vpage_start + m.pages as u64) << PAGE_SHIFT;
+            let owned = self
+                .allocations
+                .range(..=start)
+                .next_back()
+                .is_some_and(|(_, info)| {
+                    end <= info.range.start.raw() + (info.pages * PAGE_SIZE) as u64
+                });
+            if !owned {
+                violations.push(format!(
+                    "orphan mapping at vpage {:#x} belongs to no allocation",
+                    m.vpage_start
+                ));
+            }
+        }
+
+        // Invariant 5: TLB entries decode to live mappings.
+        let keys: Vec<u64> = self.core.tlb.keys().collect();
+        for key in keys {
+            let value = key >> 2;
+            let stale = match key & 3 {
+                2 => {
+                    let vpage = value * HUGE_PAGE_FRAMES as u64;
+                    !matches!(
+                        self.mappings.lookup_page(vpage),
+                        Some(m) if m.kind == PageKind::Huge2M
+                    )
+                }
+                1 => {
+                    let group_start = value * coalesce;
+                    !matches!(
+                        self.mappings.lookup_page(group_start),
+                        Some(m) if m.kind == PageKind::Base4K
+                            && m.vpage_start <= group_start
+                            && group_start + coalesce <= m.vpage_start + m.pages as u64
+                    )
+                }
+                _ => !matches!(
+                    self.mappings.lookup_page(value),
+                    Some(m) if m.kind == PageKind::Base4K
+                ),
+            };
+            if stale {
+                violations.push(format!("stale TLB entry {key:#x}"));
+            }
+        }
+
+        // Invariant 6: LLC lines reference allocated frames.
+        for line in self.core.llc.live_lines() {
+            let pa = self.core.llc.line_base_addr(line);
+            let tier = (pa >> 40) as usize;
+            let frame = ((pa & ((1u64 << 40) - 1)) >> PAGE_SHIFT) as u32;
+            if tier >= self.tiers.len() || !self.tiers[tier].frames.is_allocated(frame) {
+                violations.push(format!(
+                    "LLC line {line:#x} caches freed or out-of-bounds frame {frame} of tier {tier}"
+                ));
+            }
+        }
+
+        // Invariant 7: counters never run backwards.
+        let stats = self.stats();
+        if let Some(prev) = &self.last_audit_stats {
+            let pairs = [
+                ("accesses", prev.accesses, stats.accesses),
+                ("reads", prev.reads, stats.reads),
+                ("writes", prev.writes, stats.writes),
+                ("llc_read_hits", prev.llc_read_hits, stats.llc_read_hits),
+                (
+                    "llc_read_misses",
+                    prev.llc_read_misses,
+                    stats.llc_read_misses,
+                ),
+                ("llc_write_hits", prev.llc_write_hits, stats.llc_write_hits),
+                (
+                    "llc_write_misses",
+                    prev.llc_write_misses,
+                    stats.llc_write_misses,
+                ),
+                ("tlb_hits", prev.tlb_hits, stats.tlb_hits),
+                ("tlb_misses", prev.tlb_misses, stats.tlb_misses),
+                ("bytes_migrated", prev.bytes_migrated, stats.bytes_migrated),
+            ];
+            for (name, before, now) in pairs {
+                if now < before {
+                    violations.push(format!("counter {name} ran backwards: {before} -> {now}"));
+                }
+            }
+            if stats.time_ns < prev.time_ns {
+                violations.push(format!(
+                    "simulated clock ran backwards: {} -> {} ns",
+                    prev.time_ns, stats.time_ns
+                ));
+            }
+        }
+        self.last_audit_stats = Some(stats);
+
+        violations
     }
 }
 
@@ -1669,5 +2037,144 @@ mod tests {
     #[test]
     fn line_size_constant_consistent() {
         assert_eq!(crate::addr::LINE_SIZE, 64);
+    }
+
+    fn assert_clean(m: &mut Machine) {
+        let violations = m.audit();
+        assert!(violations.is_empty(), "audit violations: {violations:#?}");
+    }
+
+    #[test]
+    fn audit_clean_through_alloc_access_migrate_free() {
+        let mut m = machine();
+        assert_clean(&mut m);
+        let r = m.alloc(2 * 1024 * 1024 + 4096, Placement::Slow).unwrap();
+        for i in 0..64u64 {
+            m.write::<u64>(r.start.add(i * 4096), i).unwrap();
+        }
+        assert_clean(&mut m);
+        let aligned = VirtRange::new(r.start, 1024 * 1024);
+        m.migrate_mbind(aligned, TierId::FAST).unwrap();
+        assert_clean(&mut m);
+        m.remap_region(aligned, TierId::SLOW).unwrap();
+        assert_clean(&mut m);
+        m.free(r).unwrap();
+        assert_clean(&mut m);
+    }
+
+    #[test]
+    fn audit_flags_a_planted_frame_leak() {
+        let mut m = machine();
+        let _r = m.alloc(64 * 1024, Placement::Fast).unwrap();
+        assert_clean(&mut m);
+        // Grab frames behind the registry's back: a genuine leak.
+        m.tier_mut(TierId::FAST).frames.alloc_run(4).unwrap();
+        let violations = m.audit();
+        assert!(
+            violations.iter().any(|v| v.contains("frame leak")),
+            "leak not flagged: {violations:#?}"
+        );
+    }
+
+    #[test]
+    fn audit_flags_stale_tlb_entries() {
+        let mut m = machine();
+        let r = m.alloc(64 * 1024, Placement::Slow).unwrap();
+        let _ = m.read::<u64>(r.start).unwrap();
+        assert_clean(&mut m);
+        // Tear the mapping down without a shootdown (simulating the bug
+        // class the auditor exists to catch).
+        let info = m.allocation(r.start).unwrap();
+        let full = VirtRange::new(info.range.start, info.pages * PAGE_SIZE);
+        m.allocations.remove(&r.start.raw());
+        for mp in m.mappings.take_overlapping(full) {
+            m.unmap_one(&mp);
+        }
+        let violations = m.audit();
+        assert!(
+            violations.iter().any(|v| v.contains("stale TLB")),
+            "stale TLB entry not flagged: {violations:#?}"
+        );
+    }
+
+    #[test]
+    fn staging_alloc_fault_fails_cleanly() {
+        let mut m = machine();
+        m.set_fault_plan(Some(FaultPlan::new().fail_at(FaultSite::StagingAlloc, 0)));
+        let err = m.alloc_frames(TierId::FAST, 4).unwrap_err();
+        assert!(matches!(
+            err,
+            HmsError::OutOfMemory { .. } | HmsError::Fragmented { .. }
+        ));
+        assert!(m.outstanding_staging().is_empty());
+        assert_clean(&mut m);
+        // The next attempt (fault consumed) succeeds and is tracked.
+        let run = m.alloc_frames(TierId::FAST, 4).unwrap();
+        assert_eq!(m.outstanding_staging(), &[(TierId::FAST, run)]);
+        m.free_frames(TierId::FAST, run);
+        assert!(m.outstanding_staging().is_empty());
+        assert_clean(&mut m);
+    }
+
+    #[test]
+    fn remap_fault_leaves_region_intact() {
+        let mut m = machine();
+        let r = m.alloc(256 * 1024, Placement::Slow).unwrap();
+        for i in 0..(256 * 1024 / 8) as u64 {
+            m.poke::<u64>(r.start.add(i * 8), i ^ 0xa5a5).unwrap();
+        }
+        let before = m.mappings_in(r);
+        m.set_fault_plan(Some(FaultPlan::new().fail_at(FaultSite::Remap, 0)));
+        let err = m.remap_region(r, TierId::FAST).unwrap_err();
+        assert!(matches!(
+            err,
+            HmsError::OutOfMemory { .. } | HmsError::Fragmented { .. }
+        ));
+        assert_eq!(m.mappings_in(r), before, "mappings must be untouched");
+        assert_eq!(m.resident_bytes(r, TierId::SLOW), 256 * 1024);
+        for i in 0..(256 * 1024 / 8) as u64 {
+            assert_eq!(m.peek::<u64>(r.start.add(i * 8)).unwrap(), i ^ 0xa5a5);
+        }
+        assert_clean(&mut m);
+    }
+
+    #[test]
+    fn move_fault_copies_nothing() {
+        let mut m = machine();
+        let r = m.alloc(64 * 1024, Placement::Slow).unwrap();
+        for i in 0..(64 * 1024 / 8) as u64 {
+            m.poke::<u64>(r.start.add(i * 8), i).unwrap();
+        }
+        let staging = m.alloc_frames(TierId::FAST, 16).unwrap();
+        m.set_fault_plan(Some(FaultPlan::new().fail_at(FaultSite::Move, 0)));
+        let err = m
+            .copy_region_to_frames(r, TierId::FAST, staging, 4)
+            .unwrap_err();
+        assert_eq!(err, HmsError::FaultInjected(FaultSite::Move));
+        m.free_frames(TierId::FAST, staging);
+        for i in 0..(64 * 1024 / 8) as u64 {
+            assert_eq!(m.peek::<u64>(r.start.add(i * 8)).unwrap(), i);
+        }
+        assert_clean(&mut m);
+        assert_eq!(m.fault_plan().unwrap().injected(), &[(FaultSite::Move, 0)]);
+    }
+
+    #[test]
+    fn mbind_oom_error_path_leaves_no_stale_tlb() {
+        let mut m = machine();
+        let fast_cap = m.capacity(TierId::FAST);
+        let r = m.alloc(fast_cap + 8 * PAGE_SIZE, Placement::Slow).unwrap();
+        let full = VirtRange::new(r.start, fast_cap + 8 * PAGE_SIZE);
+        // Warm the TLB with huge-mapping entries over the whole range.
+        for off in (0..full.len as u64).step_by(PAGE_SIZE) {
+            let _ = m.read::<u8>(r.start.add(off)).unwrap();
+        }
+        let err = m.migrate_mbind(full, TierId::FAST).unwrap_err();
+        assert!(matches!(err, HmsError::OutOfMemory { .. }));
+        // The splinter must not leave huge/coalesced TLB entries behind.
+        assert_clean(&mut m);
+        // Every page is still readable (prefix moved, remainder on slow).
+        let last = full.start.add(full.len as u64 - 8);
+        let _ = m.peek::<u64>(last).unwrap();
     }
 }

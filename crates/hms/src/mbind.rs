@@ -80,7 +80,7 @@ impl Machine {
                     total_ns += page_overhead * 0.25; // status check only
                     continue;
                 }
-                let dst_frame = match self.alloc_frames(dst_tier, 1) {
+                let dst_frame = match self.alloc_page_frame(dst_tier) {
                     Ok(run) => run.start,
                     Err(e) => {
                         // Out of destination memory mid-stream: commit what
@@ -95,6 +95,11 @@ impl Machine {
                             });
                         }
                         self.finish_mbind_mapping(&mapping, new_maps, &mut mappings_after);
+                        // Earlier mappings were already splintered, so the
+                        // error path needs the same range shootdown as the
+                        // happy path — stale huge/coalesced TLB entries must
+                        // not survive the splinter.
+                        self.invalidate_tlb_range(range);
                         self.advance_clock(SimDuration::from_ns(total_ns));
                         self.note_migrated(moved_bytes);
                         return Err(e);

@@ -275,6 +275,13 @@ impl Tlb {
         self.entries.retain(|&k, _| !pred(k));
     }
 
+    /// The keys of every resident entry, in unspecified order. Used by the
+    /// machine invariant auditor; safe without a memo flush because the
+    /// window memo only defers LRU timestamp re-stamps, never insertions.
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.entries.keys().copied()
+    }
+
     /// Drops all entries (full flush), keeping the counters.
     pub fn flush(&mut self) {
         self.memo_occ = 0;

@@ -55,6 +55,13 @@ fn atmem_beats_baseline_for_every_app_on_nvm_dram() {
             atm.second_iter,
             base.second_iter
         );
+        // Every scenario doubles as a memory-system invariant check.
+        assert!(
+            base.audit.is_empty(),
+            "{app} baseline audit: {:?}",
+            base.audit
+        );
+        assert!(atm.audit.is_empty(), "{app} atmem audit: {:?}", atm.audit);
     }
 }
 
@@ -76,6 +83,7 @@ fn atmem_selects_a_small_fraction_of_data() {
         "data ratio {} out of the selective band",
         r.data_ratio
     );
+    assert!(r.audit.is_empty(), "audit: {:?}", r.audit);
 }
 
 #[test]
@@ -108,6 +116,9 @@ fn atmem_lands_between_baseline_and_ideal() {
     .unwrap();
     assert!(ideal.second_iter.as_ns() <= atm.second_iter.as_ns());
     assert!(atm.second_iter.as_ns() <= base.second_iter.as_ns());
+    for r in [&base, &atm, &ideal] {
+        assert!(r.audit.is_empty(), "audit: {:?}", r.audit);
+    }
 }
 
 #[test]
@@ -156,6 +167,7 @@ fn protocol_is_deterministic() {
     assert_eq!(a.second_iter.as_ns(), b.second_iter.as_ns());
     assert_eq!(a.data_ratio, b.data_ratio);
     assert_eq!(a.checksum, b.checksum);
+    assert!(a.audit.is_empty(), "audit: {:?}", a.audit);
 }
 
 #[test]
@@ -180,4 +192,5 @@ fn spmv_generalisation_also_benefits() {
     .unwrap();
     assert_eq!(base.checksum, atm.checksum);
     assert!(atm.second_iter.as_ns() < base.second_iter.as_ns());
+    assert!(atm.audit.is_empty(), "audit: {:?}", atm.audit);
 }

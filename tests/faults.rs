@@ -1,0 +1,390 @@
+//! Fault-injection property harness.
+//!
+//! Random workloads meet random fault plans: every property runs a
+//! fault-free twin of the faulted machine and demands that, whatever the
+//! fault schedule did,
+//!
+//! * no error escapes the migration engine for pressure-class faults,
+//! * [`Machine::audit`] comes back clean (no leaked or double-booked
+//!   frames, no stale TLB/LLC entries, conserved tier accounting),
+//! * the data is bit-identical to the fault-free run — a faulted region
+//!   is rolled back page-exactly, never torn,
+//! * the outcome buckets conserve the planned bytes
+//!   (`moved + skipped + failed == planned`), and
+//! * placement only degrades gracefully: the faulted run never ends up
+//!   with *more* fast-tier residency than its fault-free twin, and a
+//!   retry round recovers monotonically.
+//!
+//! Case counts default to a full sweep of 200+ (kernel, fault-plan)
+//! pairs; set `ATMEM_PROP_CASES` to shrink (CI smoke) or enlarge it.
+//!
+//! [`Machine::audit`]: atmem_hms::Machine::audit
+
+use atmem::migrate::plan::{MigrationPlan, PlannedRegion};
+use atmem::migrate::staged::execute_plan;
+use atmem::{Atmem, AtmemConfig, MigrationConfig, MigrationMechanism, ObjectId};
+use atmem_apps::{Bfs, HmsGraph, Kernel, MemCtx};
+use atmem_graph::{GraphBuilder, SelfLoops};
+use atmem_hms::{
+    FaultPlan, FaultSite, Machine, Placement, Platform, TierId, TrackedVec, VirtRange, FAULT_SITES,
+};
+use atmem_prop::prelude::*;
+
+const PAGE: usize = 4096;
+
+/// Per-property case count: `default`, overridden by `ATMEM_PROP_CASES`.
+fn prop_cases(default: u32) -> u32 {
+    std::env::var("ATMEM_PROP_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A slow-tier allocation of `pages` pages filled with a seeded pattern.
+fn filled_machine(pages: usize, seed: u64) -> (Machine, VirtRange) {
+    let bytes = pages * PAGE;
+    let platform =
+        Platform::testing().with_capacities(4 * bytes.max(1 << 20), 8 * bytes.max(1 << 20));
+    let mut m = Machine::new(platform);
+    let r = m.alloc(bytes, Placement::Slow).unwrap();
+    for i in 0..(bytes / 8) as u64 {
+        m.poke::<u64>(r.start.add(i * 8), i.wrapping_mul(seed | 1))
+            .unwrap();
+    }
+    (m, VirtRange::new(r.start, bytes))
+}
+
+fn plan_of(ranges: &[VirtRange]) -> MigrationPlan {
+    MigrationPlan {
+        regions: ranges
+            .iter()
+            .map(|&range| PlannedRegion {
+                object: ObjectId::from_index(0),
+                range,
+                priority: 1.0,
+            })
+            .collect(),
+        total_bytes: ranges.iter().map(|r| r.len).sum(),
+        dropped_bytes: 0,
+    }
+}
+
+/// Normalises random (start, count) cuts into disjoint page subranges.
+fn disjoint_ranges(base: VirtRange, pages: usize, cuts: &[(usize, usize)]) -> Vec<VirtRange> {
+    let mut regions: Vec<(usize, usize)> = Vec::new();
+    for &(start, count) in cuts {
+        let start = start.min(pages - 1);
+        let end = (start + count).min(pages);
+        if regions.iter().all(|&(s, e)| end <= s || e <= start) {
+            regions.push((start, end));
+        }
+    }
+    regions.sort_unstable();
+    regions
+        .iter()
+        .map(|&(s, e)| VirtRange::new(base.start.add((s * PAGE) as u64), (e - s) * PAGE))
+        .collect()
+}
+
+fn assert_audit_clean(m: &mut Machine, context: &str) {
+    let violations = m.audit();
+    assert!(
+        violations.is_empty(),
+        "{context}: audit found {violations:?}"
+    );
+    assert!(
+        m.outstanding_staging().is_empty(),
+        "{context}: staging leaked {:?}",
+        m.outstanding_staging()
+    );
+}
+
+/// Every word of `range` equals the `filled_machine` pattern for `seed`.
+fn assert_pattern_intact(m: &mut Machine, range: VirtRange, seed: u64, context: &str) {
+    for i in 0..(range.len / 8) as u64 {
+        let v = m.peek::<u64>(range.start.add(i * 8)).unwrap();
+        assert_eq!(v, i.wrapping_mul(seed | 1), "{context}: torn at word {i}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(prop_cases(120)))]
+
+    /// Random multi-region plans under random fault schedules (both
+    /// scripted step-faults and seeded per-site rates): the engine never
+    /// errors, rolls every faulted region back page-exactly, conserves
+    /// the planned bytes across the outcome buckets, and leaves the
+    /// memory system audit-clean with no more fast residency than the
+    /// fault-free twin.
+    #[test]
+    fn random_faulted_plans_roll_back_exactly(
+        seed in 1u64..1 << 48,
+        pages in 16usize..64,
+        cuts in prop::collection::vec((0usize..56, 1usize..10), 1..4),
+        scripted in prop::collection::vec((0usize..4, 0u64..6), 0..4),
+        rate in 0.0f64..0.35,
+        direct in any::<bool>(),
+    ) {
+        let (mut faulted, r1) = filled_machine(pages, seed);
+        let (mut clean, r2) = filled_machine(pages, seed);
+        let ranges1 = disjoint_ranges(r1, pages, &cuts);
+        let ranges2 = disjoint_ranges(r2, pages, &cuts);
+        let config = MigrationConfig {
+            mechanism: if direct { MigrationMechanism::Direct } else { MigrationMechanism::Staged },
+            ..MigrationConfig::default()
+        };
+
+        let mut plan = FaultPlan::seeded(seed);
+        for &(site, nth) in &scripted {
+            plan = plan.fail_at(FAULT_SITES[site], nth);
+        }
+        for &site in &FAULT_SITES {
+            plan = plan.with_rate(site, rate);
+        }
+        faulted.set_fault_plan(Some(plan));
+
+        let out = execute_plan(&mut faulted, &plan_of(&ranges1), &config, TierId::FAST)
+            .expect("pressure-class faults must not escape");
+        faulted.set_fault_plan(None);
+        let clean_out =
+            execute_plan(&mut clean, &plan_of(&ranges2), &config, TierId::FAST).unwrap();
+
+        // Conservation: every planned byte lands in exactly one bucket.
+        prop_assert_eq!(
+            out.bytes_moved + out.bytes_skipped + out.bytes_failed,
+            plan_of(&ranges1).total_bytes
+        );
+        prop_assert_eq!(
+            out.regions + out.regions_skipped + out.regions_failed,
+            ranges1.len()
+        );
+        prop_assert_eq!(clean_out.bytes_moved, plan_of(&ranges2).total_bytes);
+
+        // Bit-identical data, wherever each region ended up.
+        assert_pattern_intact(&mut faulted, r1, seed, "faulted");
+        assert_pattern_intact(&mut clean, r2, seed, "clean");
+
+        // Graceful degradation: faults can only lose fast residency.
+        let fast_faulted = faulted.resident_bytes(r1, TierId::FAST);
+        let fast_clean = clean.resident_bytes(r2, TierId::FAST);
+        prop_assert!(
+            fast_faulted <= fast_clean,
+            "faulted run gained residency: {} > {}", fast_faulted, fast_clean
+        );
+        prop_assert_eq!(fast_faulted, out.bytes_moved);
+
+        assert_audit_clean(&mut faulted, "faulted");
+        assert_audit_clean(&mut clean, "clean");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(prop_cases(48)))]
+
+    /// Satellite: `MigrationOutcome` conservation under purely scripted
+    /// fault schedules at every site and step index.
+    #[test]
+    fn migration_outcome_conserves_planned_bytes(
+        seed in 1u64..1 << 48,
+        pages in 24usize..64,
+        cuts in prop::collection::vec((0usize..56, 1usize..8), 1..4),
+        scripted in prop::collection::vec((0usize..4, 0u64..8), 1..6),
+    ) {
+        let (mut m, r) = filled_machine(pages, seed);
+        let ranges = disjoint_ranges(r, pages, &cuts);
+        let mut plan = FaultPlan::new();
+        for &(site, nth) in &scripted {
+            plan = plan.fail_at(FAULT_SITES[site], nth);
+        }
+        m.set_fault_plan(Some(plan));
+        let out = execute_plan(&mut m, &plan_of(&ranges), &MigrationConfig::default(), TierId::FAST)
+            .unwrap();
+        prop_assert_eq!(
+            out.bytes_moved + out.bytes_skipped + out.bytes_failed,
+            ranges.iter().map(|r| r.len).sum::<usize>()
+        );
+        prop_assert_eq!(out.regions + out.regions_skipped + out.regions_failed, ranges.len());
+        assert_pattern_intact(&mut m, r, seed, "scripted");
+        assert_audit_clean(&mut m, "scripted");
+    }
+}
+
+/// One skewed-read "iteration" over a tracked array (the synthetic kernel
+/// the runtime-level properties drive).
+fn skewed_reads(rt: &mut Atmem, v: &TrackedVec<u64>, reads: usize, hot_frac: f64) {
+    let n = v.len();
+    let hot = ((n as f64 * hot_frac) as usize).max(1);
+    for i in 0..reads {
+        let idx = if i % 10 < 9 {
+            (i * 7919) % hot
+        } else {
+            hot + (i * 104729) % (n - hot)
+        };
+        let _ = v.get(rt.machine_mut(), idx);
+    }
+}
+
+/// Profiles one skewed iteration, then optimizes under `fault`.
+/// Returns (data_ratio after optimize, data_ratio after a retry round).
+fn profiled_optimize(fault: Option<FaultPlan>, hot_frac: f64) -> (f64, f64) {
+    let mut rt = Atmem::new(Platform::testing(), AtmemConfig::default()).unwrap();
+    let v = rt.malloc::<u64>(64 * 1024, "data").unwrap();
+    for i in 0..v.len() {
+        v.poke(rt.machine_mut(), i, (i as u64).wrapping_mul(0x9E37_79B9));
+    }
+    rt.profiling_start().unwrap();
+    skewed_reads(&mut rt, &v, 40_000, hot_frac);
+    rt.profiling_stop().unwrap();
+    rt.machine_mut().set_fault_plan(fault);
+    rt.optimize()
+        .expect("optimize must absorb pressure-class faults");
+    let after_faults = rt.fast_data_ratio();
+    // Retry round: samples persist, so failed/skipped regions are
+    // replanned; recovery must be monotone.
+    rt.machine_mut().set_fault_plan(None);
+    rt.optimize().unwrap();
+    let after_retry = rt.fast_data_ratio();
+    for i in 0..v.len() {
+        assert_eq!(
+            v.peek(rt.machine_mut(), i),
+            (i as u64).wrapping_mul(0x9E37_79B9),
+            "data torn at {i}"
+        );
+    }
+    assert_audit_clean(rt.machine_mut(), "runtime");
+    (after_faults, after_retry)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(prop_cases(32)))]
+
+    /// Full runtime loop under random per-site fault rates: `optimize`
+    /// never errors, the data survives bit-exactly, the audit stays
+    /// clean, the fault run never beats the fault-free run's placement,
+    /// and the retry round recovers monotonically.
+    #[test]
+    fn runtime_optimize_absorbs_random_faults(
+        seed in 1u64..1 << 48,
+        rate in 0.0f64..0.6,
+        hot_pct in 5usize..20,
+    ) {
+        let hot_frac = hot_pct as f64 / 100.0;
+        let (clean_ratio, _) = profiled_optimize(None, hot_frac);
+        let mut plan = FaultPlan::seeded(seed);
+        for &site in &FAULT_SITES {
+            plan = plan.with_rate(site, rate);
+        }
+        let (faulted_ratio, retried_ratio) = profiled_optimize(Some(plan), hot_frac);
+        prop_assert!(
+            faulted_ratio <= clean_ratio + 1e-9,
+            "faults improved placement: {} > {}", faulted_ratio, clean_ratio
+        );
+        prop_assert!(
+            retried_ratio + 1e-9 >= faulted_ratio,
+            "retry lost placement: {} < {}", retried_ratio, faulted_ratio
+        );
+    }
+}
+
+/// BFS on a random graph, profiled and optimized under `fault`.
+/// Returns (distances, audit violations).
+fn bfs_under_faults(
+    n: usize,
+    edges: &[(u32, u32)],
+    source: u32,
+    fault: Option<FaultPlan>,
+) -> (Vec<u32>, Vec<String>) {
+    let csr = GraphBuilder::new(n)
+        .edges(
+            edges
+                .iter()
+                .map(|&(u, v)| (u % n as u32, v % n as u32))
+                .collect::<Vec<_>>(),
+        )
+        .self_loops(SelfLoops::Keep)
+        .build();
+    let mut rt = Atmem::new(Platform::testing(), AtmemConfig::default()).unwrap();
+    let g = HmsGraph::load(&mut rt, &csr).unwrap();
+    let mut bfs = Bfs::new(&mut rt, g, source % n as u32).unwrap();
+    bfs.reset(&mut rt);
+    rt.profiling_start().unwrap();
+    bfs.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
+    rt.profiling_stop().unwrap();
+    rt.machine_mut().set_fault_plan(fault);
+    rt.optimize()
+        .expect("optimize must absorb pressure-class faults");
+    rt.machine_mut().set_fault_plan(None);
+    bfs.reset(&mut rt);
+    bfs.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
+    let distances = bfs.distances(&mut rt);
+    let audit = rt.machine_mut().audit();
+    (distances, audit)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(prop_cases(16)))]
+
+    /// A real graph kernel's outputs are bit-identical whether or not the
+    /// optimizer's migration round was riddled with faults.
+    #[test]
+    fn kernel_outputs_survive_faulted_optimize(
+        seed in 1u64..1 << 48,
+        n in 2usize..40,
+        edges in prop::collection::vec((0u32..40, 0u32..40), 1..120),
+        source in 0u32..40,
+        rate in 0.05f64..0.6,
+    ) {
+        let (clean, clean_audit) = bfs_under_faults(n, &edges, source, None);
+        let mut plan = FaultPlan::seeded(seed);
+        for &site in &FAULT_SITES {
+            plan = plan.with_rate(site, rate);
+        }
+        let (faulted, faulted_audit) = bfs_under_faults(n, &edges, source, Some(plan));
+        prop_assert_eq!(clean, faulted, "kernel output changed under faults");
+        prop_assert!(clean_audit.is_empty(), "{:?}", clean_audit);
+        prop_assert!(faulted_audit.is_empty(), "{:?}", faulted_audit);
+    }
+}
+
+/// Acceptance check: a scripted fault at every stage boundary of a
+/// single-region staged migration leaves the region fully readable on the
+/// source tier (or fully moved, for the stage-3 completion fallback) with
+/// a clean audit.
+#[test]
+fn fault_at_every_stage_boundary_leaves_region_whole() {
+    let cases = [
+        (FaultSite::StagingAlloc, 0, "stage 0: staging allocation"),
+        (FaultSite::Move, 0, "stage 1: copy into staging"),
+        (FaultSite::Remap, 0, "stage 2: remap"),
+        (FaultSite::Move, 1, "stage 3: copy out of staging"),
+        (FaultSite::FrameAlloc, 0, "stage 2: frame allocation"),
+    ];
+    for (site, nth, label) in cases {
+        let (mut m, r) = filled_machine(32, 7);
+        m.set_fault_plan(Some(FaultPlan::new().fail_at(site, nth)));
+        let out = execute_plan(
+            &mut m,
+            &plan_of(&[r]),
+            &MigrationConfig::default(),
+            TierId::FAST,
+        )
+        .unwrap_or_else(|e| panic!("{label}: error escaped: {e}"));
+        let injected = m.fault_plan().unwrap().injected().len();
+        assert_eq!(injected, 1, "{label}: expected exactly one injected fault");
+        assert_eq!(out.regions, 0, "{label}: region must not count as moved");
+        assert_eq!(
+            out.regions_skipped + out.regions_failed,
+            1,
+            "{label}: region must be skipped or failed"
+        );
+        // Rolled back page-exactly: whole region back on the source tier.
+        assert_eq!(
+            m.resident_bytes(r, TierId::SLOW),
+            r.len,
+            "{label}: region not whole on source tier"
+        );
+        assert_pattern_intact(&mut m, r, 7, label);
+        m.set_fault_plan(None);
+        assert_audit_clean(&mut m, label);
+    }
+}

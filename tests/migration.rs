@@ -53,6 +53,66 @@ fn both_mechanisms_produce_identical_bytes() {
         let b = m2.peek::<u64>(r2.start.add(i * 8)).unwrap();
         assert_eq!(a, b, "divergence at word {i}");
     }
+    assert!(m1.audit().is_empty(), "{:?}", m1.audit());
+    assert!(m2.audit().is_empty(), "{:?}", m2.audit());
+}
+
+/// The tier each page of `r` resides on, in page order.
+fn page_tiers(m: &mut Machine, r: VirtRange) -> Vec<TierId> {
+    (0..r.len / PAGE)
+        .map(|p| m.tier_of(r.start.add((p * PAGE) as u64)).unwrap())
+        .collect()
+}
+
+/// Differential placement check: fault-free staged migration and the mbind
+/// baseline must land the same pages on the same tiers, for promotion
+/// (slow -> fast) and demotion (fast -> slow) plans alike. The mechanisms
+/// differ in speed and mapping granularity, never in placement.
+#[test]
+fn staged_and_mbind_agree_on_placement_both_directions() {
+    for dst in [TierId::FAST, TierId::SLOW] {
+        let setup = || {
+            let (mut m, r) = filled_machine(64 * PAGE, 17);
+            if dst == TierId::SLOW {
+                // Demotion needs the data fast-resident first.
+                m.migrate_mbind(r, TierId::FAST).unwrap();
+            }
+            (m, r)
+        };
+        let (mut m1, r1) = setup();
+        let (mut m2, r2) = setup();
+        // Two disjoint subranges, leaving untouched pages on either side.
+        let subs = |r: VirtRange| {
+            [
+                VirtRange::new(r.start.add(4 * PAGE as u64), 16 * PAGE),
+                VirtRange::new(r.start.add(40 * PAGE as u64), 8 * PAGE),
+            ]
+        };
+        for sub in subs(r1) {
+            m1.migrate_mbind(sub, dst).unwrap();
+        }
+        execute_plan(
+            &mut m2,
+            &plan_of(&subs(r2)),
+            &MigrationConfig::default(),
+            dst,
+        )
+        .unwrap();
+        assert_eq!(
+            page_tiers(&mut m1, r1),
+            page_tiers(&mut m2, r2),
+            "placement diverges for dst {dst:?}"
+        );
+        for i in 0..(r1.len / 8) as u64 {
+            assert_eq!(
+                m1.peek::<u64>(r1.start.add(i * 8)).unwrap(),
+                m2.peek::<u64>(r2.start.add(i * 8)).unwrap(),
+                "data diverges at word {i} for dst {dst:?}"
+            );
+        }
+        assert!(m1.audit().is_empty(), "{:?}", m1.audit());
+        assert!(m2.audit().is_empty(), "{:?}", m2.audit());
+    }
 }
 
 #[test]
@@ -85,6 +145,8 @@ fn staged_migration_causes_fewer_post_migration_tlb_misses() {
         mbind_misses > 10 * staged_misses.max(1),
         "mbind {mbind_misses} vs staged {staged_misses}"
     );
+    assert!(m1.audit().is_empty(), "{:?}", m1.audit());
+    assert!(m2.audit().is_empty(), "{:?}", m2.audit());
 }
 
 #[test]
@@ -109,6 +171,7 @@ fn migration_under_concurrent_reuse_of_other_allocations() {
         assert_eq!(m.peek::<u64>(a.start.add(i * 8)).unwrap(), i);
         assert_eq!(m.peek::<u64>(b.start.add(i * 8)).unwrap(), !i);
     }
+    assert!(m.audit().is_empty(), "{:?}", m.audit());
 }
 
 proptest! {
@@ -151,6 +214,7 @@ proptest! {
             let range = VirtRange::new(r.start.add((s * PAGE) as u64), (e - s) * PAGE);
             prop_assert_eq!(m.resident_bytes(range, TierId::FAST), (e - s) * PAGE);
         }
+        prop_assert!(m.audit().is_empty(), "{:?}", m.audit());
     }
 
     /// mbind on arbitrary aligned sub-ranges moves exactly that range.
@@ -175,5 +239,6 @@ proptest! {
                 i.wrapping_mul(13)
             );
         }
+        prop_assert!(m.audit().is_empty(), "{:?}", m.audit());
     }
 }

@@ -205,6 +205,8 @@ fn sharded_traversal_is_deterministic_across_runs() {
         let stats = rt.machine().stats();
         let now = rt.machine().now().as_ns().to_bits();
         let pebs = rt.machine_mut().pebs_drain();
+        let audit = rt.machine_mut().audit();
+        assert!(audit.is_empty(), "audit: {audit:?}");
         (stats, now, pebs, bfs.distances(&mut rt))
     };
     let a = run();
@@ -247,6 +249,7 @@ fn sharded_protocol_is_deterministic_across_runs() {
         oa.migration.time.as_ns().to_bits(),
         ob.migration.time.as_ns().to_bits()
     );
+    assert!(a.audit.is_empty(), "audit: {:?}", a.audit);
 }
 
 #[test]
@@ -322,4 +325,5 @@ fn merged_pebs_stream_drives_the_optimizer() {
         atm.second_iter,
         base.second_iter
     );
+    assert!(atm.audit.is_empty(), "audit: {:?}", atm.audit);
 }
