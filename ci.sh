@@ -31,6 +31,18 @@ echo "==> fault-injection smoke (set ATMEM_PROP_CASES to widen the sweep)"
 # (or any value) widens every property in the harness.
 ATMEM_PROP_CASES="${ATMEM_PROP_CASES:-8}" cargo test -q -p atmem-bench --test faults
 
+echo "==> serving smoke (multi-tenant scheduler anchors)"
+# The three serving anchors: one-tenant bit-identity with the solo
+# protocol, contended two-tenant byte conservation + audit-clean quanta,
+# and shared-tier-beats-static-partition. Already part of tier-1 above;
+# kept as a dedicated step so a serving regression is named in CI output.
+cargo test -q -p atmem-bench --test serving
+
+echo "==> example smoke (shared_server runs end to end)"
+# The example asserts audit cleanliness and per-tenant byte conservation
+# internally; a non-zero exit fails the gate.
+cargo run -q --release -p atmem-bench --example shared_server > /dev/null
+
 echo "==> bench smoke (mode-equivalence + core-sweep invariance, no timing gates)"
 # Covers the regular kernels' Scalar/Bulk equivalence and the --cores
 # {1,2,4} checksum-invariance of PR, SpMV and the frontier-sharded

@@ -42,6 +42,7 @@ pub mod pagerank;
 pub mod pagerank_pull;
 pub mod par;
 pub mod runner;
+pub mod serve;
 pub mod spmv;
 pub mod sssp;
 pub mod synth;
@@ -58,6 +59,7 @@ pub use kernel::{App, Kernel};
 pub use pagerank::PageRank;
 pub use pagerank_pull::PageRankPull;
 pub use runner::{run_protocol, run_protocol_cores, Mode, ProtocolResult};
+pub use serve::{serve_protocols, ServeReport, TenantReport, TenantSpec};
 pub use spmv::Spmv;
 pub use sssp::Sssp;
 pub use synth::{drive_zipf, HotWindow, Zipf};

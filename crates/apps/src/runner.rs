@@ -8,7 +8,7 @@
 //! [`run_protocol`] reproduces exactly that, for any of the placement
 //! modes the figures compare.
 
-use atmem::{Atmem, AtmemConfig, OptimizeReport, PlacementPolicy, Result};
+use atmem::{Atmem, AtmemConfig, AtmemError, OptimizeReport, PlacementPolicy, Result};
 use atmem_graph::Csr;
 use atmem_hms::{MachineStats, Platform, SimDuration};
 
@@ -102,7 +102,14 @@ pub fn run_protocol(
 ///
 /// # Errors
 ///
-/// Same failure modes as [`run_protocol`].
+/// Same failure modes as [`run_protocol`], plus
+/// [`AtmemError::InvalidConfig`] when the caller's
+/// `config.default_placement` contradicts the placement `mode`
+/// prescribes: each mode *is* a placement experiment, so the runner used
+/// to overwrite the field silently — a caller comparing, say, an
+/// `AllFast` config across modes got `AllSlow` without any indication.
+/// Now the mode's placement applies only when the caller left the field
+/// at its default, and an explicit conflicting policy is an error.
 pub fn run_protocol_cores(
     platform: Platform,
     mut config: AtmemConfig,
@@ -111,7 +118,16 @@ pub fn run_protocol_cores(
     mode: Mode,
     par_cores: usize,
 ) -> Result<ProtocolResult> {
-    config.default_placement = mode.placement_policy();
+    let prescribed = mode.placement_policy();
+    if config.default_placement == PlacementPolicy::default() {
+        config.default_placement = prescribed;
+    } else if config.default_placement != prescribed {
+        return Err(AtmemError::InvalidConfig {
+            what: "default_placement",
+            reason: "conflicts with the placement the mode prescribes; \
+                     leave it at the default to run a mode experiment",
+        });
+    }
     let mut rt = Atmem::new(platform, config)?;
     let graph = HmsGraph::load(&mut rt, csr)?;
     let mut kernel = app.instantiate(&mut rt, graph)?;
@@ -202,6 +218,39 @@ mod tests {
         );
         assert!(atm.data_ratio > 0.0 && atm.data_ratio < 1.0);
         assert!(atm.optimize.is_some());
+    }
+
+    #[test]
+    fn explicit_conflicting_placement_is_rejected_not_overwritten() {
+        let csr = small_graph(App::Bfs);
+        // An explicit policy that contradicts the mode errors out instead
+        // of being silently replaced (the old behavior).
+        let conflicting = AtmemConfig::default().with_placement(PlacementPolicy::AllFast);
+        let err = run_protocol(
+            Platform::testing(),
+            conflicting.clone(),
+            &csr,
+            App::Bfs,
+            Mode::Atmem,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            AtmemError::InvalidConfig {
+                what: "default_placement",
+                ..
+            }
+        ));
+        // The same explicit policy is fine when it agrees with the mode.
+        let ideal = run_protocol(
+            Platform::testing(),
+            conflicting,
+            &csr,
+            App::Bfs,
+            Mode::Ideal,
+        )
+        .unwrap();
+        assert!((ideal.data_ratio - 1.0).abs() < 1e-9);
     }
 
     #[test]

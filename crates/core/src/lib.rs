@@ -56,6 +56,7 @@ pub mod profiler;
 pub mod registry;
 pub mod report;
 pub mod runtime;
+pub mod serve;
 
 pub use analyzer::{analyze, Analysis, ObjectAnalysis};
 pub use chunk::{chunk_geometry, ChunkGeometry};
@@ -64,9 +65,13 @@ pub use config::{
     SamplingConfig,
 };
 pub use error::{AtmemError, Result};
-pub use migrate::{build_plan, execute_plan, MigrationOutcome, MigrationPlan, PlannedRegion};
+pub use migrate::{
+    build_plan, execute_plan, execute_regions, MigrationOutcome, MigrationPlan, PlannedRegion,
+    RegionStatus,
+};
 pub use object::{DataObject, ObjectId};
 pub use profiler::{ProfileSummary, Profiler};
 pub use registry::Registry;
 pub use report::{chunk_heatmap, ObjectResidency, ResidencyReport};
-pub use runtime::{Atmem, OptimizeReport};
+pub use runtime::{Atmem, OptimizeReport, TenantRt};
+pub use serve::{RoundReport, Scheduler, TenantRound, TenantStats};

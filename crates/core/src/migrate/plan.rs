@@ -45,13 +45,15 @@ impl MigrationPlan {
     }
 }
 
-/// Builds the plan for `analysis` under `budget_bytes` of fast-tier space.
-pub fn build_plan(
+/// All candidate promotion regions of one (registry, analysis) pair:
+/// coalesced runs of critical chunks, page-aligned and split at the cap.
+/// Unsorted — callers rank and admit (the solo optimizer against its own
+/// budget, the multi-tenant scheduler against the shared tier globally).
+pub(crate) fn promotion_candidates(
     registry: &Registry,
     analysis: &Analysis,
     config: &MigrationConfig,
-    budget_bytes: usize,
-) -> MigrationPlan {
+) -> Vec<PlannedRegion> {
     let mut candidates: Vec<PlannedRegion> = Vec::new();
     for oa in &analysis.objects {
         let obj = match registry.get(oa.id) {
@@ -72,15 +74,37 @@ pub fn build_plan(
             }
         }
     }
+    candidates
+}
 
-    // Highest priority density first; ties broken by address for
-    // determinism.
-    candidates.sort_by(|a, b| {
-        b.priority
-            .partial_cmp(&a.priority)
-            .expect("priorities are finite")
-            .then(a.range.start.cmp(&b.range.start))
-    });
+/// Hottest-first region order: priority density descending, ties broken by
+/// address for determinism. Virtual addresses are globally unique, so the
+/// order is total even across tenants sharing one machine.
+pub(crate) fn hotter_first(a: &PlannedRegion, b: &PlannedRegion) -> std::cmp::Ordering {
+    b.priority
+        .partial_cmp(&a.priority)
+        .expect("priorities are finite")
+        .then(a.range.start.cmp(&b.range.start))
+}
+
+/// Coldest-first region order (the demotion rank), with the same address
+/// tiebreak as [`hotter_first`].
+pub(crate) fn colder_first(a: &PlannedRegion, b: &PlannedRegion) -> std::cmp::Ordering {
+    a.priority
+        .partial_cmp(&b.priority)
+        .expect("priorities are finite")
+        .then(a.range.start.cmp(&b.range.start))
+}
+
+/// Builds the plan for `analysis` under `budget_bytes` of fast-tier space.
+pub fn build_plan(
+    registry: &Registry,
+    analysis: &Analysis,
+    config: &MigrationConfig,
+    budget_bytes: usize,
+) -> MigrationPlan {
+    let mut candidates = promotion_candidates(registry, analysis, config);
+    candidates.sort_by(hotter_first);
 
     let mut plan = MigrationPlan::default();
     for region in candidates {
@@ -136,6 +160,31 @@ pub fn build_demotion_plan(
     config: &MigrationConfig,
     demand_bytes: usize,
 ) -> MigrationPlan {
+    let mut candidates = demotion_candidates(registry, analysis, machine, config);
+    candidates.sort_by(colder_first);
+
+    let free = machine.free_bytes(atmem_hms::TierId::FAST);
+    let mut plan = MigrationPlan::default();
+    for region in candidates {
+        if promotion_budget(free + plan.total_bytes, config) >= demand_bytes {
+            plan.dropped_bytes += region.range.len;
+        } else {
+            plan.total_bytes += region.range.len;
+            plan.regions.push(region);
+        }
+    }
+    plan
+}
+
+/// All candidate demotion regions of one (registry, analysis) pair: runs
+/// of non-critical chunks with any fast-resident bytes. Unsorted, like
+/// [`promotion_candidates`].
+pub(crate) fn demotion_candidates(
+    registry: &Registry,
+    analysis: &Analysis,
+    machine: &atmem_hms::Machine,
+    config: &MigrationConfig,
+) -> Vec<PlannedRegion> {
     let mut candidates: Vec<PlannedRegion> = Vec::new();
     for oa in &analysis.objects {
         let obj = match registry.get(oa.id) {
@@ -160,26 +209,7 @@ pub fn build_demotion_plan(
             }
         }
     }
-
-    // Coldest first; ties broken by address for determinism.
-    candidates.sort_by(|a, b| {
-        a.priority
-            .partial_cmp(&b.priority)
-            .expect("priorities are finite")
-            .then(a.range.start.cmp(&b.range.start))
-    });
-
-    let free = machine.free_bytes(atmem_hms::TierId::FAST);
-    let mut plan = MigrationPlan::default();
-    for region in candidates {
-        if promotion_budget(free + plan.total_bytes, config) >= demand_bytes {
-            plan.dropped_bytes += region.range.len;
-        } else {
-            plan.total_bytes += region.range.len;
-            plan.regions.push(region);
-        }
-    }
-    plan
+    candidates
 }
 
 /// Converts the chunk run `[first, last)` of `obj` into one or more

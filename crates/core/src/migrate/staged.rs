@@ -52,7 +52,7 @@ use atmem_hms::{HmsError, Machine, SimDuration, TierId, VirtRange};
 
 use crate::config::{MigrationConfig, MigrationMechanism};
 use crate::error::Result;
-use crate::migrate::plan::MigrationPlan;
+use crate::migrate::plan::{MigrationPlan, PlannedRegion};
 
 /// Outcome of executing one migration plan.
 ///
@@ -82,8 +82,12 @@ pub struct MigrationOutcome {
     pub time: SimDuration,
 }
 
-/// How one region's migration ended.
-enum RegionOutcome {
+/// How one region's migration ended. [`execute_regions`] returns one
+/// status per input region, in order, so callers that interleave regions
+/// from several owners (the multi-tenant scheduler) can attribute each
+/// region's bytes to whoever planned it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionStatus {
     /// Fully migrated to the target tier.
     Moved,
     /// Not attempted: staging allocation pressure before any work.
@@ -112,13 +116,33 @@ pub fn execute_plan(
     config: &MigrationConfig,
     dst_tier: TierId,
 ) -> Result<MigrationOutcome> {
+    let (outcome, _statuses) = execute_regions(machine, &plan.regions, config, dst_tier)?;
+    Ok(outcome)
+}
+
+/// Executes a bare region sequence (the body of [`execute_plan`]),
+/// additionally returning each region's [`RegionStatus`] in input order.
+/// The multi-tenant scheduler uses the statuses to attribute migrated
+/// bytes per tenant; byte and time accounting are identical to
+/// [`execute_plan`] on the same sequence.
+///
+/// # Errors
+///
+/// Same failure modes as [`execute_plan`].
+pub fn execute_regions(
+    machine: &mut Machine,
+    regions: &[PlannedRegion],
+    config: &MigrationConfig,
+    dst_tier: TierId,
+) -> Result<(MigrationOutcome, Vec<RegionStatus>)> {
     let threads = config
         .threads
         .unwrap_or(machine.platform().migration_threads);
     let mut outcome = MigrationOutcome::default();
+    let mut statuses = Vec::with_capacity(regions.len());
     let start = machine.now();
-    for region in &plan.regions {
-        let region_outcome = match config.mechanism {
+    for region in regions {
+        let status = match config.mechanism {
             MigrationMechanism::Staged => {
                 migrate_region_staged(machine, region.range, dst_tier, threads)?
             }
@@ -127,37 +151,38 @@ pub fn execute_plan(
             }
             MigrationMechanism::Mbind => match machine.migrate_mbind(region.range, dst_tier) {
                 // migrate_mbind already accounts bytes and time.
-                Ok(_) => RegionOutcome::Moved,
+                Ok(_) => RegionStatus::Moved,
                 // Mid-stream pressure: the real service commits the moved
                 // prefix and leaves the rest on the source tier — the
                 // region is consistent and readable but not fully
                 // migrated, so it counts as failed, not moved.
                 Err(HmsError::OutOfMemory { .. }) | Err(HmsError::Fragmented { .. }) => {
-                    RegionOutcome::Failed
+                    RegionStatus::Failed
                 }
                 Err(e) => return Err(e.into()),
             },
         };
-        match region_outcome {
-            RegionOutcome::Moved => {
+        match status {
+            RegionStatus::Moved => {
                 outcome.bytes_moved += region.range.len;
                 outcome.regions += 1;
                 if !matches!(config.mechanism, MigrationMechanism::Mbind) {
                     machine.note_migrated(region.range.len);
                 }
             }
-            RegionOutcome::Skipped => {
+            RegionStatus::Skipped => {
                 outcome.regions_skipped += 1;
                 outcome.bytes_skipped += region.range.len;
             }
-            RegionOutcome::Failed => {
+            RegionStatus::Failed => {
                 outcome.regions_failed += 1;
                 outcome.bytes_failed += region.range.len;
             }
         }
+        statuses.push(status);
     }
     outcome.time = SimDuration::from_ns(machine.now().as_ns() - start.as_ns());
-    Ok(outcome)
+    Ok((outcome, statuses))
 }
 
 /// The source tier a region rolls back to: the opposite of the migration
@@ -177,13 +202,13 @@ fn migrate_region_staged(
     range: VirtRange,
     dst_tier: TierId,
     threads: usize,
-) -> Result<RegionOutcome> {
+) -> Result<RegionStatus> {
     let pages = range.len / PAGE_SIZE;
     // Stage 0: reserve the staging buffer on the target tier.
     let staging = match machine.alloc_frames(dst_tier, pages) {
         Ok(run) => run,
         Err(HmsError::OutOfMemory { .. }) | Err(HmsError::Fragmented { .. }) => {
-            return Ok(RegionOutcome::Skipped)
+            return Ok(RegionStatus::Skipped)
         }
         Err(e) => return Err(e.into()),
     };
@@ -194,7 +219,7 @@ fn migrate_region_staged(
         Ok(_) => {}
         Err(HmsError::FaultInjected(_)) => {
             machine.free_frames(dst_tier, staging);
-            return Ok(RegionOutcome::Failed);
+            return Ok(RegionStatus::Failed);
         }
         Err(e) => {
             machine.free_frames(dst_tier, staging);
@@ -207,7 +232,7 @@ fn migrate_region_staged(
         Ok(_mappings) => {}
         Err(HmsError::OutOfMemory { .. }) | Err(HmsError::Fragmented { .. }) => {
             machine.free_frames(dst_tier, staging);
-            return Ok(RegionOutcome::Failed);
+            return Ok(RegionStatus::Failed);
         }
         Err(e) => {
             machine.free_frames(dst_tier, staging);
@@ -218,7 +243,7 @@ fn migrate_region_staged(
     machine.advance_clock(SimDuration::from_ns(2_000.0));
     // Stage 3: parallel copy staging -> final frames (same-tier copy).
     let outcome = match machine.copy_frames_to_region(dst_tier, staging, range, threads) {
-        Ok(_) => Ok(RegionOutcome::Moved),
+        Ok(_) => Ok(RegionStatus::Moved),
         Err(HmsError::FaultInjected(_)) => {
             rollback_after_move_fault(machine, range, dst_tier, staging, threads)
         }
@@ -245,13 +270,13 @@ fn rollback_after_move_fault(
     dst_tier: TierId,
     staging: atmem_hms::FrameRun,
     threads: usize,
-) -> Result<RegionOutcome> {
+) -> Result<RegionStatus> {
     machine.suspend_faults();
     let result = (|| {
         match machine.remap_region(range, source_tier(dst_tier)) {
             Ok(_) => {
                 machine.copy_frames_to_region(dst_tier, staging, range, threads)?;
-                Ok(RegionOutcome::Failed)
+                Ok(RegionStatus::Failed)
             }
             Err(HmsError::OutOfMemory { .. }) | Err(HmsError::Fragmented { .. }) => {
                 // The source tier cannot take the region back (it was
@@ -259,7 +284,7 @@ fn rollback_after_move_fault(
                 // still validly mapped on the target tier, so complete the
                 // move instead: replay the staged image there.
                 machine.copy_frames_to_region(dst_tier, staging, range, threads)?;
-                Ok(RegionOutcome::Moved)
+                Ok(RegionStatus::Moved)
             }
             Err(e) => Err(crate::error::AtmemError::from(e)),
         }
@@ -278,12 +303,12 @@ fn migrate_region_direct(
     range: VirtRange,
     dst_tier: TierId,
     threads: usize,
-) -> Result<RegionOutcome> {
+) -> Result<RegionStatus> {
     let pages = range.len / PAGE_SIZE;
     let fresh = match machine.alloc_frames(dst_tier, pages) {
         Ok(run) => run,
         Err(HmsError::OutOfMemory { .. }) | Err(HmsError::Fragmented { .. }) => {
-            return Ok(RegionOutcome::Skipped)
+            return Ok(RegionStatus::Skipped)
         }
         Err(e) => return Err(e.into()),
     };
@@ -296,7 +321,7 @@ fn migrate_region_direct(
         Ok(_) => {}
         Err(HmsError::FaultInjected(_)) => {
             machine.free_frames(dst_tier, fresh);
-            return Ok(RegionOutcome::Failed);
+            return Ok(RegionStatus::Failed);
         }
         Err(e) => {
             machine.free_frames(dst_tier, fresh);
@@ -307,7 +332,7 @@ fn migrate_region_direct(
         Ok(_) => {}
         Err(HmsError::OutOfMemory { .. }) | Err(HmsError::Fragmented { .. }) => {
             machine.free_frames(dst_tier, fresh);
-            return Ok(RegionOutcome::Failed);
+            return Ok(RegionStatus::Failed);
         }
         Err(e) => {
             machine.free_frames(dst_tier, fresh);
@@ -316,7 +341,7 @@ fn migrate_region_direct(
     }
     machine.advance_clock(SimDuration::from_ns(2_000.0));
     let outcome = match machine.copy_frames_to_region(dst_tier, fresh, range, threads) {
-        Ok(_) => Ok(RegionOutcome::Moved),
+        Ok(_) => Ok(RegionStatus::Moved),
         Err(HmsError::FaultInjected(_)) => {
             rollback_after_move_fault(machine, range, dst_tier, fresh, threads)
         }

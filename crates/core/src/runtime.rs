@@ -84,15 +84,66 @@ impl std::fmt::Display for OptimizeReport {
     }
 }
 
+/// The per-tenant half of the runtime: everything one protocol instance
+/// owns — its data-object registry, profiler, configuration and allocation
+/// handles — without the machine underneath.
+///
+/// A solo [`Atmem`] bundles one `TenantRt` with a private machine. The
+/// multi-tenant [`Scheduler`](crate::serve::Scheduler) instead keeps many
+/// `TenantRt`s and time-shares a single machine between them, assembling a
+/// full `Atmem` for the duration of one quantum via [`Atmem::from_parts`]
+/// and taking it apart again with [`Atmem::into_parts`].
+#[derive(Debug)]
+pub struct TenantRt {
+    pub(crate) registry: Registry,
+    pub(crate) profiler: Profiler,
+    pub(crate) config: AtmemConfig,
+    pub(crate) handles: Vec<VirtRange>,
+    pub(crate) tag: u32,
+}
+
+impl TenantRt {
+    /// Creates tenant state for `config`, tagged `tag`. The machine's
+    /// residency accounting attributes every allocation made while this
+    /// tenant holds the machine to `tag`, so per-tenant byte queries never
+    /// rescan the mapping table.
+    ///
+    /// # Errors
+    ///
+    /// [`AtmemError::InvalidConfig`] if `config` fails validation.
+    pub fn new(config: AtmemConfig, tag: u32) -> Result<Self> {
+        config.validate()?;
+        Ok(TenantRt {
+            registry: Registry::new(),
+            profiler: Profiler::new(),
+            config,
+            handles: Vec::new(),
+            tag,
+        })
+    }
+
+    /// The allocation tag the machine attributes this tenant's bytes to.
+    pub fn tag(&self) -> u32 {
+        self.tag
+    }
+
+    /// The tenant's data-object registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The tenant's runtime configuration.
+    pub fn config(&self) -> &AtmemConfig {
+        &self.config
+    }
+}
+
 /// The ATMem runtime: registry + profiler + analyzer + optimizer over one
 /// simulated machine.
 #[derive(Debug)]
 pub struct Atmem {
     machine: Machine,
-    registry: Registry,
-    profiler: Profiler,
-    config: AtmemConfig,
-    handles: Vec<VirtRange>,
+    tenant: TenantRt,
 }
 
 impl Atmem {
@@ -102,19 +153,35 @@ impl Atmem {
     ///
     /// [`AtmemError::InvalidConfig`] if `config` fails validation.
     pub fn new(platform: Platform, config: AtmemConfig) -> Result<Self> {
-        config.validate()?;
-        Ok(Atmem {
-            machine: Machine::new(platform),
-            registry: Registry::new(),
-            profiler: Profiler::new(),
-            config,
-            handles: Vec::new(),
-        })
+        Ok(Atmem::from_parts(
+            Machine::new(platform),
+            TenantRt::new(config, 0)?,
+        ))
+    }
+
+    /// Assembles a runtime from a machine and one tenant's state, pointing
+    /// the machine's allocation tagging at the tenant. The scheduler calls
+    /// this at the start of every quantum; pairing it with
+    /// [`Atmem::into_parts`] round-trips both halves unchanged.
+    pub fn from_parts(mut machine: Machine, tenant: TenantRt) -> Self {
+        machine.set_alloc_tag(tenant.tag);
+        Atmem { machine, tenant }
+    }
+
+    /// Disassembles the runtime into the machine and the tenant state (the
+    /// inverse of [`Atmem::from_parts`]).
+    pub fn into_parts(self) -> (Machine, TenantRt) {
+        (self.machine, self.tenant)
+    }
+
+    /// The tenant half of the runtime.
+    pub fn tenant(&self) -> &TenantRt {
+        &self.tenant
     }
 
     /// The runtime configuration.
     pub fn config(&self) -> &AtmemConfig {
-        &self.config
+        &self.tenant.config
     }
 
     /// Shared access to the underlying machine.
@@ -130,7 +197,7 @@ impl Atmem {
 
     /// The data-object registry.
     pub fn registry(&self) -> &Registry {
-        &self.registry
+        &self.tenant.registry
     }
 
     /// Allocates and registers a typed array of `len` elements
@@ -142,12 +209,12 @@ impl Atmem {
     ///
     /// Allocation failures from the memory system.
     pub fn malloc<T: Scalar>(&mut self, len: usize, name: &str) -> Result<TrackedVec<T>> {
-        let placement = self.config.default_placement.placement();
+        let placement = self.tenant.config.default_placement.placement();
         let mut vec = TrackedVec::<T>::new(&mut self.machine, len, placement)?;
         vec.set_name(name);
-        let geometry = chunk_geometry(vec.range().len, &self.config.chunks);
-        self.registry.register(name, vec.range(), geometry);
-        self.handles.push(vec.range());
+        let geometry = chunk_geometry(vec.range().len, &self.tenant.config.chunks);
+        self.tenant.registry.register(name, vec.range(), geometry);
+        self.tenant.handles.push(vec.range());
         Ok(vec)
     }
 
@@ -159,11 +226,12 @@ impl Atmem {
     /// this runtime; memory-system failures otherwise.
     pub fn free<T: Scalar>(&mut self, vec: TrackedVec<T>) -> Result<()> {
         let id = self
+            .tenant
             .registry
             .object_at(vec.range().start)
             .ok_or(AtmemError::Unregistered(vec.range().start))?;
-        self.registry.unregister(id);
-        self.handles.retain(|r| r.start != vec.range().start);
+        self.tenant.registry.unregister(id);
+        self.tenant.handles.retain(|r| r.start != vec.range().start);
         vec.free(&mut self.machine)?;
         Ok(())
     }
@@ -174,12 +242,15 @@ impl Atmem {
     ///
     /// [`AtmemError::ProfilingActive`] if already profiling.
     pub fn profiling_start(&mut self) -> Result<()> {
-        if self.profiler.is_active() {
+        if self.tenant.profiler.is_active() {
             return Err(AtmemError::ProfilingActive);
         }
-        self.registry.reset_samples();
-        self.profiler
-            .start(&mut self.machine, &self.registry, &self.config.sampling);
+        self.tenant.registry.reset_samples();
+        self.tenant.profiler.start(
+            &mut self.machine,
+            &self.tenant.registry,
+            &self.tenant.config.sampling,
+        );
         Ok(())
     }
 
@@ -189,10 +260,13 @@ impl Atmem {
     ///
     /// [`AtmemError::ProfilingNotActive`] if not profiling.
     pub fn profiling_stop(&mut self) -> Result<ProfileSummary> {
-        if !self.profiler.is_active() {
+        if !self.tenant.profiler.is_active() {
             return Err(AtmemError::ProfilingNotActive);
         }
-        Ok(self.profiler.stop(&mut self.machine, &mut self.registry))
+        Ok(self
+            .tenant
+            .profiler
+            .stop(&mut self.machine, &mut self.tenant.registry))
     }
 
     /// Analyzes the profile and migrates critical regions to the fast tier
@@ -203,20 +277,20 @@ impl Atmem {
     /// [`AtmemError::ProfilingActive`] if called mid-profiling; migration
     /// failures otherwise.
     pub fn optimize(&mut self) -> Result<OptimizeReport> {
-        if self.profiler.is_active() {
+        if self.tenant.profiler.is_active() {
             return Err(AtmemError::ProfilingActive);
         }
-        let analysis = analyze(&self.registry, &self.config.analyzer);
+        let analysis = analyze(&self.tenant.registry, &self.tenant.config.analyzer);
         // Phase adaptivity (extension): evict fast-resident regions that
         // are no longer critical, making room for the new selection. The
         // demotion plan is demand-driven: it frees only enough space (a
         // coldest-first prefix of the stale residue) to admit the bytes the
         // new selection actually wants to move.
-        let demotion = if self.config.migration.allow_demotion {
+        let demotion = if self.tenant.config.migration.allow_demotion {
             let wanted = build_plan(
-                &self.registry,
+                &self.tenant.registry,
                 &analysis,
-                &self.config.migration,
+                &self.tenant.config.migration,
                 usize::MAX,
             );
             let demand: usize = wanted
@@ -225,16 +299,16 @@ impl Atmem {
                 .map(|r| r.range.len - self.machine.resident_bytes(r.range, TierId::FAST))
                 .sum();
             let demote = build_demotion_plan(
-                &self.registry,
+                &self.tenant.registry,
                 &analysis,
                 &self.machine,
-                &self.config.migration,
+                &self.tenant.config.migration,
                 demand,
             );
             Some(execute_plan(
                 &mut self.machine,
                 &demote,
-                &self.config.migration,
+                &self.tenant.config.migration,
                 TierId::SLOW,
             )?)
         } else {
@@ -244,16 +318,21 @@ impl Atmem {
         // bounded separately by max_region_bytes.
         let budget = promotion_budget(
             self.machine.free_bytes(TierId::FAST),
-            &self.config.migration,
+            &self.tenant.config.migration,
         );
-        let plan = build_plan(&self.registry, &analysis, &self.config.migration, budget);
+        let plan = build_plan(
+            &self.tenant.registry,
+            &analysis,
+            &self.tenant.config.migration,
+            budget,
+        );
         let migration = execute_plan(
             &mut self.machine,
             &plan,
-            &self.config.migration,
+            &self.tenant.config.migration,
             TierId::FAST,
         )?;
-        let total_bytes = self.registry.total_bytes();
+        let total_bytes = self.tenant.registry.total_bytes();
         Ok(OptimizeReport {
             data_ratio: self.fast_data_ratio(),
             analysis,
@@ -261,22 +340,14 @@ impl Atmem {
             migration,
             demotion,
             total_bytes,
-            profile: self.profiler.last_summary(),
+            profile: self.tenant.profiler.last_summary(),
         })
     }
 
-    /// Fraction of registered bytes currently resident on the fast tier.
+    /// Fraction of registered bytes currently resident on the fast tier,
+    /// served from the machine's incremental residency counters.
     pub fn fast_data_ratio(&self) -> f64 {
-        let total = self.registry.total_bytes();
-        if total == 0 {
-            return 0.0;
-        }
-        let fast: usize = self
-            .registry
-            .iter()
-            .map(|o| self.machine.resident_bytes(o.range(), TierId::FAST))
-            .sum();
-        fast as f64 / total as f64
+        fast_ratio_of(&self.machine, &self.tenant.registry)
     }
 
     /// Current simulated time (convenience passthrough).
@@ -289,6 +360,27 @@ impl Atmem {
     pub fn into_machine(self) -> Machine {
         self.machine
     }
+}
+
+/// Fraction of `registry`'s bytes resident on the fast tier. Each object
+/// is answered from the machine's incremental per-allocation residency
+/// counter (constant-time); the page rescan remains only as a fallback for
+/// ranges the cache does not cover, so per-tenant per-quantum ratio
+/// queries no longer walk the mapping table.
+pub(crate) fn fast_ratio_of(machine: &Machine, registry: &Registry) -> f64 {
+    let total = registry.total_bytes();
+    if total == 0 {
+        return 0.0;
+    }
+    let fast: usize = registry
+        .iter()
+        .map(|o| {
+            machine
+                .allocation_resident(o.range().start, TierId::FAST)
+                .unwrap_or_else(|| machine.resident_bytes(o.range(), TierId::FAST))
+        })
+        .sum();
+    fast as f64 / total as f64
 }
 
 #[cfg(test)]
@@ -467,6 +559,31 @@ mod tests {
         assert!(report.plan.is_empty());
         assert_eq!(report.migration.bytes_moved, 0);
         assert_eq!(report.data_ratio, 0.0);
+    }
+
+    #[test]
+    fn parts_round_trip_preserves_state_and_cached_ratio() {
+        let mut rt = runtime();
+        let v = rt.malloc::<u64>(128 * 1024, "data").unwrap();
+        rt.profiling_start().unwrap();
+        skewed_reads(&mut rt, &v, 60_000, 0.1);
+        rt.profiling_stop().unwrap();
+        rt.optimize().unwrap();
+        let ratio = rt.fast_data_ratio();
+        assert!(ratio > 0.0);
+        // The incremental counters agree with a full mapping-table rescan.
+        let rescan: usize = rt
+            .registry()
+            .iter()
+            .map(|o| rt.machine().resident_bytes(o.range(), TierId::FAST))
+            .sum();
+        let total = rt.registry().total_bytes();
+        assert_eq!(ratio, rescan as f64 / total as f64);
+        // Disassemble and reassemble: nothing observable changes.
+        let (machine, tenant) = rt.into_parts();
+        assert_eq!(tenant.tag(), 0);
+        let rt = Atmem::from_parts(machine, tenant);
+        assert_eq!(rt.fast_data_ratio(), ratio);
     }
 
     #[test]

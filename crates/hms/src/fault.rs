@@ -3,7 +3,8 @@
 //! A [`FaultPlan`] is installed on a [`Machine`](crate::Machine) and consulted
 //! every time execution crosses one of the [`FaultSite`]s inside the
 //! migration path (frame allocation, staging-buffer allocation, region
-//! remap, data move). Each consultation is numbered per site, so a plan can
+//! remap, data move, the per-page `mbind` status check) or the profiling
+//! path (sample-record loss at drain). Each consultation is numbered per site, so a plan can
 //! fail exactly the *n*-th crossing of a site — step-indexed, reproducible
 //! fault schedules — or draw failures from a seeded RNG at a per-site rate.
 //!
@@ -43,15 +44,36 @@ pub enum FaultSite {
     /// [`Machine::copy_region_to_frames`]: crate::Machine::copy_region_to_frames
     /// [`Machine::copy_frames_to_region`]: crate::Machine::copy_frames_to_region
     Move,
+    /// The per-page migratability status check inside
+    /// [`Machine::migrate_mbind`] (the simulated analogue of
+    /// `move_pages(2)` reporting a per-page error). A firing leaves that
+    /// page on its source tier as a splintered base mapping; only the
+    /// status-check overhead is charged.
+    ///
+    /// [`Machine::migrate_mbind`]: crate::Machine::migrate_mbind
+    PageStatus,
+    /// A sampled record crossing [`Machine::pebs_drain`] or
+    /// [`Machine::trace_drain`] (the simulated analogue of a PEBS buffer
+    /// overwrite or a lost perf event). A firing silently drops that
+    /// record, starving the analyzer of one sample.
+    ///
+    /// [`Machine::pebs_drain`]: crate::Machine::pebs_drain
+    /// [`Machine::trace_drain`]: crate::Machine::trace_drain
+    SampleLoss,
 }
 
 /// All fault sites, in a fixed order (used for per-site tables).
-pub const FAULT_SITES: [FaultSite; 4] = [
+pub const FAULT_SITES: [FaultSite; 6] = [
     FaultSite::FrameAlloc,
     FaultSite::StagingAlloc,
     FaultSite::Remap,
     FaultSite::Move,
+    FaultSite::PageStatus,
+    FaultSite::SampleLoss,
 ];
+
+/// Number of distinct fault sites (per-site table width).
+const NUM_SITES: usize = FAULT_SITES.len();
 
 impl FaultSite {
     const fn index(self) -> usize {
@@ -60,6 +82,8 @@ impl FaultSite {
             FaultSite::StagingAlloc => 1,
             FaultSite::Remap => 2,
             FaultSite::Move => 3,
+            FaultSite::PageStatus => 4,
+            FaultSite::SampleLoss => 5,
         }
     }
 }
@@ -71,6 +95,8 @@ impl std::fmt::Display for FaultSite {
             FaultSite::StagingAlloc => "staging-alloc",
             FaultSite::Remap => "remap",
             FaultSite::Move => "move",
+            FaultSite::PageStatus => "page-status",
+            FaultSite::SampleLoss => "sample-loss",
         };
         f.write_str(name)
     }
@@ -93,9 +119,9 @@ impl std::fmt::Display for FaultSite {
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
     scripted: Vec<(FaultSite, u64)>,
-    rates: [f64; 4],
+    rates: [f64; NUM_SITES],
     rng: Option<SmallRng>,
-    consults: [u64; 4],
+    consults: [u64; NUM_SITES],
     injected: Vec<(FaultSite, u64)>,
     suspended: bool,
 }
@@ -105,9 +131,9 @@ impl FaultPlan {
     pub fn new() -> Self {
         FaultPlan {
             scripted: Vec::new(),
-            rates: [0.0; 4],
+            rates: [0.0; NUM_SITES],
             rng: None,
-            consults: [0; 4],
+            consults: [0; NUM_SITES],
             injected: Vec::new(),
             suspended: false,
         }

@@ -42,6 +42,16 @@ pub struct AllocationInfo {
     pub range: VirtRange,
     /// Pages reserved for the allocation (rounded up).
     pub pages: usize,
+    /// Owner tag stamped at allocation time (the ambient
+    /// [`Machine::set_alloc_tag`] value; a multi-tenant scheduler sets one
+    /// tag per tenant so residency accounting never rescans the world).
+    pub tag: u32,
+    /// Cached bytes of `range` resident per tier (indexed by
+    /// [`TierId::index`]), maintained incrementally on every map, remap and
+    /// free, and checked against a full mapping rescan by
+    /// [`Machine::audit`] (invariant 8). Always byte-exact: equal to
+    /// [`Machine::resident_bytes`] over `range`.
+    pub resident: [usize; 2],
 }
 
 /// Result of a migration operation.
@@ -82,6 +92,12 @@ pub struct Machine {
     /// Counter snapshot from the previous [`Machine::audit`], for the
     /// monotonicity check.
     last_audit_stats: Option<MachineStats>,
+    /// Tag stamped onto new allocations (see [`Machine::set_alloc_tag`]).
+    alloc_tag: u32,
+    /// Per-tag aggregate of the per-allocation residency caches, indexed
+    /// `[tag][TierId::index]` — the O(1) answer to "how many bytes does
+    /// tenant `tag` have on each tier right now".
+    tag_resident: BTreeMap<u32, [usize; 2]>,
 }
 
 impl Machine {
@@ -103,6 +119,78 @@ impl Machine {
             fault: None,
             staged_runs: Vec::new(),
             last_audit_stats: None,
+            alloc_tag: 0,
+            tag_resident: BTreeMap::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation tags and the incremental residency cache
+    // ------------------------------------------------------------------
+
+    /// Sets the owner tag stamped onto subsequent allocations. Ambient
+    /// state: a multi-tenant scheduler sets the tenant's tag before each
+    /// quantum so every allocation the tenant makes is attributed to it.
+    /// Defaults to 0 (single-tenant machines never need to touch it).
+    pub fn set_alloc_tag(&mut self, tag: u32) {
+        self.alloc_tag = tag;
+    }
+
+    /// The tag currently stamped onto new allocations.
+    pub fn alloc_tag(&self) -> u32 {
+        self.alloc_tag
+    }
+
+    /// Bytes resident on `tier` across all live allocations stamped with
+    /// `tag`, answered from the incremental residency cache — O(log n),
+    /// no mapping rescan.
+    pub fn resident_bytes_by_tag(&self, tag: u32, tier: TierId) -> usize {
+        self.tag_resident.get(&tag).map_or(0, |r| r[tier.index()])
+    }
+
+    /// Total live allocated bytes stamped with `tag` (both tiers).
+    pub fn tagged_bytes(&self, tag: u32) -> usize {
+        self.tag_resident.get(&tag).map_or(0, |r| r.iter().sum())
+    }
+
+    /// Cached bytes of the allocation starting at `start` resident on
+    /// `tier`. Byte-exact: equal to [`Machine::resident_bytes`] over the
+    /// allocation's range, without the per-call mapping rescan. `None` if
+    /// no allocation starts there.
+    pub fn allocation_resident(&self, start: VirtAddr, tier: TierId) -> Option<usize> {
+        self.allocations
+            .get(&start.raw())
+            .map(|info| info.resident[tier.index()])
+    }
+
+    /// Credits the residency cache for a mapping covering `vrange` on
+    /// `tier` (clipped to the owning allocation's byte-exact range).
+    fn note_mapped(&mut self, vrange: VirtRange, tier: TierId) {
+        self.residency_delta(vrange, tier, true);
+    }
+
+    /// Debits the residency cache for a mapping covering `vrange` on
+    /// `tier`.
+    fn note_unmapped(&mut self, vrange: VirtRange, tier: TierId) {
+        self.residency_delta(vrange, tier, false);
+    }
+
+    fn residency_delta(&mut self, vrange: VirtRange, tier: TierId, add: bool) {
+        let Some((&start, info)) = self.allocations.range(..=vrange.start.raw()).next_back() else {
+            return;
+        };
+        let Some(clip) = vrange.intersect(info.range) else {
+            return;
+        };
+        let (tag, len, ti) = (info.tag, clip.len, tier.index());
+        let entry = self.allocations.get_mut(&start).expect("entry just found");
+        let agg = self.tag_resident.entry(tag).or_insert([0; 2]);
+        if add {
+            entry.resident[ti] += len;
+            agg[ti] += len;
+        } else {
+            entry.resident[ti] -= len;
+            agg[ti] -= len;
         }
     }
 
@@ -145,7 +233,7 @@ impl Machine {
     }
 
     /// Consults the installed plan (if any) at `site`.
-    fn fault_fires(&mut self, site: FaultSite) -> bool {
+    pub(crate) fn fault_fires(&mut self, site: FaultSite) -> bool {
         self.fault.as_mut().is_some_and(|p| p.should_fail(site))
     }
 
@@ -342,12 +430,22 @@ impl Machine {
             }
         }
 
+        let range = VirtRange::new(VirtAddr::new(vstart), bytes);
+        // The allocation entry goes in first so the residency cache can
+        // attribute each created mapping to it.
+        self.allocations.insert(
+            vstart,
+            AllocationInfo {
+                range,
+                pages,
+                tag: self.alloc_tag,
+                resident: [0; 2],
+            },
+        );
         for m in created {
+            self.note_mapped(m.vrange(), m.tier);
             self.mappings.insert(m);
         }
-        let range = VirtRange::new(VirtAddr::new(vstart), bytes);
-        self.allocations
-            .insert(vstart, AllocationInfo { range, pages });
         // Leave a 2 MiB guard gap between allocations.
         self.next_vaddr = vstart
             + ((pages as u64).next_multiple_of(HUGE_PAGE_FRAMES as u64) << PAGE_SHIFT)
@@ -503,6 +601,12 @@ impl Machine {
         let full = VirtRange::new(info.range.start, info.pages * PAGE_SIZE);
         let taken = self.mappings.take_overlapping(full);
         for m in &taken {
+            // The allocation entry is already gone; debit the per-tag
+            // aggregate directly (the per-allocation cache died with it).
+            if let Some(clip) = m.vrange().intersect(info.range) {
+                let agg = self.tag_resident.entry(info.tag).or_insert([0; 2]);
+                agg[m.tier.index()] -= clip.len;
+            }
             self.unmap_one(m);
         }
         self.invalidate_tlb_range(full);
@@ -1108,10 +1212,12 @@ impl Machine {
         match self.map_pages(dst_tier, vpage, pages, &mut created) {
             Ok(()) => {
                 for m in &old {
+                    self.note_unmapped(m.vrange(), m.tier);
                     self.unmap_one(m);
                 }
                 let n = created.len();
                 for m in created {
+                    self.note_mapped(m.vrange(), m.tier);
                     self.mappings.insert(m);
                 }
                 self.invalidate_tlb_range(range);
@@ -1139,8 +1245,11 @@ impl Machine {
     /// Replaces one mapping with another covering the same virtual pages.
     /// Low-level hook for the `mbind` engine; does not touch frames.
     pub(crate) fn replace_mapping(&mut self, old_vpage_start: u64, new: Vec<Mapping>) {
-        self.mappings.remove(old_vpage_start);
+        if let Some(old) = self.mappings.remove(old_vpage_start) {
+            self.note_unmapped(old.vrange(), old.tier);
+        }
         for m in new {
+            self.note_mapped(m.vrange(), m.tier);
             self.mappings.insert(m);
         }
         self.mappings.flush_cache();
@@ -1175,8 +1284,26 @@ impl Machine {
     }
 
     /// Drains buffered sample records.
+    ///
+    /// Each drained record crosses the [`FaultSite::SampleLoss`] gate: an
+    /// installed fault plan can drop individual records (a simulated PEBS
+    /// buffer overwrite), starving the analyzer the way real sampling loss
+    /// does. Without a plan the drain is lossless and free.
     pub fn pebs_drain(&mut self) -> Vec<SampleRecord> {
-        self.core.pebs.drain()
+        let records = self.core.pebs.drain();
+        self.apply_sample_loss(records)
+    }
+
+    /// Filters drained profiling records through the
+    /// [`FaultSite::SampleLoss`] gate (one consultation per record).
+    fn apply_sample_loss<T>(&mut self, records: Vec<T>) -> Vec<T> {
+        if self.fault.is_none() {
+            return records;
+        }
+        records
+            .into_iter()
+            .filter(|_| !self.fault_fires(FaultSite::SampleLoss))
+            .collect()
     }
 
     /// The sampling unit, for inspection.
@@ -1200,8 +1327,13 @@ impl Machine {
     }
 
     /// Drains buffered trace records.
+    ///
+    /// Like [`Machine::pebs_drain`], each record crosses the
+    /// [`FaultSite::SampleLoss`] gate, so trace-based (offline-oracle)
+    /// analysis can be stress-tested under record loss too.
     pub fn trace_drain(&mut self) -> Vec<TraceRecord> {
-        self.core.tracer.drain()
+        let records = self.core.tracer.drain();
+        self.apply_sample_loss(records)
     }
 
     /// The tracer, for inspection.
@@ -1263,7 +1395,9 @@ impl Machine {
     ///    granularity (no stale entries after remaps or splinters);
     /// 6. every resident LLC line references an allocated frame;
     /// 7. monotone counters (time, accesses, hit/miss totals, migrated
-    ///    bytes) never run backwards between audits.
+    ///    bytes) never run backwards between audits;
+    /// 8. the incremental residency cache (per-allocation and per-tag
+    ///    resident-byte counters) matches a full mapping rescan.
     ///
     /// Needs `&mut self` only to settle the LLC window memo and to store
     /// the counter snapshot for the next monotonicity check.
@@ -1444,6 +1578,37 @@ impl Machine {
                     "LLC line {line:#x} caches freed or out-of-bounds frame {frame} of tier {tier}"
                 ));
             }
+        }
+
+        // Invariant 8: the incremental residency cache matches a rescan.
+        let mut tag_expected: BTreeMap<u32, [usize; 2]> = BTreeMap::new();
+        for info in self.allocations.values() {
+            let expect = [
+                self.resident_bytes(info.range, TierId::FAST),
+                self.resident_bytes(info.range, TierId::SLOW),
+            ];
+            if info.resident != expect {
+                violations.push(format!(
+                    "residency cache drift for allocation at {}: cached {:?}, rescan {:?}",
+                    info.range.start, info.resident, expect
+                ));
+            }
+            let agg = tag_expected.entry(info.tag).or_insert([0; 2]);
+            agg[0] += expect[0];
+            agg[1] += expect[1];
+        }
+        for (&tag, cached) in &self.tag_resident {
+            let expect = tag_expected.remove(&tag).unwrap_or([0; 2]);
+            if *cached != expect {
+                violations.push(format!(
+                    "per-tag residency drift for tag {tag}: cached {cached:?}, rescan {expect:?}"
+                ));
+            }
+        }
+        for (tag, expect) in tag_expected {
+            violations.push(format!(
+                "tag {tag} has {expect:?} resident bytes but no cache entry"
+            ));
         }
 
         // Invariant 7: counters never run backwards.
@@ -2059,6 +2224,67 @@ mod tests {
         m.remap_region(aligned, TierId::SLOW).unwrap();
         assert_clean(&mut m);
         m.free(r).unwrap();
+        assert_clean(&mut m);
+    }
+
+    #[test]
+    fn residency_cache_tracks_tags_and_tiers() {
+        let mut m = machine();
+        m.set_alloc_tag(7);
+        let a = m.alloc(96 * 1024, Placement::Slow).unwrap();
+        m.set_alloc_tag(9);
+        let b = m.alloc(32 * 1024, Placement::Fast).unwrap();
+        assert_eq!(m.resident_bytes_by_tag(7, TierId::SLOW), 96 * 1024);
+        assert_eq!(m.resident_bytes_by_tag(7, TierId::FAST), 0);
+        assert_eq!(m.resident_bytes_by_tag(9, TierId::FAST), 32 * 1024);
+        assert_eq!(m.tagged_bytes(7), 96 * 1024);
+        assert_clean(&mut m);
+        m.remap_region(a, TierId::FAST).unwrap();
+        assert_eq!(m.resident_bytes_by_tag(7, TierId::FAST), 96 * 1024);
+        assert_eq!(m.resident_bytes_by_tag(7, TierId::SLOW), 0);
+        assert_eq!(
+            m.allocation_resident(a.start, TierId::FAST),
+            Some(96 * 1024)
+        );
+        assert_clean(&mut m);
+        m.free(b).unwrap();
+        assert_eq!(m.tagged_bytes(9), 0);
+        assert_eq!(m.resident_bytes_by_tag(9, TierId::FAST), 0);
+        assert_clean(&mut m);
+    }
+
+    #[test]
+    fn residency_cache_survives_mbind_splinters() {
+        let mut m = machine();
+        m.set_alloc_tag(3);
+        let r = m.alloc(64 * 1024, Placement::Slow).unwrap();
+        m.migrate_mbind(r, TierId::FAST).unwrap();
+        assert_eq!(m.resident_bytes_by_tag(3, TierId::FAST), 64 * 1024);
+        assert_eq!(m.resident_bytes_by_tag(3, TierId::SLOW), 0);
+        assert_clean(&mut m);
+    }
+
+    #[test]
+    fn sample_loss_fault_drops_drained_records() {
+        let mut m = machine();
+        let r = m.alloc(1024 * 1024, Placement::Slow).unwrap();
+        m.pebs_enable(4, 0);
+        for i in 0..2048u64 {
+            let _ = m.read::<u64>(r.start.add((i * 8) % (1024 * 1024))).unwrap();
+        }
+        m.pebs_disable();
+        let buffered = m.pebs().samples_taken() as usize;
+        assert!(buffered > 8, "need samples to lose, got {buffered}");
+        m.set_fault_plan(Some(
+            FaultPlan::new()
+                .fail_at(FaultSite::SampleLoss, 0)
+                .fail_at(FaultSite::SampleLoss, 2),
+        ));
+        let drained = m.pebs_drain().len();
+        assert_eq!(drained, buffered - 2, "exactly two records dropped");
+        let plan = m.fault_plan().unwrap();
+        assert_eq!(plan.consults(FaultSite::SampleLoss), buffered as u64);
+        assert_eq!(plan.injected().len(), 2);
         assert_clean(&mut m);
     }
 

@@ -68,8 +68,14 @@ impl Machine {
             for p in 0..mapping.pages {
                 let vpage = mapping.vpage_start + p as u64;
                 let src_frame = mapping.frame_start + p;
-                if src_tier == dst_tier {
-                    // Page already resident: revalidated but not copied.
+                // Every page crosses the per-page migratability status
+                // check (`move_pages` can report a per-page error). A
+                // faulted check leaves the page where it is — splintered
+                // like every other page — at status-check cost only.
+                let status_failed = self.fault_fires(crate::fault::FaultSite::PageStatus);
+                if src_tier == dst_tier || status_failed {
+                    // Page already resident (or unmovable): revalidated
+                    // but not copied.
                     new_maps.push(Mapping {
                         vpage_start: vpage,
                         pages: 1,
@@ -255,6 +261,25 @@ mod tests {
         // And translation still works everywhere, including the last word.
         let last = full.start.add(full.len as u64 - 8);
         let _ = m.peek::<u64>(last).unwrap();
+    }
+
+    #[test]
+    fn page_status_fault_leaves_page_on_source() {
+        use crate::fault::{FaultPlan, FaultSite};
+        let (mut m, r) = setup(64 * 1024); // 16 pages
+        let full = VirtRange::new(r.start, 64 * 1024);
+        m.set_fault_plan(Some(FaultPlan::new().fail_at(FaultSite::PageStatus, 3)));
+        let report = m.migrate_mbind(full, TierId::FAST).unwrap();
+        assert_eq!(report.pages, 15, "one page must stay behind");
+        assert_eq!(m.resident_bytes(full, TierId::SLOW), PAGE_SIZE);
+        assert_eq!(m.resident_bytes(full, TierId::FAST), full.len - PAGE_SIZE);
+        // Data intact everywhere, including the unmoved page.
+        for i in 0..(full.len / 8) as u64 {
+            assert_eq!(m.peek::<u64>(r.start.add(i * 8)).unwrap(), i ^ 0x5555);
+        }
+        assert_eq!(m.fault_plan().unwrap().injected().len(), 1);
+        let violations = m.audit();
+        assert!(violations.is_empty(), "audit violations: {violations:#?}");
     }
 
     #[test]

@@ -22,9 +22,9 @@
 
 use atmem::migrate::plan::{MigrationPlan, PlannedRegion};
 use atmem::migrate::staged::execute_plan;
-use atmem::{Atmem, AtmemConfig, MigrationConfig, MigrationMechanism, ObjectId};
-use atmem_apps::{Bfs, HmsGraph, Kernel, MemCtx};
-use atmem_graph::{GraphBuilder, SelfLoops};
+use atmem::{Atmem, AtmemConfig, MigrationConfig, MigrationMechanism, ObjectId, Scheduler};
+use atmem_apps::{App, Bfs, HmsGraph, Kernel, MemCtx};
+use atmem_graph::{Dataset, GraphBuilder, SelfLoops};
 use atmem_hms::{
     FaultPlan, FaultSite, Machine, Placement, Platform, TierId, TrackedVec, VirtRange, FAULT_SITES,
 };
@@ -386,5 +386,120 @@ fn fault_at_every_stage_boundary_leaves_region_whole() {
         assert_pattern_intact(&mut m, r, 7, label);
         m.set_fault_plan(None);
         assert_audit_clean(&mut m, label);
+    }
+}
+
+/// Serves two tenants (PageRank + BFS) through the multi-tenant
+/// scheduler with `fault` installed between graph load and the profiled
+/// iterations — so sample-loss faults hit the PEBS drains and
+/// pressure-class faults hit the shared optimize round, while the
+/// loads themselves (where a frame-allocation fault is a *real* error)
+/// stay clean. Returns per-tenant checksums, fast-data ratios, and the
+/// accumulated audit + conservation violations.
+fn served_pair_under_faults(
+    migration: MigrationConfig,
+    fault: Option<FaultPlan>,
+) -> (Vec<f64>, Vec<f64>, Vec<String>) {
+    let graphs = [
+        Dataset::Twitter.build_small(6),
+        Dataset::Pokec.build_small(6),
+    ];
+    let apps = [App::PageRank, App::Bfs];
+    let mut sched = Scheduler::new(Platform::testing(), migration);
+    let mut kernels = Vec::new();
+    for (csr, app) in graphs.iter().zip(apps) {
+        let idx = sched.add_tenant(AtmemConfig::default()).unwrap();
+        let kernel = sched
+            .run_quantum(idx, |rt| {
+                let g = HmsGraph::load(rt, csr)?;
+                app.instantiate(rt, g)
+            })
+            .unwrap();
+        kernels.push(kernel);
+    }
+    sched.machine_mut().set_fault_plan(fault);
+    for (idx, kernel) in kernels.iter_mut().enumerate() {
+        sched
+            .run_quantum(idx, |rt| {
+                kernel.reset(rt);
+                rt.profiling_start()?;
+                kernel.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
+                rt.profiling_stop()
+            })
+            .unwrap();
+    }
+    sched
+        .optimize_round()
+        .expect("shared round must absorb pressure-class faults");
+    sched.machine_mut().set_fault_plan(None);
+    let mut audit = sched.audit();
+    let mut checksums = Vec::new();
+    let mut ratios = Vec::new();
+    for (idx, kernel) in kernels.iter_mut().enumerate() {
+        let checksum = sched.run_quantum(idx, |rt| {
+            kernel.reset(rt);
+            kernel.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
+            kernel.checksum(rt)
+        });
+        checksums.push(checksum);
+        ratios.push(sched.fast_data_ratio(idx));
+        audit.extend(sched.audit());
+    }
+    (checksums, ratios, audit)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(prop_cases(6)))]
+
+    /// Random per-site fault rates against the multi-tenant scheduler:
+    /// the shared optimize round never errors, both tenants' outputs are
+    /// bit-identical to the fault-free serve, placements stay sane, and
+    /// the machine audit plus per-tenant byte conservation come back
+    /// clean after every quantum.
+    #[test]
+    fn multi_tenant_round_absorbs_random_faults(
+        seed in 1u64..1 << 48,
+        rate in 0.0f64..0.5,
+    ) {
+        let (clean_sums, _, clean_audit) =
+            served_pair_under_faults(MigrationConfig::default(), None);
+        let mut plan = FaultPlan::seeded(seed);
+        for &site in &FAULT_SITES {
+            plan = plan.with_rate(site, rate);
+        }
+        let (faulted_sums, ratios, faulted_audit) =
+            served_pair_under_faults(MigrationConfig::default(), Some(plan));
+        prop_assert_eq!(clean_sums, faulted_sums, "tenant outputs changed under faults");
+        prop_assert!(clean_audit.is_empty(), "{:?}", clean_audit);
+        prop_assert!(faulted_audit.is_empty(), "{:?}", faulted_audit);
+        for r in ratios {
+            prop_assert!((0.0..=1.0).contains(&r), "ratio out of range: {}", r);
+        }
+    }
+}
+
+/// Acceptance check: scripted page-status and sample-loss faults across
+/// two tenants under the `mbind` mechanism. A faulted per-page status
+/// check leaves that page in place; a dropped PEBS record only thins the
+/// profile — tenant outputs, byte conservation and the audit are
+/// unaffected either way.
+#[test]
+fn scripted_tenant_faults_under_mbind_stay_clean() {
+    let migration = MigrationConfig {
+        mechanism: MigrationMechanism::Mbind,
+        ..MigrationConfig::default()
+    };
+    let (clean_sums, _, clean_audit) = served_pair_under_faults(migration, None);
+    let plan = FaultPlan::new()
+        .fail_at(FaultSite::PageStatus, 0)
+        .fail_at(FaultSite::PageStatus, 3)
+        .fail_at(FaultSite::SampleLoss, 1)
+        .fail_at(FaultSite::SampleLoss, 5);
+    let (faulted_sums, ratios, faulted_audit) = served_pair_under_faults(migration, Some(plan));
+    assert_eq!(clean_sums, faulted_sums, "tenant outputs changed");
+    assert!(clean_audit.is_empty(), "{clean_audit:?}");
+    assert!(faulted_audit.is_empty(), "{faulted_audit:?}");
+    for r in ratios {
+        assert!((0.0..=1.0).contains(&r), "ratio out of range: {r}");
     }
 }
