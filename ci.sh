@@ -43,6 +43,13 @@ echo "==> example smoke (shared_server runs end to end)"
 # internally; a non-zero exit fails the gate.
 cargo run -q --release -p atmem-bench --example shared_server > /dev/null
 
+echo "==> n-tier smoke (atmem beats the autonuma baseline on three tiers)"
+# Runs the same profiled workload under both optimize policies on the
+# HBM-DRAM-CXL preset with a binding hot-tier budget; the example asserts
+# atmem wins the hot-tier data ratio and is no slower, and that the
+# machine audit is clean for both policies.
+cargo run -q --release -p atmem-bench --example ntier_comparison > /dev/null
+
 echo "==> bench smoke (mode-equivalence + core-sweep invariance, no timing gates)"
 # Covers the regular kernels' Scalar/Bulk equivalence and the --cores
 # {1,2,4} checksum-invariance of PR, SpMV and the frontier-sharded

@@ -8,7 +8,9 @@
 //! [`run_protocol`] reproduces exactly that, for any of the placement
 //! modes the figures compare.
 
-use atmem::{Atmem, AtmemConfig, AtmemError, OptimizeReport, PlacementPolicy, Result};
+use atmem::{
+    Atmem, AtmemConfig, AtmemError, OptimizePolicy, OptimizeReport, PlacementPolicy, Result,
+};
 use atmem_graph::Csr;
 use atmem_hms::{MachineStats, Platform, SimDuration};
 
@@ -126,6 +128,16 @@ pub fn run_protocol_cores(
             what: "default_placement",
             reason: "conflicts with the placement the mode prescribes; \
                      leave it at the default to run a mode experiment",
+        });
+    }
+    // Same contract for the optimize policy: only [`Mode::Atmem`] runs an
+    // optimize step, so an explicit non-default policy under any other mode
+    // would be silently ignored — reject it instead.
+    if mode != Mode::Atmem && config.policy != OptimizePolicy::default() {
+        return Err(AtmemError::InvalidConfig {
+            what: "policy",
+            reason: "only the atmem mode runs an optimize step; \
+                     leave the policy at the default for other modes",
         });
     }
     let mut rt = Atmem::new(platform, config)?;
@@ -251,6 +263,28 @@ mod tests {
         )
         .unwrap();
         assert!((ideal.data_ratio - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn explicit_policy_under_non_optimizing_mode_is_rejected() {
+        let csr = small_graph(App::Bfs);
+        let config = AtmemConfig::default().with_policy(OptimizePolicy::Autonuma);
+        let err = run_protocol(
+            Platform::testing(),
+            config.clone(),
+            &csr,
+            App::Bfs,
+            Mode::Baseline,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            AtmemError::InvalidConfig { what: "policy", .. }
+        ));
+        // The same policy is accepted (and exercised) under Mode::Atmem.
+        let run = run_protocol(Platform::testing(), config, &csr, App::Bfs, Mode::Atmem).unwrap();
+        assert!(run.optimize.is_some());
+        assert!(run.audit.is_empty(), "audit: {:?}", run.audit);
     }
 
     #[test]

@@ -27,6 +27,7 @@ fn main() {
                         object: ObjectId::from_index(0),
                         range,
                         priority: 1.0,
+                        dst: None,
                     }],
                     total_bytes: range.len,
                     dropped_bytes: 0,

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! atmem_run [--app BFS|SSSP|PR|BC|CC|SpMV] [--dataset pokec|rmat24|twitter|rmat27|friendster]
-//!           [--platform nvm|knl|cxl] [--mode baseline|atmem|ideal|preferred]
+//!           [--platform nvm|knl|cxl|hbm|quad|testing|testing3]
+//!           [--mode baseline|atmem|ideal|preferred] [--policy atmem|autonuma]
 //!           [--epsilon F] [--arity M] [--chunks N] [--period P]
 //!           [--mechanism staged|direct|mbind] [--shrink S] [--cores N]
 //!           [--edge-list PATH] [--heatmap]
@@ -14,7 +15,7 @@
 
 use std::process::ExitCode;
 
-use atmem::{chunk_heatmap, AtmemConfig, MigrationMechanism, ResidencyReport};
+use atmem::{chunk_heatmap, AtmemConfig, MigrationMechanism, OptimizePolicy, ResidencyReport};
 use atmem_apps::{App, HmsGraph, MemCtx, Mode};
 use atmem_graph::{Csr, Dataset};
 use atmem_hms::Platform;
@@ -35,10 +36,12 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: atmem_run [--app BFS|SSSP|PR|BC|CC|SpMV] [--dataset NAME] \
-         [--platform nvm|knl|cxl] [--mode baseline|atmem|ideal|preferred] \
+         [--platform {}] [--mode baseline|atmem|ideal|preferred] \
+         [--policy atmem|autonuma] \
          [--epsilon F] [--arity M] [--chunks N] [--period P] \
          [--mechanism staged|direct|mbind] [--shrink S] [--cores N] \
-         [--edge-list PATH] [--heatmap]"
+         [--edge-list PATH] [--heatmap]",
+        Platform::PRESET_NAMES.join("|")
     );
     std::process::exit(2);
 }
@@ -90,6 +93,13 @@ fn parse_options() -> Options {
                     "atmem" => Mode::Atmem,
                     "ideal" => Mode::Ideal,
                     "preferred" => Mode::Preferred,
+                    _ => usage(),
+                };
+            }
+            "--policy" => {
+                opts.config.policy = match value("--policy").as_str() {
+                    "atmem" => OptimizePolicy::Atmem,
+                    "autonuma" => OptimizePolicy::Autonuma,
                     _ => usage(),
                 };
             }
@@ -152,12 +162,10 @@ fn load_graph(opts: &Options) -> Result<Csr, Box<dyn std::error::Error>> {
 
 fn main() -> ExitCode {
     let opts = parse_options();
-    let platform = match opts.platform_name.as_str() {
-        "nvm" => Platform::nvm_dram(),
-        "knl" => Platform::mcdram_dram(),
-        "cxl" => Platform::cxl_dram(),
-        _ => usage(),
-    };
+    let platform = Platform::by_name(&opts.platform_name).unwrap_or_else(|| {
+        eprintln!("unknown platform {:?}", opts.platform_name);
+        usage()
+    });
     let csr = match load_graph(&opts) {
         Ok(c) => c,
         Err(e) => {
@@ -178,6 +186,9 @@ fn main() -> ExitCode {
     if opts.cores > 1 {
         println!("simulated cores: {}", opts.cores);
     }
+    if opts.config.policy == OptimizePolicy::Autonuma {
+        println!("optimize policy: autonuma (OS-tiering baseline)");
+    }
 
     // Inline protocol (rather than runner::run_protocol) so the runtime
     // stays available for the residency report and heatmap afterwards.
@@ -188,6 +199,16 @@ fn main() -> ExitCode {
         Mode::Preferred => atmem::PlacementPolicy::PreferFast,
     };
     let run = || -> atmem::Result<()> {
+        // Same rule as the mode/placement interplay in the runner: only the
+        // atmem mode runs an optimize step, so an explicit non-default
+        // --policy under any other mode is a conflict, not a no-op.
+        if opts.mode != Mode::Atmem && config.policy != OptimizePolicy::default() {
+            return Err(atmem::AtmemError::InvalidConfig {
+                what: "policy",
+                reason: "only the atmem mode runs an optimize step; \
+                         leave the policy at the default for other modes",
+            });
+        }
         let mut rt = atmem::Atmem::new(platform.clone(), config.clone())?;
         let graph = HmsGraph::load(&mut rt, &csr)?;
         let mut kernel = opts.app.instantiate(&mut rt, graph)?;

@@ -173,12 +173,66 @@ impl Default for MigrationConfig {
     }
 }
 
+/// Which placement policy [`Atmem::optimize`](crate::Atmem::optimize)
+/// runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptimizePolicy {
+    /// The paper's protocol: analyzer over attributed samples, planned
+    /// regions, staged migration.
+    #[default]
+    Atmem,
+    /// An AutoNUMA-style OS-tiering baseline: page-granular
+    /// promote-on-second-touch from the raw sample stream plus
+    /// watermark-driven demotion, executed through the `mbind` service.
+    /// Models what Linux kernel tiering (NUMA balancing + reclaim-based
+    /// demotion) would do with the same access information.
+    Autonuma,
+}
+
+/// Knobs of the [`OptimizePolicy::Autonuma`] baseline. The defaults mirror
+/// the kernel's shape: short scan epochs, promotion on the second touch,
+/// demotion when a tier crosses its high watermark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutonumaConfig {
+    /// Number of scan epochs the raw sample stream is split into (the
+    /// analogue of NUMA-balancing scan periods). The stream has no
+    /// timestamps, so epochs are equal slices by stream position.
+    pub epochs: usize,
+    /// Consecutive epochs a page must be touched in before it is promoted
+    /// one tier hotter (2 = the kernel's promote-on-second-touch).
+    pub promote_touches: u32,
+    /// Occupancy fraction above which a tier demotes cold pages to the
+    /// next-colder tier (the kernel's high watermark).
+    pub high_watermark: f64,
+    /// Occupancy fraction demotion drains a tier down to (the low
+    /// watermark; hysteresis keeps consecutive optimize calls from
+    /// thrashing around the high mark).
+    pub low_watermark: f64,
+    /// Upper bound on bytes promoted per optimize call (the kernel's
+    /// promotion rate limit).
+    pub promote_cap_bytes: usize,
+}
+
+impl Default for AutonumaConfig {
+    fn default() -> Self {
+        AutonumaConfig {
+            epochs: 4,
+            promote_touches: 2,
+            high_watermark: 0.95,
+            low_watermark: 0.85,
+            promote_cap_bytes: 64 * 1024 * 1024,
+        }
+    }
+}
+
 /// Complete ATMem runtime configuration.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct AtmemConfig {
     /// Placement for registered allocations before optimization. The
     /// paper's baseline places everything on the large-capacity memory.
     pub default_placement: PlacementPolicy,
+    /// Which policy [`Atmem::optimize`](crate::Atmem::optimize) runs.
+    pub policy: OptimizePolicy,
     /// Chunking policy.
     pub chunks: ChunkConfig,
     /// Profiler policy.
@@ -187,6 +241,9 @@ pub struct AtmemConfig {
     pub analyzer: AnalyzerConfig,
     /// Migration policy.
     pub migration: MigrationConfig,
+    /// Knobs of the AutoNUMA baseline (used only when `policy` is
+    /// [`OptimizePolicy::Autonuma`]).
+    pub autonuma: AutonumaConfig,
 }
 
 /// Initial placement policy for `atmem_malloc` allocations.
@@ -263,6 +320,18 @@ impl AtmemConfig {
         if self.migration.max_region_bytes < self.chunks.min_chunk_bytes {
             return bad("migration.max_region_bytes", "must be at least one chunk");
         }
+        if self.autonuma.epochs == 0 {
+            return bad("autonuma.epochs", "must be positive");
+        }
+        if self.autonuma.promote_touches == 0 {
+            return bad("autonuma.promote_touches", "must be positive");
+        }
+        if !(0.0..=1.0).contains(&self.autonuma.high_watermark) {
+            return bad("autonuma.high_watermark", "must be in [0, 1]");
+        }
+        if !(0.0..=self.autonuma.high_watermark).contains(&self.autonuma.low_watermark) {
+            return bad("autonuma.low_watermark", "must be in [0, high_watermark]");
+        }
         Ok(())
     }
 
@@ -270,6 +339,13 @@ impl AtmemConfig {
     #[must_use]
     pub fn with_placement(mut self, p: PlacementPolicy) -> Self {
         self.default_placement = p;
+        self
+    }
+
+    /// Sets the optimize policy (ATMem protocol or the AutoNUMA baseline).
+    #[must_use]
+    pub fn with_policy(mut self, policy: OptimizePolicy) -> Self {
+        self.policy = policy;
         self
     }
 

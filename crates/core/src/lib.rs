@@ -47,6 +47,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analyzer;
+mod autonuma;
 pub mod chunk;
 pub mod config;
 pub mod error;
@@ -61,13 +62,13 @@ pub mod serve;
 pub use analyzer::{analyze, Analysis, ObjectAnalysis};
 pub use chunk::{chunk_geometry, ChunkGeometry};
 pub use config::{
-    AnalyzerConfig, AtmemConfig, ChunkConfig, MigrationConfig, MigrationMechanism, PlacementPolicy,
-    SamplingConfig,
+    AnalyzerConfig, AtmemConfig, AutonumaConfig, ChunkConfig, MigrationConfig, MigrationMechanism,
+    OptimizePolicy, PlacementPolicy, SamplingConfig,
 };
 pub use error::{AtmemError, Result};
 pub use migrate::{
-    build_plan, execute_plan, execute_regions, MigrationOutcome, MigrationPlan, PlannedRegion,
-    RegionStatus,
+    build_demotion_cascade, build_plan, execute_plan, execute_regions, MigrationOutcome,
+    MigrationPlan, PlannedRegion, RegionStatus,
 };
 pub use object::{DataObject, ObjectId};
 pub use profiler::{ProfileSummary, Profiler};

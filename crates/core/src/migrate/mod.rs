@@ -3,5 +3,8 @@
 pub mod plan;
 pub mod staged;
 
-pub use plan::{build_demotion_plan, build_plan, promotion_budget, MigrationPlan, PlannedRegion};
+pub use plan::{
+    build_demotion_cascade, build_demotion_plan, build_plan, promotion_budget, MigrationPlan,
+    PlannedRegion,
+};
 pub use staged::{execute_plan, execute_regions, MigrationOutcome, RegionStatus};

@@ -25,6 +25,11 @@ pub struct PlannedRegion {
     pub range: VirtRange,
     /// Mean chunk priority over the region (misses per byte).
     pub priority: f64,
+    /// Per-region destination tier. `None` inherits the call-level target
+    /// passed to [`execute_plan`](crate::migrate::execute_plan); `Some`
+    /// overrides it — how one hop of a multi-tier demotion cascade routes
+    /// its regions without a separate execution entry point.
+    pub dst: Option<atmem_hms::TierId>,
 }
 
 /// The full plan.
@@ -160,7 +165,8 @@ pub fn build_demotion_plan(
     config: &MigrationConfig,
     demand_bytes: usize,
 ) -> MigrationPlan {
-    let mut candidates = demotion_candidates(registry, analysis, machine, config);
+    let mut candidates =
+        demotion_candidates(registry, analysis, machine, config, atmem_hms::TierId::FAST);
     candidates.sort_by(colder_first);
 
     let free = machine.free_bytes(atmem_hms::TierId::FAST);
@@ -176,14 +182,72 @@ pub fn build_demotion_plan(
     plan
 }
 
+/// Builds the hops of an N-tier demotion cascade, returned in execution
+/// order: coldest pair first, the hottest pair (the [`build_demotion_plan`]
+/// result) last.
+///
+/// The hottest hop frees top-tier space for `demand_bytes` of incoming
+/// promotion. Each colder hop `k → k+1` is sized *from the hop above it*:
+/// it evicts just enough non-critical tier-`k` residue (coldest first) that
+/// tier `k` can absorb the bytes the hotter hop will push down. Hops are
+/// computed hottest-pair-first (each feeds the demand of the next) but must
+/// execute coldest-pair-first so the room exists when the bytes arrive —
+/// hence the reversed order of the returned vector. Every hop's regions
+/// carry their destination in [`PlannedRegion::dst`].
+///
+/// On a two-tier machine this degenerates to exactly one hop, the
+/// [`build_demotion_plan`] plan with the slow tier as destination.
+pub fn build_demotion_cascade(
+    registry: &Registry,
+    analysis: &Analysis,
+    machine: &atmem_hms::Machine,
+    config: &MigrationConfig,
+    demand_bytes: usize,
+) -> Vec<MigrationPlan> {
+    let num_tiers = machine.num_tiers();
+    let mut top = build_demotion_plan(registry, analysis, machine, config, demand_bytes);
+    for r in &mut top.regions {
+        r.dst = Some(atmem_hms::TierId::new(1.min(num_tiers - 1)));
+    }
+    let mut hops = vec![top];
+    // Middle hops: tier k must absorb what hop k-1 demotes into it.
+    for k in 1..num_tiers.saturating_sub(1) {
+        let src = atmem_hms::TierId::new(k);
+        let incoming = hops.last().expect("cascade has a hottest hop").total_bytes;
+        if machine.free_bytes(src) >= incoming {
+            break;
+        }
+        let shortfall = incoming - machine.free_bytes(src);
+        let mut candidates = demotion_candidates(registry, analysis, machine, config, src);
+        candidates.sort_by(colder_first);
+        let mut plan = MigrationPlan::default();
+        for mut region in candidates {
+            if plan.total_bytes >= shortfall {
+                plan.dropped_bytes += region.range.len;
+            } else {
+                region.dst = Some(atmem_hms::TierId::new(k + 1));
+                plan.total_bytes += region.range.len;
+                plan.regions.push(region);
+            }
+        }
+        if plan.is_empty() {
+            break;
+        }
+        hops.push(plan);
+    }
+    hops.reverse();
+    hops
+}
+
 /// All candidate demotion regions of one (registry, analysis) pair: runs
-/// of non-critical chunks with any fast-resident bytes. Unsorted, like
-/// [`promotion_candidates`].
+/// of non-critical chunks with any bytes resident on `src_tier`. Unsorted,
+/// like [`promotion_candidates`].
 pub(crate) fn demotion_candidates(
     registry: &Registry,
     analysis: &Analysis,
     machine: &atmem_hms::Machine,
     config: &MigrationConfig,
+    src_tier: atmem_hms::TierId,
 ) -> Vec<PlannedRegion> {
     let mut candidates: Vec<PlannedRegion> = Vec::new();
     for oa in &analysis.objects {
@@ -191,11 +255,9 @@ pub(crate) fn demotion_candidates(
             Some(o) => o,
             None => continue,
         };
-        // Runs of non-critical chunks with any fast-resident bytes.
-        let demotable = |i: usize| {
-            !oa.critical[i]
-                && machine.resident_bytes(obj.chunk_range(i), atmem_hms::TierId::FAST) > 0
-        };
+        // Runs of non-critical chunks with any bytes on the source tier.
+        let demotable =
+            |i: usize| !oa.critical[i] && machine.resident_bytes(obj.chunk_range(i), src_tier) > 0;
         let mut run_start: Option<usize> = None;
         for i in 0..=oa.critical.len() {
             let in_run = i < oa.critical.len() && demotable(i);
@@ -256,6 +318,7 @@ fn region_from_run(
             object: obj.id(),
             range: VirtRange::new(atmem_hms::VirtAddr::new(piece_start), len),
             priority,
+            dst: None,
         });
         offset += len;
     }

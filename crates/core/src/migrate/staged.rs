@@ -82,6 +82,23 @@ pub struct MigrationOutcome {
     pub time: SimDuration,
 }
 
+impl MigrationOutcome {
+    /// Combines the outcomes of two plan executions (the hops of a
+    /// demotion cascade) into one: counters add, times add.
+    #[must_use]
+    pub fn merged(self, other: MigrationOutcome) -> MigrationOutcome {
+        MigrationOutcome {
+            bytes_moved: self.bytes_moved + other.bytes_moved,
+            regions: self.regions + other.regions,
+            regions_skipped: self.regions_skipped + other.regions_skipped,
+            regions_failed: self.regions_failed + other.regions_failed,
+            bytes_skipped: self.bytes_skipped + other.bytes_skipped,
+            bytes_failed: self.bytes_failed + other.bytes_failed,
+            time: SimDuration::from_ns(self.time.as_ns() + other.time.as_ns()),
+        }
+    }
+}
+
 /// How one region's migration ended. [`execute_regions`] returns one
 /// status per input region, in order, so callers that interleave regions
 /// from several owners (the multi-tenant scheduler) can attribute each
@@ -142,14 +159,17 @@ pub fn execute_regions(
     let mut statuses = Vec::with_capacity(regions.len());
     let start = machine.now();
     for region in regions {
+        // Multi-hop plans carry a per-region destination (one hop of a
+        // demotion cascade); plain plans inherit the call-level target.
+        let dst = region.dst.unwrap_or(dst_tier);
         let status = match config.mechanism {
             MigrationMechanism::Staged => {
-                migrate_region_staged(machine, region.range, dst_tier, threads)?
+                migrate_region_staged(machine, region.range, dst, threads)?
             }
             MigrationMechanism::Direct => {
-                migrate_region_direct(machine, region.range, dst_tier, threads)?
+                migrate_region_direct(machine, region.range, dst, threads)?
             }
-            MigrationMechanism::Mbind => match machine.migrate_mbind(region.range, dst_tier) {
+            MigrationMechanism::Mbind => match machine.migrate_mbind(region.range, dst) {
                 // migrate_mbind already accounts bytes and time.
                 Ok(_) => RegionStatus::Moved,
                 // Mid-stream pressure: the real service commits the moved
@@ -185,16 +205,6 @@ pub fn execute_regions(
     Ok((outcome, statuses))
 }
 
-/// The source tier a region rolls back to: the opposite of the migration
-/// target (plans only ever move data between the two tiers).
-fn source_tier(dst_tier: TierId) -> TierId {
-    if dst_tier == TierId::FAST {
-        TierId::SLOW
-    } else {
-        TierId::FAST
-    }
-}
-
 /// The three-stage migration of one region, with per-stage recovery (see
 /// the module docs).
 fn migrate_region_staged(
@@ -203,6 +213,10 @@ fn migrate_region_staged(
     dst_tier: TierId,
     threads: usize,
 ) -> Result<RegionStatus> {
+    // Captured before stage 2: after the remap the region answers for the
+    // target tier, and on an N-tier machine the rollback destination is not
+    // derivable from `dst_tier` alone.
+    let src_tier = machine.tier_of(range.start)?;
     let pages = range.len / PAGE_SIZE;
     // Stage 0: reserve the staging buffer on the target tier.
     let staging = match machine.alloc_frames(dst_tier, pages) {
@@ -245,12 +259,12 @@ fn migrate_region_staged(
     let outcome = match machine.copy_frames_to_region(dst_tier, staging, range, threads) {
         Ok(_) => Ok(RegionStatus::Moved),
         Err(HmsError::FaultInjected(_)) => {
-            rollback_after_move_fault(machine, range, dst_tier, staging, threads)
+            rollback_after_move_fault(machine, range, src_tier, dst_tier, staging, threads)
         }
         Err(e) => {
             // Bug-class failure: still restore before propagating so the
             // machine stays auditable.
-            let _ = rollback_after_move_fault(machine, range, dst_tier, staging, threads);
+            let _ = rollback_after_move_fault(machine, range, src_tier, dst_tier, staging, threads);
             Err(e.into())
         }
     };
@@ -260,20 +274,22 @@ fn migrate_region_staged(
 
 /// Recovers from a stage-3 (move) fault: the region is mapped on
 /// `dst_tier` with uninitialised frames while `staging` holds the full
-/// pre-migration image. Remaps the region back onto its source tier and
-/// replays the staged bytes; runs with fault injection suspended so the
-/// rollback cannot itself be faulted. The staging buffer is NOT freed here
-/// (the caller owns it).
+/// pre-migration image. Remaps the region back onto `src_tier` — the tier
+/// it actually came from, captured before the stage-2 remap — and replays
+/// the staged bytes; runs with fault injection suspended so the rollback
+/// cannot itself be faulted. The staging buffer is NOT freed here (the
+/// caller owns it).
 fn rollback_after_move_fault(
     machine: &mut Machine,
     range: VirtRange,
+    src_tier: TierId,
     dst_tier: TierId,
     staging: atmem_hms::FrameRun,
     threads: usize,
 ) -> Result<RegionStatus> {
     machine.suspend_faults();
     let result = (|| {
-        match machine.remap_region(range, source_tier(dst_tier)) {
+        match machine.remap_region(range, src_tier) {
             Ok(_) => {
                 machine.copy_frames_to_region(dst_tier, staging, range, threads)?;
                 Ok(RegionStatus::Failed)
@@ -304,6 +320,7 @@ fn migrate_region_direct(
     dst_tier: TierId,
     threads: usize,
 ) -> Result<RegionStatus> {
+    let src_tier = machine.tier_of(range.start)?;
     let pages = range.len / PAGE_SIZE;
     let fresh = match machine.alloc_frames(dst_tier, pages) {
         Ok(run) => run,
@@ -343,10 +360,10 @@ fn migrate_region_direct(
     let outcome = match machine.copy_frames_to_region(dst_tier, fresh, range, threads) {
         Ok(_) => Ok(RegionStatus::Moved),
         Err(HmsError::FaultInjected(_)) => {
-            rollback_after_move_fault(machine, range, dst_tier, fresh, threads)
+            rollback_after_move_fault(machine, range, src_tier, dst_tier, fresh, threads)
         }
         Err(e) => {
-            let _ = rollback_after_move_fault(machine, range, dst_tier, fresh, threads);
+            let _ = rollback_after_move_fault(machine, range, src_tier, dst_tier, fresh, threads);
             Err(e.into())
         }
     };
@@ -367,6 +384,7 @@ mod tests {
                 object: ObjectId(0),
                 range,
                 priority: 1.0,
+                dst: None,
             }],
             total_bytes: range.len,
             dropped_bytes: 0,
@@ -605,11 +623,13 @@ mod tests {
                     object: ObjectId(0),
                     range: a,
                     priority: 2.0,
+                    dst: None,
                 },
                 PlannedRegion {
                     object: ObjectId(1),
                     range: b,
                     priority: 1.0,
+                    dst: None,
                 },
             ],
             total_bytes: a_len + b_len,
@@ -644,6 +664,7 @@ mod tests {
                     object: ObjectId(i as u32),
                     range,
                     priority: 1.0,
+                    dst: None,
                 })
                 .collect(),
             total_bytes: sizes.iter().sum(),

@@ -6,7 +6,7 @@
 //! period is chosen empirically from the total chunk count and the
 //! application thread count, unless the configuration pins it.
 
-use atmem_hms::Machine;
+use atmem_hms::{Machine, SampleRecord};
 
 use crate::config::SamplingConfig;
 use crate::registry::Registry;
@@ -28,6 +28,7 @@ pub struct Profiler {
     active: bool,
     period: u64,
     summary: ProfileSummary,
+    last_records: Vec<SampleRecord>,
 }
 
 impl Profiler {
@@ -44,6 +45,14 @@ impl Profiler {
     /// The summary of the most recently completed session.
     pub fn last_summary(&self) -> ProfileSummary {
         self.summary
+    }
+
+    /// The raw sample records of the most recently completed session, in
+    /// buffer (access) order. The ATMem analyzer works from the attributed
+    /// per-chunk counts; the AutoNUMA baseline consumes this raw stream
+    /// directly for its page-touch bookkeeping.
+    pub fn last_records(&self) -> &[SampleRecord] {
+        &self.last_records
     }
 
     /// Picks the empirical sampling period: enough expected samples to give
@@ -107,6 +116,7 @@ impl Profiler {
             attributed,
             period: self.period,
         };
+        self.last_records = records;
         self.summary
     }
 }

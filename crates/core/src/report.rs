@@ -23,6 +23,10 @@ pub struct ObjectResidency {
     pub size: usize,
     /// Bytes currently on the fast tier.
     pub fast_bytes: usize,
+    /// Bytes resident on each tier, hottest first. `per_tier[0]` equals
+    /// [`ObjectResidency::fast_bytes`]; two-tier platforms therefore see
+    /// nothing new here.
+    pub per_tier: Vec<usize>,
     /// Total profiler samples attributed.
     pub samples: u64,
     /// Number of chunks.
@@ -50,15 +54,22 @@ pub struct ResidencyReport {
 impl ResidencyReport {
     /// Collects the report from a runtime.
     pub fn collect(rt: &Atmem) -> Self {
+        let num_tiers = rt.machine().num_tiers();
         let objects = rt
             .registry()
             .iter()
-            .map(|o| ObjectResidency {
-                name: o.name().to_string(),
-                size: o.size(),
-                fast_bytes: rt.machine().resident_bytes(o.range(), TierId::FAST),
-                samples: o.total_samples(),
-                chunks: o.num_chunks(),
+            .map(|o| {
+                let per_tier: Vec<usize> = (0..num_tiers)
+                    .map(|t| rt.machine().resident_bytes(o.range(), TierId::new(t)))
+                    .collect();
+                ObjectResidency {
+                    name: o.name().to_string(),
+                    size: o.size(),
+                    fast_bytes: rt.machine().resident_bytes(o.range(), TierId::FAST),
+                    per_tier,
+                    samples: o.total_samples(),
+                    chunks: o.num_chunks(),
+                }
             })
             .collect();
         ResidencyReport { objects }
@@ -73,6 +84,23 @@ impl ResidencyReport {
     pub fn total_fast_bytes(&self) -> usize {
         self.objects.iter().map(|o| o.fast_bytes).sum()
     }
+
+    /// Total resident bytes per tier across objects, hottest first. Empty
+    /// when the report holds no objects.
+    pub fn total_per_tier(&self) -> Vec<usize> {
+        let tiers = self.objects.iter().map(|o| o.per_tier.len()).max();
+        let Some(tiers) = tiers else {
+            return Vec::new();
+        };
+        (0..tiers)
+            .map(|t| {
+                self.objects
+                    .iter()
+                    .map(|o| o.per_tier.get(t).copied().unwrap_or(0))
+                    .sum()
+            })
+            .collect()
+    }
 }
 
 impl fmt::Display for ResidencyReport {
@@ -82,8 +110,9 @@ impl fmt::Display for ResidencyReport {
             "{:<20} {:>12} {:>12} {:>8} {:>9} {:>8}",
             "object", "bytes", "fast bytes", "fast %", "samples", "chunks"
         )?;
+        let show_tiers = self.objects.iter().any(|o| o.per_tier.len() > 2);
         for o in &self.objects {
-            writeln!(
+            write!(
                 f,
                 "{:<20} {:>12} {:>12} {:>7.1}% {:>9} {:>8}",
                 o.name,
@@ -93,6 +122,11 @@ impl fmt::Display for ResidencyReport {
                 o.samples,
                 o.chunks
             )?;
+            if show_tiers {
+                let cells: Vec<String> = o.per_tier.iter().map(|b| b.to_string()).collect();
+                write!(f, "  [{}]", cells.join(" / "))?;
+            }
+            writeln!(f)?;
         }
         let total = self.total_bytes();
         let fast = self.total_fast_bytes();

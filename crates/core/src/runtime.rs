@@ -18,11 +18,12 @@
 use atmem_hms::{Machine, Platform, Scalar, SimDuration, TierId, TrackedVec, VirtRange};
 
 use crate::analyzer::{analyze, Analysis};
+use crate::autonuma;
 use crate::chunk::chunk_geometry;
-use crate::config::AtmemConfig;
+use crate::config::{AtmemConfig, OptimizePolicy};
 use crate::error::{AtmemError, Result};
 use crate::migrate::{
-    build_demotion_plan, build_plan, execute_plan, promotion_budget, MigrationOutcome,
+    build_demotion_cascade, build_plan, execute_plan, promotion_budget, MigrationOutcome,
     MigrationPlan,
 };
 use crate::profiler::{ProfileSummary, Profiler};
@@ -45,6 +46,10 @@ pub struct OptimizeReport {
     /// Fraction of registered bytes now resident on the fast tier
     /// (the paper's "data ratio", Figures 7–10).
     pub data_ratio: f64,
+    /// Fraction of registered bytes resident on each tier, hottest first.
+    /// Element 0 equals `data_ratio`; on a two-tier machine the vector is
+    /// `[data_ratio, 1 - data_ratio]` up to rounding.
+    pub data_ratio_vector: Vec<f64>,
     /// Profiling summary of the session feeding this optimization.
     pub profile: ProfileSummary,
 }
@@ -80,7 +85,16 @@ impl std::fmt::Display for OptimizeReport {
             self.total_bytes as f64 / (1 << 20) as f64,
             self.profile.samples,
             self.profile.period,
-        )
+        )?;
+        if self.data_ratio_vector.len() > 2 {
+            let tiers: Vec<String> = self
+                .data_ratio_vector
+                .iter()
+                .map(|r| format!("{:.1}%", r * 100.0))
+                .collect();
+            write!(f, "\nresidency (hottest tier first): {}", tiers.join(" / "))?;
+        }
+        Ok(())
     }
 }
 
@@ -269,8 +283,10 @@ impl Atmem {
             .stop(&mut self.machine, &mut self.tenant.registry))
     }
 
-    /// Analyzes the profile and migrates critical regions to the fast tier
-    /// (`atmem_optimize`).
+    /// Analyzes the profile and migrates critical regions toward the hot
+    /// end of the tier order (`atmem_optimize`), under the configured
+    /// [`OptimizePolicy`] — the paper's protocol by default, the AutoNUMA
+    /// OS-tiering baseline when selected.
     ///
     /// # Errors
     ///
@@ -280,12 +296,44 @@ impl Atmem {
         if self.tenant.profiler.is_active() {
             return Err(AtmemError::ProfilingActive);
         }
+        match self.tenant.config.policy {
+            OptimizePolicy::Atmem => self.optimize_atmem(),
+            OptimizePolicy::Autonuma => self.optimize_autonuma(),
+        }
+    }
+
+    /// The tier promotion aims at: the hottest tier whose prospective
+    /// budget admits anything. With demotion enabled the answer is always
+    /// the hottest tier — the cascade exists to make room there. On a
+    /// two-tier machine the answer is the fast tier in every case.
+    fn promotion_target(&self) -> TierId {
+        if self.tenant.config.migration.allow_demotion {
+            return TierId::FAST;
+        }
+        for i in 0..self.machine.num_tiers().saturating_sub(1) {
+            let tier = TierId::new(i);
+            let budget =
+                promotion_budget(self.machine.free_bytes(tier), &self.tenant.config.migration);
+            if budget > 0 {
+                return tier;
+            }
+        }
+        TierId::FAST
+    }
+
+    /// The paper's protocol: analyze, plan, staged migration — generalized
+    /// to N tiers (multi-hop demotion cascade, tier-aware promotion
+    /// target).
+    fn optimize_atmem(&mut self) -> Result<OptimizeReport> {
         let analysis = analyze(&self.tenant.registry, &self.tenant.config.analyzer);
-        // Phase adaptivity (extension): evict fast-resident regions that
-        // are no longer critical, making room for the new selection. The
-        // demotion plan is demand-driven: it frees only enough space (a
+        let target = self.promotion_target();
+        // Phase adaptivity (extension): evict regions that are no longer
+        // critical, making room for the new selection. The cascade is
+        // demand-driven: the hottest hop frees only enough space (a
         // coldest-first prefix of the stale residue) to admit the bytes the
-        // new selection actually wants to move.
+        // new selection actually wants to move, and each colder hop absorbs
+        // what the hop above it pushes down. On two tiers this is a single
+        // fast-to-slow demotion.
         let demotion = if self.tenant.config.migration.allow_demotion {
             let wanted = build_plan(
                 &self.tenant.registry,
@@ -296,28 +344,39 @@ impl Atmem {
             let demand: usize = wanted
                 .regions
                 .iter()
-                .map(|r| r.range.len - self.machine.resident_bytes(r.range, TierId::FAST))
+                .map(|r| r.range.len - self.machine.resident_bytes(r.range, target))
                 .sum();
-            let demote = build_demotion_plan(
+            let hops = build_demotion_cascade(
                 &self.tenant.registry,
                 &analysis,
                 &self.machine,
                 &self.tenant.config.migration,
                 demand,
             );
-            Some(execute_plan(
-                &mut self.machine,
-                &demote,
-                &self.tenant.config.migration,
-                TierId::SLOW,
-            )?)
+            let coldest = self.machine.coldest_tier();
+            let mut merged: Option<MigrationOutcome> = None;
+            for hop in &hops {
+                // Each hop's regions carry their own destination; the
+                // call-level tier is only the fallback.
+                let out = execute_plan(
+                    &mut self.machine,
+                    hop,
+                    &self.tenant.config.migration,
+                    coldest,
+                )?;
+                merged = Some(match merged {
+                    Some(acc) => acc.merged(out),
+                    None => out,
+                });
+            }
+            merged
         } else {
             None
         };
         // The budget covers the final placement; the staging transient is
         // bounded separately by max_region_bytes.
         let budget = promotion_budget(
-            self.machine.free_bytes(TierId::FAST),
+            self.machine.free_bytes(target),
             &self.tenant.config.migration,
         );
         let plan = build_plan(
@@ -330,11 +389,12 @@ impl Atmem {
             &mut self.machine,
             &plan,
             &self.tenant.config.migration,
-            TierId::FAST,
+            target,
         )?;
         let total_bytes = self.tenant.registry.total_bytes();
         Ok(OptimizeReport {
             data_ratio: self.fast_data_ratio(),
+            data_ratio_vector: self.data_ratio_vector(),
             analysis,
             plan,
             migration,
@@ -344,10 +404,45 @@ impl Atmem {
         })
     }
 
+    /// The AutoNUMA baseline: page-granular promote-on-second-touch from
+    /// the raw sample stream, then watermark demotion, both through
+    /// `mbind` (see [`crate::config::OptimizePolicy::Autonuma`]).
+    fn optimize_autonuma(&mut self) -> Result<OptimizeReport> {
+        let records = self.tenant.profiler.last_records().to_vec();
+        let outcome = autonuma::run(
+            &mut self.machine,
+            &self.tenant.registry,
+            &records,
+            &self.tenant.config.autonuma,
+        )?;
+        let total_bytes = self.tenant.registry.total_bytes();
+        Ok(OptimizeReport {
+            data_ratio: self.fast_data_ratio(),
+            data_ratio_vector: self.data_ratio_vector(),
+            // The OS baseline has no chunk analysis; the report carries an
+            // empty one.
+            analysis: Analysis {
+                objects: Vec::new(),
+            },
+            plan: outcome.plan,
+            migration: outcome.promotion,
+            demotion: outcome.demotion,
+            total_bytes,
+            profile: self.tenant.profiler.last_summary(),
+        })
+    }
+
     /// Fraction of registered bytes currently resident on the fast tier,
     /// served from the machine's incremental residency counters.
     pub fn fast_data_ratio(&self) -> f64 {
         fast_ratio_of(&self.machine, &self.tenant.registry)
+    }
+
+    /// Fraction of registered bytes resident on each tier, hottest first.
+    /// Element 0 is computed exactly like [`Atmem::fast_data_ratio`] (same
+    /// accumulation order).
+    pub fn data_ratio_vector(&self) -> Vec<f64> {
+        ratio_vector_of(&self.machine, &self.tenant.registry)
     }
 
     /// Current simulated time (convenience passthrough).
@@ -381,6 +476,30 @@ pub(crate) fn fast_ratio_of(machine: &Machine, registry: &Registry) -> f64 {
         })
         .sum();
     fast as f64 / total as f64
+}
+
+/// Per-tier generalization of [`fast_ratio_of`]: one residency fraction
+/// per tier, hottest first. Each element is accumulated in the same object
+/// order as the fast ratio, so element 0 is bit-identical to it.
+pub(crate) fn ratio_vector_of(machine: &Machine, registry: &Registry) -> Vec<f64> {
+    let total = registry.total_bytes();
+    if total == 0 {
+        return vec![0.0; machine.num_tiers()];
+    }
+    (0..machine.num_tiers())
+        .map(|t| {
+            let tier = TierId::new(t);
+            let bytes: usize = registry
+                .iter()
+                .map(|o| {
+                    machine
+                        .allocation_resident(o.range().start, tier)
+                        .unwrap_or_else(|| machine.resident_bytes(o.range(), tier))
+                })
+                .sum();
+            bytes as f64 / total as f64
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -218,7 +218,13 @@ impl Scheduler {
                 .map(|r| r.range.len - machine.resident_bytes(r.range, TierId::FAST))
                 .sum();
             let mut candidates = owned_candidates(&|i| {
-                demotion_candidates(&tenant(i).registry, &analyses[i], machine, &self.migration)
+                demotion_candidates(
+                    &tenant(i).registry,
+                    &analyses[i],
+                    machine,
+                    &self.migration,
+                    TierId::FAST,
+                )
             });
             candidates.sort_by(|a, b| colder_first(&a.1, &b.1));
             let free = machine.free_bytes(TierId::FAST);
@@ -232,8 +238,15 @@ impl Scheduler {
                 admitted.push((owner, region));
             }
             let regions: Vec<PlannedRegion> = admitted.iter().map(|(_, r)| *r).collect();
+            // The round demotes one hop down from the hottest tier; unlike
+            // the solo optimizer it runs no cascade — on an N-tier machine
+            // pressure on the middle tiers surfaces as skipped regions, and
+            // the next round retries them.
+            let demote_to = TierId::FAST
+                .colder(machine.num_tiers())
+                .unwrap_or(TierId::FAST);
             let (outcome, statuses) =
-                execute_regions(machine, &regions, &self.migration, TierId::SLOW)?;
+                execute_regions(machine, &regions, &self.migration, demote_to)?;
             for ((owner, region), status) in admitted.iter().zip(&statuses) {
                 match status {
                     RegionStatus::Moved => rounds[*owner].bytes_demoted += region.range.len,
@@ -342,17 +355,21 @@ impl Scheduler {
     }
 
     /// Per-tenant byte conservation: every registered byte is resident on
-    /// exactly one tier, and the machine's tag counters agree with the
-    /// registries. Returns one message per violation.
+    /// exactly one of the machine's tiers, and the machine's tag counters
+    /// agree with the registries. Returns one message per violation.
     pub fn conservation_violations(&self) -> Vec<String> {
         let mut violations = Vec::new();
+        let num_tiers = self.machine().num_tiers();
         for idx in 0..self.num_tenants() {
-            let fast = self.tenant_resident(idx, TierId::FAST);
-            let slow = self.tenant_resident(idx, TierId::SLOW);
+            let per_tier: Vec<usize> = (0..num_tiers)
+                .map(|t| self.tenant_resident(idx, TierId::new(t)))
+                .collect();
+            let resident: usize = per_tier.iter().sum();
             let registered = self.tenant_total_bytes(idx);
-            if fast + slow != registered {
+            if resident != registered {
                 violations.push(format!(
-                    "tenant {idx}: {fast} fast + {slow} slow != {registered} registered"
+                    "tenant {idx}: per-tier residency {per_tier:?} sums to {resident}, \
+                     not the {registered} bytes registered"
                 ));
             }
         }

@@ -17,6 +17,9 @@ pub enum HmsError {
     OutOfMemory {
         /// Tier on which the allocation was attempted.
         tier: TierId,
+        /// Display name of the tier, resolved against the platform's tier
+        /// set (e.g. `"Optane-NVM"`); positional `tier{i}` when unresolved.
+        tier_name: String,
         /// Number of bytes that could not be allocated.
         requested: usize,
     },
@@ -25,6 +28,8 @@ pub enum HmsError {
     Fragmented {
         /// Tier on which the allocation was attempted.
         tier: TierId,
+        /// Display name of the tier (see [`HmsError::OutOfMemory`]).
+        tier_name: String,
         /// Number of contiguous frames requested.
         frames: usize,
     },
@@ -53,11 +58,23 @@ pub enum HmsError {
 impl fmt::Display for HmsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            HmsError::OutOfMemory { tier, requested } => {
-                write!(f, "tier {tier} out of memory allocating {requested} bytes")
+            HmsError::OutOfMemory {
+                tier_name,
+                requested,
+                ..
+            } => {
+                write!(
+                    f,
+                    "tier {tier_name} out of memory allocating {requested} bytes"
+                )
             }
-            HmsError::Fragmented { tier, frames } => {
-                write!(f, "tier {tier} has no contiguous run of {frames} frames")
+            HmsError::Fragmented {
+                tier_name, frames, ..
+            } => {
+                write!(
+                    f,
+                    "tier {tier_name} has no contiguous run of {frames} frames"
+                )
             }
             HmsError::Unmapped(va) => write!(f, "virtual address {va} is not mapped"),
             HmsError::UnknownAllocation(va) => {
@@ -86,10 +103,15 @@ mod tests {
     fn display_is_lowercase_and_concise() {
         let e = HmsError::OutOfMemory {
             tier: TierId::FAST,
+            tier_name: "MCDRAM".to_string(),
             requested: 4096,
         };
         let msg = e.to_string();
         assert!(msg.starts_with("tier"));
+        assert!(
+            msg.contains("MCDRAM"),
+            "uses the tier's display name: {msg}"
+        );
         assert!(!msg.ends_with('.'));
     }
 

@@ -5,8 +5,9 @@
 //! Memories"). It simulates, from scratch, everything the paper's runtime
 //! needs from the machine:
 //!
-//! * **two memory tiers** with distinct capacity, latency, and read/write
-//!   bandwidth ([`TierSpec`], presets in [`Platform`]);
+//! * an **ordered set of memory tiers** (hottest first) with distinct
+//!   capacity, latency, and read/write bandwidth ([`TierSpec`], two- to
+//!   four-tier presets in [`Platform`], per-pair link bandwidth caps);
 //! * a **virtual memory system**: 4 KiB frames, 2 MiB huge mappings, a frame
 //!   allocator, a mapping table, and an LRU **TLB** ([`Tlb`]);
 //! * a set-associative, physically-indexed **last-level cache** ([`Cache`]);
@@ -75,7 +76,9 @@ pub use machine::{AllocationInfo, Machine, MigrationReport, Placement, Scalar};
 pub use mapping::{Mapping, MappingTable, PageKind};
 pub use pebs::{Pebs, SampleRecord};
 pub use platform::Platform;
-pub use shard::{merge_owner_queues, BlockSegment, CoreCtx, CoreHandle, MemPort, OwnerQueues};
+pub use shard::{
+    merge_owner_queues, BlockSegment, CoreCtx, CoreHandle, MemPort, OwnerQueues, MAX_TIERS,
+};
 pub use stats::MachineStats;
 pub use tier::{TierId, TierSpec, TierStorage};
 pub use tlb::Tlb;

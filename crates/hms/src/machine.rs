@@ -18,7 +18,7 @@ use crate::frame::FrameRun;
 use crate::mapping::{huge_eligible, Mapping, MappingTable, PageKind};
 use crate::pebs::{Pebs, SampleRecord};
 use crate::platform::Platform;
-use crate::shard::{BlockSegment, CoreCtx, CoreHandle, MemPort, TiersView};
+use crate::shard::{BlockSegment, CoreCtx, CoreHandle, MemPort, TiersView, MAX_TIERS};
 use crate::stats::MachineStats;
 use crate::tier::{Tier, TierId};
 use crate::trace::{TraceRecord, Tracer};
@@ -26,12 +26,19 @@ use crate::trace::{TraceRecord, Tracer};
 /// Where an allocation's physical frames should come from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Placement {
-    /// All frames on the fast tier; fails if it does not fit.
+    /// All frames on the hottest tier (`tiers[0]`); fails if it does not
+    /// fit.
     Fast,
-    /// All frames on the slow tier; fails if it does not fit.
+    /// All frames on the coldest tier (the last one); fails if it does not
+    /// fit.
     Slow,
-    /// Fill the given tier first, spill the remainder to the other tier.
-    /// This models `numactl --preferred` (the paper's `MCDRAM-p` reference).
+    /// All frames on the given tier; fails if it does not fit. The N-tier
+    /// generalization of [`Placement::Fast`]/[`Placement::Slow`].
+    Tier(TierId),
+    /// Fill the given tier first, spill the remainder to the other tiers
+    /// in tier order (hottest first), the coldest tier absorbing whatever
+    /// is left. This models `numactl --preferred` (the paper's `MCDRAM-p`
+    /// reference).
     Preferred(TierId),
 }
 
@@ -47,11 +54,12 @@ pub struct AllocationInfo {
     /// tag per tenant so residency accounting never rescans the world).
     pub tag: u32,
     /// Cached bytes of `range` resident per tier (indexed by
-    /// [`TierId::index`]), maintained incrementally on every map, remap and
-    /// free, and checked against a full mapping rescan by
-    /// [`Machine::audit`] (invariant 8). Always byte-exact: equal to
-    /// [`Machine::resident_bytes`] over `range`.
-    pub resident: [usize; 2],
+    /// [`TierId::index`]; entries past the machine's tier count stay zero),
+    /// maintained incrementally on every map, remap and free, and checked
+    /// against a full mapping rescan by [`Machine::audit`] (invariant 8).
+    /// Always byte-exact: equal to [`Machine::resident_bytes`] over
+    /// `range`.
+    pub resident: [usize; MAX_TIERS],
 }
 
 /// Result of a migration operation.
@@ -97,16 +105,30 @@ pub struct Machine {
     /// Per-tag aggregate of the per-allocation residency caches, indexed
     /// `[tag][TierId::index]` — the O(1) answer to "how many bytes does
     /// tenant `tag` have on each tier right now".
-    tag_resident: BTreeMap<u32, [usize; 2]>,
+    tag_resident: BTreeMap<u32, [usize; MAX_TIERS]>,
 }
 
 impl Machine {
     /// Builds a machine from a platform description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the platform has no tiers, more than [`MAX_TIERS`], or a
+    /// link-bandwidth matrix whose dimensions do not match the tier count.
     pub fn new(platform: Platform) -> Self {
-        let tiers = vec![
-            Tier::new(platform.fast.clone()),
-            Tier::new(platform.slow.clone()),
-        ];
+        assert!(
+            !platform.tiers.is_empty() && platform.tiers.len() <= MAX_TIERS,
+            "platform must have 1..={MAX_TIERS} tiers"
+        );
+        assert!(
+            platform.link_bw.len() == platform.tiers.len()
+                && platform
+                    .link_bw
+                    .iter()
+                    .all(|r| r.len() == platform.tiers.len()),
+            "link_bw matrix must be tier-count square"
+        );
+        let tiers: Vec<Tier> = platform.tiers.iter().cloned().map(Tier::new).collect();
         let core = CoreCtx::resident(&platform, 0xA7_3E3, 1 << 24);
         Machine {
             core,
@@ -184,7 +206,7 @@ impl Machine {
         };
         let (tag, len, ti) = (info.tag, clip.len, tier.index());
         let entry = self.allocations.get_mut(&start).expect("entry just found");
-        let agg = self.tag_resident.entry(tag).or_insert([0; 2]);
+        let agg = self.tag_resident.entry(tag).or_insert([0; MAX_TIERS]);
         if add {
             entry.resident[ti] += len;
             agg[ti] += len;
@@ -375,6 +397,26 @@ impl Machine {
         self.tiers[tier.index()].spec.capacity
     }
 
+    /// Number of memory tiers on this machine.
+    pub fn num_tiers(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// The id of the coldest (last) tier.
+    pub fn coldest_tier(&self) -> TierId {
+        TierId::new(self.tiers.len() - 1)
+    }
+
+    /// Bytes used (allocated frames) on every tier, hottest first. The
+    /// per-tier generalization of the `fast_bytes_used`/`slow_bytes_used`
+    /// gauges in [`MachineStats`].
+    pub fn bytes_used_by_tier(&self) -> Vec<u64> {
+        self.tiers
+            .iter()
+            .map(|t| (t.frames.used_frames() * PAGE_SIZE) as u64)
+            .collect()
+    }
+
     // ------------------------------------------------------------------
     // Allocation
     // ------------------------------------------------------------------
@@ -396,19 +438,44 @@ impl Machine {
 
         let plan: Vec<(TierId, usize)> = match placement {
             Placement::Fast => vec![(TierId::FAST, pages)],
-            Placement::Slow => vec![(TierId::SLOW, pages)],
-            Placement::Preferred(t) => {
-                let other = if t == TierId::FAST {
-                    TierId::SLOW
-                } else {
-                    TierId::FAST
-                };
-                let fit = self.tiers[t.index()].frames.free_frames().min(pages);
-                if fit == pages {
-                    vec![(t, pages)]
-                } else {
-                    vec![(t, fit), (other, pages - fit)]
+            Placement::Slow => vec![(self.coldest_tier(), pages)],
+            Placement::Tier(t) => {
+                if t.index() >= self.tiers.len() {
+                    return Err(HmsError::UnknownTier(t));
                 }
+                vec![(t, pages)]
+            }
+            Placement::Preferred(t) => {
+                if t.index() >= self.tiers.len() {
+                    return Err(HmsError::UnknownTier(t));
+                }
+                let mut plan = Vec::new();
+                let mut remaining = pages;
+                let fit = self.tiers[t.index()].frames.free_frames().min(remaining);
+                plan.push((t, fit));
+                remaining -= fit;
+                // Spill across the other tiers in tier order; the last one
+                // takes whatever is left so a genuine overflow surfaces as
+                // its allocation error.
+                let spill: Vec<TierId> = (0..self.tiers.len())
+                    .map(TierId::new)
+                    .filter(|&s| s != t)
+                    .collect();
+                for (k, &s) in spill.iter().enumerate() {
+                    if remaining == 0 {
+                        break;
+                    }
+                    let take = if k + 1 == spill.len() {
+                        remaining
+                    } else {
+                        self.tiers[s.index()].frames.free_frames().min(remaining)
+                    };
+                    if take > 0 {
+                        plan.push((s, take));
+                        remaining -= take;
+                    }
+                }
+                plan
             }
         };
 
@@ -439,7 +506,7 @@ impl Machine {
                 range,
                 pages,
                 tag: self.alloc_tag,
-                resident: [0; 2],
+                resident: [0; MAX_TIERS],
             },
         );
         for m in created {
@@ -558,13 +625,19 @@ impl Machine {
     }
 
     fn oom_error(&self, tier: TierId, requested: usize) -> HmsError {
+        let tier_name = self.platform.tier_name(tier);
         if self.tiers[tier.index()].frames.free_frames() * PAGE_SIZE >= requested {
             HmsError::Fragmented {
                 tier,
+                tier_name,
                 frames: requested / PAGE_SIZE,
             }
         } else {
-            HmsError::OutOfMemory { tier, requested }
+            HmsError::OutOfMemory {
+                tier,
+                tier_name,
+                requested,
+            }
         }
     }
 
@@ -604,7 +677,7 @@ impl Machine {
             // The allocation entry is already gone; debit the per-tag
             // aggregate directly (the per-allocation cache died with it).
             if let Some(clip) = m.vrange().intersect(info.range) {
-                let agg = self.tag_resident.entry(info.tag).or_insert([0; 2]);
+                let agg = self.tag_resident.entry(info.tag).or_insert([0; MAX_TIERS]);
                 agg[m.tier.index()] -= clip.len;
             }
             self.unmap_one(m);
@@ -1093,14 +1166,19 @@ impl Machine {
 
     /// Analytic copy-time model: per (src, dst) tier pair, throughput is the
     /// minimum of the source copy-read and destination copy-write bandwidth
-    /// at the given thread count; same-tier copies halve the budget (read
-    /// and write share the channel).
+    /// at the given thread count, further capped by the platform's per-pair
+    /// link bandwidth (infinite on every two-tier preset, so the `min` is
+    /// exact identity there); same-tier copies halve the budget (read and
+    /// write share the channel).
     fn estimate_copy_time(&self, jobs: &[CopyJob], threads: usize) -> SimDuration {
         let mut ns = 0.0;
         for job in jobs {
             let src = &self.tiers[job.src_tier.index()].spec;
             let dst = &self.tiers[job.dst_tier.index()].spec;
-            let mut bw = src.copy_read_bw(threads).min(dst.copy_write_bw(threads));
+            let mut bw = src
+                .copy_read_bw(threads)
+                .min(dst.copy_write_bw(threads))
+                .min(self.platform.link_cap(job.src_tier, job.dst_tier));
             if job.src_tier == job.dst_tier {
                 bw /= 2.0;
             }
@@ -1358,9 +1436,11 @@ impl Machine {
             llc_write_misses: self.core.llc.write_misses(),
             tlb_hits: self.core.tlb.hits(),
             tlb_misses: self.core.tlb.misses(),
-            fast_bytes_used: (self.tiers[TierId::FAST.index()].frames.used_frames() * PAGE_SIZE)
-                as u64,
-            slow_bytes_used: (self.tiers[TierId::SLOW.index()].frames.used_frames() * PAGE_SIZE)
+            // The two gauges project the tier set onto its extremes: the
+            // hottest tier and the coldest. On a two-tier machine that is
+            // every tier; [`Machine::bytes_used_by_tier`] has the rest.
+            fast_bytes_used: (self.tiers[0].frames.used_frames() * PAGE_SIZE) as u64,
+            slow_bytes_used: (self.tiers[self.tiers.len() - 1].frames.used_frames() * PAGE_SIZE)
                 as u64,
             bytes_migrated: self.core.counters.bytes_migrated,
         }
@@ -1421,11 +1501,11 @@ impl Machine {
             let frames = &self.tiers[m.tier.index()].frames;
             if m.frame_start as usize + m.pages as usize > frames.total() {
                 violations.push(format!(
-                    "mapping at vpage {:#x} references out-of-bounds frames {}..{} on {}",
+                    "mapping at vpage {:#x} references out-of-bounds frames {}..{} on tier {}",
                     m.vpage_start,
                     m.frame_start,
                     m.frame_start + m.pages,
-                    m.tier
+                    self.platform.tier_name(m.tier)
                 ));
                 continue;
             }
@@ -1433,8 +1513,9 @@ impl Machine {
                 (m.frame_start..m.frame_start + m.pages).find(|&f| !frames.is_allocated(f))
             {
                 violations.push(format!(
-                    "mapping at vpage {:#x} references freed frame {f} on {}",
-                    m.vpage_start, m.tier
+                    "mapping at vpage {:#x} references freed frame {f} on tier {}",
+                    m.vpage_start,
+                    self.platform.tier_name(m.tier)
                 ));
             }
             if m.kind == PageKind::Huge2M
@@ -1457,14 +1538,18 @@ impl Machine {
             let frames = &self.tiers[tier.index()].frames;
             if run.start as usize + run.count as usize > frames.total() {
                 violations.push(format!(
-                    "staging run {}..{} is out of bounds on {tier}",
+                    "staging run {}..{} is out of bounds on tier {}",
                     run.start,
-                    run.start + run.count
+                    run.start + run.count,
+                    self.platform.tier_name(tier)
                 ));
                 continue;
             }
             if let Some(f) = (run.start..run.start + run.count).find(|&f| !frames.is_allocated(f)) {
-                violations.push(format!("staging run on {tier} holds freed frame {f}"));
+                violations.push(format!(
+                    "staging run on tier {} holds freed frame {f}",
+                    self.platform.tier_name(tier)
+                ));
             }
             owners[tier.index()].push((run.start, run.count, "staging run".into()));
         }
@@ -1581,24 +1666,25 @@ impl Machine {
         }
 
         // Invariant 8: the incremental residency cache matches a rescan.
-        let mut tag_expected: BTreeMap<u32, [usize; 2]> = BTreeMap::new();
+        let mut tag_expected: BTreeMap<u32, [usize; MAX_TIERS]> = BTreeMap::new();
         for info in self.allocations.values() {
-            let expect = [
-                self.resident_bytes(info.range, TierId::FAST),
-                self.resident_bytes(info.range, TierId::SLOW),
-            ];
+            let mut expect = [0usize; MAX_TIERS];
+            for (ti, slot) in expect.iter_mut().enumerate().take(self.tiers.len()) {
+                *slot = self.resident_bytes(info.range, TierId::new(ti));
+            }
             if info.resident != expect {
                 violations.push(format!(
                     "residency cache drift for allocation at {}: cached {:?}, rescan {:?}",
                     info.range.start, info.resident, expect
                 ));
             }
-            let agg = tag_expected.entry(info.tag).or_insert([0; 2]);
-            agg[0] += expect[0];
-            agg[1] += expect[1];
+            let agg = tag_expected.entry(info.tag).or_insert([0; MAX_TIERS]);
+            for (slot, add) in agg.iter_mut().zip(expect) {
+                *slot += add;
+            }
         }
         for (&tag, cached) in &self.tag_resident {
-            let expect = tag_expected.remove(&tag).unwrap_or([0; 2]);
+            let expect = tag_expected.remove(&tag).unwrap_or([0; MAX_TIERS]);
             if *cached != expect {
                 violations.push(format!(
                     "per-tag residency drift for tag {tag}: cached {cached:?}, rescan {expect:?}"

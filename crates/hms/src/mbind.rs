@@ -121,10 +121,16 @@ impl Machine {
                     kind: PageKind::Base4K,
                 });
                 // Copy time: single kernel thread, bounded by the slowest
-                // of service bandwidth, source read, destination write.
+                // of service bandwidth, source read, destination write, and
+                // the per-pair interconnect cap (infinite on two-tier
+                // presets).
+                let link = self.platform().link_cap(src_tier, dst_tier);
                 let src_spec = &self.tier_ref(src_tier).spec;
                 let dst_spec = &self.tier_ref(dst_tier).spec;
-                let bw = mbind_bw.min(src_spec.read_bw).min(dst_spec.write_bw);
+                let bw = mbind_bw
+                    .min(src_spec.read_bw)
+                    .min(dst_spec.write_bw)
+                    .min(link);
                 total_ns += PAGE_SIZE as f64 / bw + page_overhead;
                 moved_pages += 1;
                 moved_bytes += PAGE_SIZE;

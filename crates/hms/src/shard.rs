@@ -59,9 +59,10 @@ use crate::tier::{Tier, TierId, TierSpec};
 use crate::tlb::Tlb;
 use crate::trace::{AccessKind, Tracer};
 
-/// Maximum number of tiers a [`TiersView`] (and the window engine's cost
-/// table) can carry. Two today; headroom for CXL-style multi-tier setups.
-pub(crate) const MAX_TIERS: usize = 8;
+/// Maximum number of tiers a machine (and the window engine's cost table,
+/// the residency caches, and a [`TiersView`]) can carry. Platform presets
+/// range from two (the paper testbeds) to four (HBM-DRAM-CXL-NVM).
+pub const MAX_TIERS: usize = 8;
 
 /// What each element of a batched index window does, for
 /// [`CoreHandle::access_window`]. Passed as a const generic so each op's

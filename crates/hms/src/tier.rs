@@ -20,23 +20,47 @@ impl TierId {
     pub const SLOW: TierId = TierId(1);
 
     /// Creates a tier identifier from a machine-local index.
-    pub const fn new(index: u8) -> Self {
-        TierId(index)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds 255 (far beyond any real tier count).
+    pub const fn new(index: usize) -> Self {
+        assert!(index <= u8::MAX as usize, "tier index out of range");
+        TierId(index as u8)
     }
 
     /// Machine-local index of the tier.
     pub const fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// The id one tier hotter (lower index), or `None` at the hottest tier.
+    pub const fn hotter(self) -> Option<TierId> {
+        match self.0 {
+            0 => None,
+            i => Some(TierId(i - 1)),
+        }
+    }
+
+    /// The id one tier colder (higher index) on a machine with `num_tiers`
+    /// tiers, or `None` at the coldest tier.
+    pub const fn colder(self, num_tiers: usize) -> Option<TierId> {
+        if (self.0 as usize) + 1 < num_tiers {
+            Some(TierId(self.0 + 1))
+        } else {
+            None
+        }
+    }
 }
 
 impl fmt::Display for TierId {
+    /// Positional form, `tier{i}`. Ids carry no machine context, so the
+    /// human-readable tier name must come from the platform:
+    /// [`Platform::tier_name`](crate::platform::Platform::tier_name) resolves
+    /// an id against the tier set (e.g. `"HBM"`, `"DRAM"`), falling back to
+    /// this positional form for out-of-range ids.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match *self {
-            TierId::FAST => write!(f, "fast"),
-            TierId::SLOW => write!(f, "slow"),
-            TierId(i) => write!(f, "tier{i}"),
-        }
+        write!(f, "tier{}", self.0)
     }
 }
 
@@ -207,9 +231,17 @@ mod tests {
     #[test]
     fn tier_ids_are_distinct_and_displayable() {
         assert_ne!(TierId::FAST, TierId::SLOW);
-        assert_eq!(TierId::FAST.to_string(), "fast");
-        assert_eq!(TierId::SLOW.to_string(), "slow");
+        assert_eq!(TierId::FAST.to_string(), "tier0");
+        assert_eq!(TierId::SLOW.to_string(), "tier1");
         assert_eq!(TierId::new(3).to_string(), "tier3");
+    }
+
+    #[test]
+    fn hotter_and_colder_walk_the_tier_order() {
+        assert_eq!(TierId::new(0).hotter(), None);
+        assert_eq!(TierId::new(2).hotter(), Some(TierId::new(1)));
+        assert_eq!(TierId::new(0).colder(3), Some(TierId::new(1)));
+        assert_eq!(TierId::new(2).colder(3), None);
     }
 
     #[test]

@@ -55,6 +55,7 @@ fn main() -> atmem::Result<()> {
             object: atmem::ObjectId::from_index(0),
             range: range2,
             priority: 1.0,
+            dst: None,
         }],
         total_bytes: REGION_BYTES,
         dropped_bytes: 0,

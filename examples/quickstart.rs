@@ -22,7 +22,7 @@ fn main() -> atmem::Result<()> {
     println!(
         "allocated {} MiB on {}",
         n * 8 / (1 << 20),
-        rt.machine().platform().slow.name
+        rt.machine().platform().slow().name
     );
 
     // A skewed workload: 90% of accesses hit the first ~8% of the array.
@@ -76,7 +76,7 @@ fn main() -> atmem::Result<()> {
     assert_eq!(tier, TierId::FAST);
     println!(
         "hot prefix now resides on {}",
-        rt.machine().platform().fast.name
+        rt.machine().platform().fast().name
     );
     Ok(())
 }

@@ -62,6 +62,7 @@ fn plan_of(ranges: &[VirtRange]) -> MigrationPlan {
                 object: ObjectId::from_index(0),
                 range,
                 priority: 1.0,
+                dst: None,
             })
             .collect(),
         total_bytes: ranges.iter().map(|r| r.len).sum(),
@@ -387,6 +388,67 @@ fn fault_at_every_stage_boundary_leaves_region_whole() {
         m.set_fault_plan(None);
         assert_audit_clean(&mut m, label);
     }
+}
+
+/// Acceptance check (N-tier): a demotion cascade on a three-tier machine
+/// that faults mid-hop rolls the faulted hop back page-exactly to its
+/// *actual* source tier — the middle tier, which no two-tier rollback
+/// heuristic ("the opposite of the destination") would pick — while the
+/// other hop completes, bytes are conserved per hop, and the audit stays
+/// clean after every hop.
+#[test]
+fn cascade_fault_mid_hop_rolls_back_to_the_middle_tier() {
+    let pages = 32usize;
+    let bytes = pages * PAGE;
+    let platform =
+        Platform::testing_three().with_tier_capacities(&[8 * bytes, 8 * bytes, 32 * bytes]);
+    let mut m = Machine::new(platform);
+    let hot = m.alloc(bytes, Placement::Fast).unwrap();
+    let warm = m.alloc(bytes, Placement::Slow).unwrap();
+    m.migrate_mbind(warm, TierId::new(1)).unwrap();
+    for (range, seed) in [(hot, 3u64), (warm, 5)] {
+        for i in 0..(bytes / 8) as u64 {
+            m.poke::<u64>(range.start.add(i * 8), i.wrapping_mul(seed | 1))
+                .unwrap();
+        }
+    }
+
+    // Hop 1 (coldest pair first): drain the middle tier toward the coldest
+    // tier. Fault the stage-3 copy out of staging, mid-migration.
+    m.set_fault_plan(Some(FaultPlan::new().fail_at(FaultSite::Move, 1)));
+    let out = execute_plan(
+        &mut m,
+        &plan_of(&[warm]),
+        &MigrationConfig::default(),
+        TierId::new(2),
+    )
+    .expect("pressure-class faults must not escape");
+    m.set_fault_plan(None);
+    assert_eq!(out.regions, 0, "faulted hop must not count as moved");
+    assert_eq!(
+        out.bytes_moved + out.bytes_skipped + out.bytes_failed,
+        bytes
+    );
+    // Page-exact rollback to tier 1, the hop's source — not tier 0 and not
+    // a torn split across tiers.
+    assert_eq!(m.resident_bytes(warm, TierId::new(1)), bytes);
+    assert_eq!(m.resident_bytes(warm, TierId::new(2)), 0);
+    assert_pattern_intact(&mut m, warm, 5, "faulted middle hop");
+    assert_audit_clean(&mut m, "after faulted hop");
+
+    // Hop 2: the hottest tier's demotion still lands (the middle tier kept
+    // enough headroom), and the machine stays clean after this hop too.
+    let out = execute_plan(
+        &mut m,
+        &plan_of(&[hot]),
+        &MigrationConfig::default(),
+        TierId::new(1),
+    )
+    .unwrap();
+    assert_eq!(out.bytes_moved, bytes);
+    assert_eq!(m.resident_bytes(hot, TierId::new(1)), bytes);
+    assert_pattern_intact(&mut m, hot, 3, "clean top hop");
+    assert_audit_clean(&mut m, "after top hop");
 }
 
 /// Serves two tenants (PageRank + BFS) through the multi-tenant

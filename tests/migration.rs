@@ -29,6 +29,7 @@ fn plan_of(ranges: &[VirtRange]) -> MigrationPlan {
                 object: ObjectId::from_index(0),
                 range,
                 priority: 1.0,
+                dst: None,
             })
             .collect(),
         total_bytes: ranges.iter().map(|r| r.len).sum(),
@@ -112,6 +113,112 @@ fn staged_and_mbind_agree_on_placement_both_directions() {
         }
         assert!(m1.audit().is_empty(), "{:?}", m1.audit());
         assert!(m2.audit().is_empty(), "{:?}", m2.audit());
+    }
+}
+
+/// A three-tier machine with one allocation resident on each named tier.
+/// Returns the machine and the (hot, warm, cold) ranges, each filled with
+/// a distinct seeded pattern.
+fn three_tier_machine(pages: usize) -> (Machine, VirtRange, VirtRange, VirtRange) {
+    let bytes = pages * PAGE;
+    let platform =
+        Platform::testing_three().with_tier_capacities(&[8 * bytes, 8 * bytes, 32 * bytes]);
+    let mut m = Machine::new(platform);
+    let hot = m.alloc(bytes, Placement::Fast).unwrap();
+    let warm = m.alloc(bytes, Placement::Slow).unwrap();
+    let cold = m.alloc(bytes, Placement::Slow).unwrap();
+    m.migrate_mbind(warm, TierId::new(1)).unwrap();
+    for (range, seed) in [(hot, 3u64), (warm, 5), (cold, 7)] {
+        for i in 0..(bytes / 8) as u64 {
+            m.poke::<u64>(range.start.add(i * 8), i.wrapping_mul(seed))
+                .unwrap();
+        }
+    }
+    (m, hot, warm, cold)
+}
+
+/// Multi-hop plans: a single `execute_plan` call routes each region to its
+/// own destination tier via `PlannedRegion::dst`, with the call-level tier
+/// only a default for regions that leave it unset.
+#[test]
+fn per_region_destinations_route_one_plan_across_three_tiers() {
+    let (mut m, hot, warm, cold) = three_tier_machine(32);
+    let plan = MigrationPlan {
+        regions: vec![
+            // Promote the cold range all the way to the hottest tier.
+            PlannedRegion {
+                object: ObjectId::from_index(0),
+                range: cold,
+                priority: 2.0,
+                dst: Some(TierId::new(0)),
+            },
+            // Demote the hot range one hop down.
+            PlannedRegion {
+                object: ObjectId::from_index(1),
+                range: hot,
+                priority: 1.0,
+                dst: Some(TierId::new(1)),
+            },
+            // No explicit dst: inherits the call-level destination.
+            PlannedRegion {
+                object: ObjectId::from_index(2),
+                range: warm,
+                priority: 0.5,
+                dst: None,
+            },
+        ],
+        total_bytes: cold.len + hot.len + warm.len,
+        dropped_bytes: 0,
+    };
+    let out = execute_plan(&mut m, &plan, &MigrationConfig::default(), TierId::new(2)).unwrap();
+    assert_eq!(out.bytes_moved, plan.total_bytes);
+    assert_eq!(m.resident_bytes(cold, TierId::new(0)), cold.len);
+    assert_eq!(m.resident_bytes(hot, TierId::new(1)), hot.len);
+    assert_eq!(m.resident_bytes(warm, TierId::new(2)), warm.len);
+    for (range, seed) in [(hot, 3u64), (warm, 5), (cold, 7)] {
+        for i in (0..(range.len / 8) as u64).step_by(127) {
+            assert_eq!(
+                m.peek::<u64>(range.start.add(i * 8)).unwrap(),
+                i.wrapping_mul(seed),
+                "data torn at word {i}"
+            );
+        }
+    }
+    assert!(m.audit().is_empty(), "{:?}", m.audit());
+}
+
+/// A demotion cascade executed hop by hop (coldest pair first, as
+/// `build_demotion_cascade` orders them) conserves every byte and leaves
+/// the audit clean after *every* hop, not just at the end.
+#[test]
+fn demotion_cascade_is_audit_clean_after_every_hop() {
+    let (mut m, hot, warm, _cold) = three_tier_machine(32);
+    // Hop 1 (coldest pair): middle tier drains to the coldest tier to make
+    // room for the incoming demotion from the hottest tier.
+    let hops = [
+        (warm, TierId::new(1), TierId::new(2)),
+        (hot, TierId::new(0), TierId::new(1)),
+    ];
+    for (range, src, dst) in hops {
+        let out =
+            execute_plan(&mut m, &plan_of(&[range]), &MigrationConfig::default(), dst).unwrap();
+        assert_eq!(out.bytes_moved, range.len, "hop {src} -> {dst} incomplete");
+        assert_eq!(m.resident_bytes(range, src), 0);
+        assert_eq!(m.resident_bytes(range, dst), range.len);
+        assert!(
+            m.audit().is_empty(),
+            "hop {src} -> {dst} left violations: {:?}",
+            m.audit()
+        );
+    }
+    for (range, seed) in [(hot, 3u64), (warm, 5)] {
+        for i in (0..(range.len / 8) as u64).step_by(127) {
+            assert_eq!(
+                m.peek::<u64>(range.start.add(i * 8)).unwrap(),
+                i.wrapping_mul(seed),
+                "data torn at word {i}"
+            );
+        }
     }
 }
 
