@@ -22,6 +22,24 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> release-mode soundness (window bounds + u32 guards stay hard checks)"
+# The window engine's bounds and index-width guards are plain asserts, not
+# debug_assert!: they must fire in optimized builds too, where an
+# out-of-range index would otherwise silently alias another element. Run
+# the regression tests under --release so a future debug_assert! demotion
+# fails CI instead of shipping.
+cargo test -q --release -p atmem-hms window_bounds_check_is_a_hard_check
+cargo test -q --release -p atmem-hms windows_beyond_u32_index_range_are_rejected
+
+echo "==> plan-vs-window bit-identity property sweep"
+# Random access programs (sweeps, gathers, scatters, non-commutative
+# updates, mid-run migrations, PEBS/trace toggles) through the window
+# engine and the compiled-plan path must agree on every read buffer,
+# counter, the simulated clock, the PEBS/trace streams and the data
+# image. Already part of tier-1 above; dedicated step so a plan-tier
+# divergence is named in CI output (ATMEM_PROP_CASES widens it).
+ATMEM_PROP_CASES="${ATMEM_PROP_CASES:-8}" cargo test -q -p atmem-bench --test plan_prop
+
 echo "==> fault-injection smoke (set ATMEM_PROP_CASES to widen the sweep)"
 # Quick pass over the fault-injection property harness: a handful of
 # random (kernel, fault-plan) cases per property plus the deterministic
@@ -51,10 +69,13 @@ echo "==> n-tier smoke (atmem beats the autonuma baseline on three tiers)"
 cargo run -q --release -p atmem-bench --example ntier_comparison > /dev/null
 
 echo "==> bench smoke (mode-equivalence + core-sweep invariance, no timing gates)"
-# Covers the regular kernels' Scalar/Bulk equivalence and the --cores
+# Covers the kernels' three-way Scalar/Bulk/Planned equivalence —
+# checksum, counters and simulated clock must be bit-identical, which is
+# the plan-vs-window equivalence gate on every push — and the --cores
 # {1,2,4} checksum-invariance of PR, SpMV and the frontier-sharded
-# traversal kernels (BFS, SSSP, BC). Also emits the BENCH_kernels.json
-# measurement snapshot at the repo root.
-cargo bench -p atmem-bench --bench kernels -- --smoke
+# traversal kernels (BFS, SSSP, BC). The smoke snapshot goes to target/
+# so it never clobbers the committed full-run baseline at the repo root
+# (refresh that one deliberately with `cargo bench --bench kernels`).
+cargo bench -p atmem-bench --bench kernels -- --smoke --json target/BENCH_kernels_smoke.json
 
 echo "CI gate passed."

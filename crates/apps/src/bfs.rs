@@ -11,7 +11,7 @@ use crate::access::MemCtx;
 use crate::graph_data::HmsGraph;
 use crate::kernel::Kernel;
 use crate::par;
-use atmem_hms::{merge_owner_queues, OwnerQueues, TrackedVec};
+use atmem_hms::{merge_owner_queues, OwnerQueues, SweepPlan, TrackedVec, WindowPlan};
 
 /// Distance value for unreached vertices.
 pub const UNREACHED: u32 = u32::MAX;
@@ -24,6 +24,13 @@ pub struct Bfs {
     dist: TrackedVec<u32>,
     /// Vertices reached by the last iteration (for assertions/reporting).
     reached: usize,
+    // Compiled-plan slots (`AccessMode::Planned`), one per frontier level:
+    // repeat traversals from the same source produce the same frontier at
+    // every level, so each level's distance-gather and level-scatter
+    // windows compile on the first traversal and replay on later ones.
+    plan_init: Option<SweepPlan>,
+    plan_gather: Vec<Option<WindowPlan>>,
+    plan_scatter: Vec<Option<WindowPlan>>,
 }
 
 impl Bfs {
@@ -39,6 +46,9 @@ impl Bfs {
             source,
             dist,
             reached: 0,
+            plan_init: None,
+            plan_gather: Vec::new(),
+            plan_scatter: Vec::new(),
         })
     }
 
@@ -172,30 +182,51 @@ impl Kernel for Bfs {
         // policy as BC: every traversal kernel rewrites its state each
         // source, so repeat-iteration timings are comparable).
         let n = self.graph.num_vertices();
-        ctx.write_run(&self.dist, 0, &vec![UNREACHED; n]);
+        ctx.write_run_planned(&self.dist, &mut self.plan_init, 0, &vec![UNREACHED; n]);
         let mut frontier = vec![self.source];
         ctx.set(&self.dist, self.source as usize, 0);
         let mut level = 0u32;
         let mut reached = 1usize;
         let mut nbrs: Vec<u32> = Vec::new();
+        let mut all_nbrs: Vec<u32> = Vec::new();
+        let mut dbuf: Vec<u32> = Vec::new();
+        // Level-synchronous expansion (the scalar mirror of the sharded
+        // expand/settle split): stream the level's adjacency runs, check
+        // all candidate distances in one gather window, dedup first-touch
+        // host-side in first-occurrence order, then write the level to the
+        // discovered set in one scatter window. A vertex's discovery level
+        // is independent of expansion order, so distances and the next
+        // frontier are identical to the interleaved per-edge loop.
         while !frontier.is_empty() {
             level += 1;
-            let mut next = Vec::new();
+            let lvl = level as usize - 1;
+            if self.plan_gather.len() <= lvl {
+                self.plan_gather.push(None);
+                self.plan_scatter.push(None);
+            }
+            all_nbrs.clear();
             for &v in &frontier {
                 let (start, end) = self.graph.edge_bounds(ctx, v as usize);
-                // The adjacency list is a sequential run; the distance
-                // checks it drives are data-dependent (a write only happens
-                // on first touch) and stay per-element.
                 nbrs.resize((end - start) as usize, 0);
                 self.graph.neighbor_run(ctx, start, &mut nbrs);
-                for &u in &nbrs {
-                    if ctx.get(&self.dist, u as usize) == UNREACHED {
-                        ctx.set(&self.dist, u as usize, level);
-                        next.push(u);
-                        reached += 1;
-                    }
+                all_nbrs.extend_from_slice(&nbrs);
+            }
+            dbuf.resize(all_nbrs.len(), 0);
+            ctx.gather_planned(&self.dist, &mut self.plan_gather[lvl], &all_nbrs, &mut dbuf);
+            let mut seen = std::collections::HashSet::new();
+            let mut next = Vec::new();
+            for (&u, &du) in all_nbrs.iter().zip(&dbuf) {
+                if du == UNREACHED && seen.insert(u) {
+                    next.push(u);
                 }
             }
+            ctx.scatter_planned(
+                &self.dist,
+                &mut self.plan_scatter[lvl],
+                &next,
+                &vec![level; next.len()],
+            );
+            reached += next.len();
             frontier = next;
         }
         self.reached = reached;

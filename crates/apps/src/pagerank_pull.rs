@@ -8,7 +8,7 @@
 
 use atmem::{Atmem, Result};
 use atmem_graph::{transpose, Csr};
-use atmem_hms::TrackedVec;
+use atmem_hms::{SweepPlan, TrackedVec, WindowPlan};
 
 use crate::access::MemCtx;
 use crate::graph_data::HmsGraph;
@@ -25,6 +25,26 @@ pub struct PageRankPull {
     degree: TrackedVec<u32>,
     rank: TrackedVec<f64>,
     next: TrackedVec<f64>,
+    // Host-side staging buffers, reused across iterations.
+    bounds: Vec<u64>,
+    nbrs: Vec<u32>,
+    dbuf: Vec<u32>,
+    live: Vec<u32>,
+    degs: Vec<u32>,
+    live_off: Vec<usize>,
+    gathered: Vec<f64>,
+    rbuf: Vec<f64>,
+    accs: Vec<f64>,
+    zeros: Vec<f64>,
+    // Compiled-plan slots (`AccessMode::Planned`). Out-degrees are static,
+    // so the live-source window — and every other iteration space here —
+    // is identical across iterations.
+    plan_bounds: Option<SweepPlan>,
+    plan_nbrs: Option<SweepPlan>,
+    plan_deg: Option<WindowPlan>,
+    plan_rank_window: Option<WindowPlan>,
+    plan_rank_sweep: Option<SweepPlan>,
+    plan_next: Option<SweepPlan>,
 }
 
 impl PageRankPull {
@@ -50,6 +70,22 @@ impl PageRankPull {
             degree,
             rank,
             next,
+            bounds: Vec::new(),
+            nbrs: Vec::new(),
+            dbuf: Vec::new(),
+            live: Vec::new(),
+            degs: Vec::new(),
+            live_off: Vec::new(),
+            gathered: Vec::new(),
+            rbuf: Vec::new(),
+            accs: Vec::new(),
+            zeros: Vec::new(),
+            plan_bounds: None,
+            plan_nbrs: None,
+            plan_deg: None,
+            plan_rank_window: None,
+            plan_rank_sweep: None,
+            plan_next: None,
         })
     }
 
@@ -158,48 +194,64 @@ impl Kernel for PageRankPull {
             return;
         }
         let n = self.graph.num_vertices();
+        let num_edges = self.graph.num_edges();
         // Stream phase: in-edge row bounds and source ids.
-        let bounds = self.graph.bounds(ctx);
-        let mut nbrs = vec![0u32; self.graph.num_edges()];
-        self.graph.neighbor_run(ctx, 0, &mut nbrs);
-        // Gather phase: rank/degree reads follow the in-neighbour
-        // distribution. Each row is one degree window plus one rank window
-        // over the live (deg > 0) in-neighbours, reduced host-side.
-        let mut gathered = vec![0.0f64; n];
-        let mut dbuf: Vec<u32> = Vec::new();
-        let mut live: Vec<u32> = Vec::new();
-        let mut degs: Vec<u32> = Vec::new();
-        let mut rbuf: Vec<f64> = Vec::new();
-        for (v, slot) in gathered.iter_mut().enumerate() {
-            let window = &nbrs[bounds[v] as usize..bounds[v + 1] as usize];
-            dbuf.resize(window.len(), 0);
-            ctx.gather(&self.degree, window, &mut dbuf);
-            live.clear();
-            degs.clear();
-            for (&u, &deg) in window.iter().zip(&dbuf) {
+        self.graph
+            .bounds_into_planned(ctx, &mut self.plan_bounds, &mut self.bounds);
+        self.nbrs.resize(num_edges, 0);
+        self.graph
+            .neighbor_run_planned(ctx, &mut self.plan_nbrs, 0, &mut self.nbrs);
+        // Gather phase, pass 1: the whole in-neighbour list is one degree
+        // window (per-row windows concatenate — each window is bit-identical
+        // to its scalar loop, so row boundaries are unobservable in
+        // simulated state).
+        self.dbuf.resize(num_edges, 0);
+        ctx.gather_planned(&self.degree, &mut self.plan_deg, &self.nbrs, &mut self.dbuf);
+        // Host-side live filter: per destination row, the sources with
+        // deg > 0, concatenated in row order.
+        self.live.clear();
+        self.degs.clear();
+        self.live_off.clear();
+        self.live_off.push(0);
+        for v in 0..n {
+            for e in self.bounds[v] as usize..self.bounds[v + 1] as usize {
+                let deg = self.dbuf[e];
                 if deg > 0 {
-                    live.push(u);
-                    degs.push(deg);
+                    self.live.push(self.nbrs[e]);
+                    self.degs.push(deg);
                 }
             }
-            rbuf.resize(live.len(), 0.0);
-            ctx.gather(&self.rank, &live, &mut rbuf);
-            let mut acc = 0.0f64;
-            for (&r, &deg) in rbuf.iter().zip(&degs) {
-                acc += r / deg as f64;
-            }
-            *slot = acc;
+            self.live_off.push(self.live.len());
         }
-        ctx.write_run(&self.next, 0, &gathered);
+        // Gather phase, pass 2: one rank window over the concatenated live
+        // sources. Degrees are static, so this window's indices — and hence
+        // the compiled plan — are identical every iteration.
+        self.rbuf.resize(self.live.len(), 0.0);
+        ctx.gather_planned(
+            &self.rank,
+            &mut self.plan_rank_window,
+            &self.live,
+            &mut self.rbuf,
+        );
+        self.gathered.resize(n, 0.0);
+        for v in 0..n {
+            let mut acc = 0.0f64;
+            for k in self.live_off[v]..self.live_off[v + 1] {
+                acc += self.rbuf[k] / self.degs[k] as f64;
+            }
+            self.gathered[v] = acc;
+        }
+        ctx.write_run_planned(&self.next, &mut self.plan_next, 0, &self.gathered);
         // Damping + swap phase: three sequential streams.
         let base = (1.0 - DAMPING) / n as f64;
-        let mut accs = vec![0.0f64; n];
-        ctx.read_run(&self.next, 0, &mut accs);
-        for acc in accs.iter_mut() {
+        self.accs.resize(n, 0.0);
+        ctx.read_run_planned(&self.next, &mut self.plan_next, 0, &mut self.accs);
+        for acc in self.accs.iter_mut() {
             *acc = base + DAMPING * *acc;
         }
-        ctx.write_run(&self.rank, 0, &accs);
-        ctx.write_run(&self.next, 0, &vec![0.0f64; n]);
+        ctx.write_run_planned(&self.rank, &mut self.plan_rank_sweep, 0, &self.accs);
+        self.zeros.resize(n, 0.0);
+        ctx.write_run_planned(&self.next, &mut self.plan_next, 0, &self.zeros);
     }
 
     fn checksum(&self, rt: &mut Atmem) -> f64 {

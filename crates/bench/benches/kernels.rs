@@ -1,14 +1,26 @@
 //! Wall-clock micro-benchmarks of one kernel iteration through the full
 //! simulated access path (host simulator throughput, not simulated time).
 //!
-//! Each kernel runs twice — once through a [`AccessMode::Scalar`] context
-//! (per-element path) and once through [`AccessMode::Bulk`] (block walks
-//! and the window engine) — and the two must agree on the kernel checksum,
-//! the machine counters and the simulated clock (the fast paths are
-//! invisible in simulation space). SpMV and PageRank full iterations
-//! assert the ≥3x host speedup of the stream-dominated path; the isolated
-//! PageRank scatter and SpMV gather phases assert ≥2x on the window engine
-//! alone.
+//! Each kernel runs three times — through a [`AccessMode::Scalar`] context
+//! (per-element path), through [`AccessMode::Bulk`] (block walks and the
+//! window engine), and through [`AccessMode::Planned`] (compiled per-tier
+//! run plans) — and all three must agree on the kernel checksum, the
+//! machine counters and the simulated clock (the fast paths are invisible
+//! in simulation space). SpMV and PageRank full iterations assert the ≥3x
+//! host speedup of the stream-dominated path; the isolated PageRank
+//! scatter and SpMV gather phases assert ≥2x on the window engine alone.
+//!
+//! The plan-migrated kernels (SpMV, PR push, PR pull, BFS) compare
+//! *steady-state* plan replay against the window engine (first iteration
+//! compiles, subsequent iterations replay). The attainable replay speedup
+//! is bounded by the bit-identity contract: both paths pay the identical
+//! per-line TLB walk and LLC probe — the dominant cost — so replay only
+//! removes the per-element mapping lookup, translation-key and bounds
+//! work. Measured steady-state speedups are 1.05–1.5x (gather-heavy
+//! kernels highest, sweep-dominated traversals lowest); the gates pin
+//! that reality: replay must never regress below 0.85x on any kernel and
+//! the geometric mean across the four must stay ≥1x (see
+//! `EXPERIMENTS.md`).
 //!
 //! The **core sweep** runs PageRank, SpMV and the traversal kernels (BFS,
 //! SSSP, BC) at 1 and 4 simulated cores: kernel checksums must be
@@ -26,7 +38,9 @@
 //! root (override with `--json PATH`).
 
 use atmem::{Atmem, AtmemConfig};
-use atmem_apps::{AccessMode, Bc, Bfs, HmsGraph, Kernel, MemCtx, PageRank, Spmv, Sssp};
+use atmem_apps::{
+    AccessMode, Bc, Bfs, HmsGraph, Kernel, MemCtx, PageRank, PageRankPull, Spmv, Sssp,
+};
 use atmem_bench::harness::{bench_with_setup, black_box};
 use atmem_graph::{rmat, Csr, Dataset};
 use atmem_hms::{MachineStats, Placement, Platform, SimDuration, TrackedVec};
@@ -64,50 +78,48 @@ fn traversal_graph(weighted: bool, smoke: bool) -> Csr {
     }
 }
 
-fn fresh_kernel(
-    csr: &Csr,
-    make: &dyn Fn(&mut Atmem, HmsGraph) -> Box<dyn Kernel>,
-) -> (Atmem, Box<dyn Kernel>) {
+/// Kernel factory over the raw CSR (some kernels, like PR-pull, build
+/// their own transposed simulator-resident graph).
+type Make = dyn Fn(&mut Atmem, &Csr) -> Box<dyn Kernel>;
+
+fn fresh_kernel(csr: &Csr, make: &Make) -> (Atmem, Box<dyn Kernel>) {
     let mut rt = Atmem::new(Platform::testing(), AtmemConfig::default()).expect("runtime");
-    let graph = HmsGraph::load(&mut rt, csr).expect("load");
-    let mut kernel = make(&mut rt, graph);
+    let mut kernel = make(&mut rt, csr);
     kernel.reset(&mut rt);
     (rt, kernel)
 }
 
-fn run_once(
-    csr: &Csr,
-    mode: AccessMode,
-    make: &dyn Fn(&mut Atmem, HmsGraph) -> Box<dyn Kernel>,
-) -> (f64, MachineStats, SimDuration) {
+fn run_once(csr: &Csr, mode: AccessMode, make: &Make) -> (f64, MachineStats, SimDuration) {
     let (mut rt, mut kernel) = fresh_kernel(csr, make);
-    kernel.run_iteration(&mut MemCtx::new(rt.machine_mut(), mode));
+    // Two iterations: in planned mode the first compiles the plans and the
+    // second replays them, so both plan-tier phases must be invisible.
+    for _ in 0..2 {
+        kernel.run_iteration(&mut MemCtx::new(rt.machine_mut(), mode));
+    }
     let sum = kernel.checksum(&mut rt);
     (sum, rt.machine().stats(), rt.now())
 }
 
-/// Runs one iteration in both modes and asserts the simulated results are
-/// bit-identical.
-fn assert_modes_agree(
-    name: &str,
-    csr: &Csr,
-    make: &dyn Fn(&mut Atmem, HmsGraph) -> Box<dyn Kernel>,
-) {
+/// Runs two iterations in all three modes and asserts the simulated
+/// results are bit-identical — the plan-vs-window equivalence gate CI
+/// runs on every push (`--smoke`).
+fn assert_modes_agree(name: &str, csr: &Csr, make: &Make) {
     let (scalar_sum, scalar_stats, scalar_now) = run_once(csr, AccessMode::Scalar, make);
-    let (bulk_sum, bulk_stats, bulk_now) = run_once(csr, AccessMode::Bulk, make);
-    assert_eq!(scalar_sum, bulk_sum, "{name}: checksums diverge");
-    assert_eq!(scalar_stats, bulk_stats, "{name}: counters diverge");
-    assert_eq!(scalar_now, bulk_now, "{name}: simulated clocks diverge");
-    println!("equivalence/{name}: ok ({} accesses)", bulk_stats.accesses);
+    for (label, mode) in [("bulk", AccessMode::Bulk), ("planned", AccessMode::Planned)] {
+        let (sum, stats, now) = run_once(csr, mode, make);
+        assert_eq!(scalar_sum, sum, "{name}: {label} checksum diverges");
+        assert_eq!(scalar_stats, stats, "{name}: {label} counters diverge");
+        assert_eq!(scalar_now, now, "{name}: {label} simulated clock diverges");
+    }
+    println!(
+        "equivalence/{name}: scalar/bulk/planned ok ({} accesses)",
+        scalar_stats.accesses
+    );
 }
 
 /// Times one iteration in both modes (equality already asserted) and
 /// returns the bulk-over-scalar host speedup.
-fn compare_modes(
-    name: &str,
-    csr: &Csr,
-    make: &dyn Fn(&mut Atmem, HmsGraph) -> Box<dyn Kernel>,
-) -> f64 {
+fn compare_modes(name: &str, csr: &Csr, make: &Make) -> f64 {
     let mut results = Vec::new();
     for (label, mode) in [("scalar", AccessMode::Scalar), ("bulk", AccessMode::Bulk)] {
         let r = bench_with_setup(
@@ -129,6 +141,36 @@ fn compare_modes(
     // either access path.
     let speedup = results[0].min_ns() / results[1].min_ns();
     println!("kernel_iteration/{name}: bulk speedup {speedup:.2}x\n");
+    speedup
+}
+
+/// Times a *steady-state* iteration — setup runs one warmup iteration in
+/// the same mode, so planned runs replay compiled plans instead of
+/// compiling them — in Bulk vs Planned, and returns the planned-over-bulk
+/// host speedup. This is the plan tier's whole value proposition: the
+/// compile cost is paid once, the replay skips the window engine's
+/// per-element mapping, translation-key and bounds work on every
+/// subsequent iteration.
+fn compare_planned(name: &str, csr: &Csr, make: &Make) -> f64 {
+    let mut results = Vec::new();
+    for (label, mode) in [("bulk", AccessMode::Bulk), ("planned", AccessMode::Planned)] {
+        let r = bench_with_setup(
+            &format!("steady_iteration/{name}/{label}"),
+            SAMPLES,
+            || {
+                let (mut rt, mut kernel) = fresh_kernel(csr, make);
+                kernel.run_iteration(&mut MemCtx::new(rt.machine_mut(), mode));
+                (rt, kernel)
+            },
+            |(mut rt, mut kernel)| {
+                kernel.run_iteration(&mut MemCtx::new(rt.machine_mut(), mode));
+                black_box((rt, kernel))
+            },
+        );
+        results.push(r);
+    }
+    let speedup = results[0].min_ns() / results[1].min_ns();
+    println!("steady_iteration/{name}: planned speedup {speedup:.2}x\n");
     speedup
 }
 
@@ -256,11 +298,7 @@ fn compare_phase(
 
 /// Runs `iters` iterations at `cores` simulated cores and returns the
 /// checksum (used by the sweep's invariance assertion).
-fn checksum_at_cores(
-    csr: &Csr,
-    make: &dyn Fn(&mut Atmem, HmsGraph) -> Box<dyn Kernel>,
-    cores: usize,
-) -> f64 {
+fn checksum_at_cores(csr: &Csr, make: &Make, cores: usize) -> f64 {
     let (mut rt, mut kernel) = fresh_kernel(csr, make);
     kernel.run_iteration(&mut MemCtx::bulk(rt.machine_mut()).with_cores(cores));
     kernel.checksum(&mut rt)
@@ -269,12 +307,7 @@ fn checksum_at_cores(
 /// One kernel's core-count sweep: asserts checksum invariance across
 /// 1/2/4 simulated cores, then (unless `smoke`) times 1-core vs 4-core
 /// iterations and returns `(cores1_min_ns, cores4_min_ns)`.
-fn core_sweep(
-    name: &str,
-    csr: &Csr,
-    smoke: bool,
-    make: &dyn Fn(&mut Atmem, HmsGraph) -> Box<dyn Kernel>,
-) -> Option<(f64, f64)> {
+fn core_sweep(name: &str, csr: &Csr, smoke: bool, make: &Make) -> Option<(f64, f64)> {
     let scalar = checksum_at_cores(csr, make, 1);
     for cores in [2usize, 4] {
         let sharded = checksum_at_cores(csr, make, cores);
@@ -344,15 +377,21 @@ fn main() {
     let weighted = bench_graph(true, smoke);
     let plain = bench_graph(false, smoke);
 
-    let make_spmv = |rt: &mut Atmem, g: HmsGraph| -> Box<dyn Kernel> {
+    let make_spmv = |rt: &mut Atmem, csr: &Csr| -> Box<dyn Kernel> {
+        let g = HmsGraph::load(rt, csr).expect("load");
         Box::new(Spmv::new(rt, g).expect("kernel"))
     };
-    let make_pr = |rt: &mut Atmem, g: HmsGraph| -> Box<dyn Kernel> {
+    let make_pr = |rt: &mut Atmem, csr: &Csr| -> Box<dyn Kernel> {
+        let g = HmsGraph::load(rt, csr).expect("load");
         Box::new(PageRank::new(rt, g).expect("kernel"))
+    };
+    let make_prpull = |rt: &mut Atmem, csr: &Csr| -> Box<dyn Kernel> {
+        Box::new(PageRankPull::new(rt, csr).expect("kernel"))
     };
 
     assert_modes_agree("SpMV", &weighted, &make_spmv);
     assert_modes_agree("PR", &plain, &make_pr);
+    assert_modes_agree("PR-pull", &plain, &make_prpull);
     let pr_scatter = compare_phase("PR-scatter", &plain, smoke, pr_scatter_phase);
     let spmv_gather = compare_phase("SpMV-gather", &weighted, smoke, |st, mode| {
         let mut out = Vec::new();
@@ -366,15 +405,19 @@ fn main() {
     // partition bit-for-bit at 1/2/4 cores.
     let trav = traversal_graph(false, smoke);
     let trav_weighted = traversal_graph(true, smoke);
-    let make_bfs = |rt: &mut Atmem, g: HmsGraph| -> Box<dyn Kernel> {
+    let make_bfs = |rt: &mut Atmem, csr: &Csr| -> Box<dyn Kernel> {
+        let g = HmsGraph::load(rt, csr).expect("load");
         Box::new(Bfs::new(rt, g, 0).expect("kernel"))
     };
-    let make_sssp = |rt: &mut Atmem, g: HmsGraph| -> Box<dyn Kernel> {
+    let make_sssp = |rt: &mut Atmem, csr: &Csr| -> Box<dyn Kernel> {
+        let g = HmsGraph::load(rt, csr).expect("load");
         Box::new(Sssp::new(rt, g, 0).expect("kernel"))
     };
-    let make_bc = |rt: &mut Atmem, g: HmsGraph| -> Box<dyn Kernel> {
+    let make_bc = |rt: &mut Atmem, csr: &Csr| -> Box<dyn Kernel> {
+        let g = HmsGraph::load(rt, csr).expect("load");
         Box::new(Bc::new(rt, g, 0).expect("kernel"))
     };
+    assert_modes_agree("BFS", &trav, &make_bfs);
     let pr_sweep = core_sweep("PR", &plain, smoke, &make_pr);
     let spmv_sweep = core_sweep("SpMV", &weighted, smoke, &make_spmv);
     let bfs_sweep = core_sweep("BFS", &trav, smoke, &make_bfs);
@@ -391,12 +434,23 @@ fn main() {
     let spmv_speedup = compare_modes("SpMV", &weighted, &make_spmv);
     let pr_speedup = compare_modes("PR", &plain, &make_pr);
 
+    // Steady-state plan-vs-window comparison for the plan-migrated kernels.
+    let plan_speedups = [
+        ("SpMV", compare_planned("SpMV", &weighted, &make_spmv)),
+        ("PR", compare_planned("PR", &plain, &make_pr)),
+        ("PR-pull", compare_planned("PR-pull", &plain, &make_prpull)),
+        ("BFS", compare_planned("BFS", &trav, &make_bfs)),
+    ];
+
     let mut entries = vec![
         ("bulk_speedup_SpMV".to_string(), spmv_speedup),
         ("bulk_speedup_PR".to_string(), pr_speedup),
         ("bulk_speedup_PR_scatter".to_string(), pr_scatter),
         ("bulk_speedup_SpMV_gather".to_string(), spmv_gather),
     ];
+    for (name, speedup) in plan_speedups {
+        entries.push((format!("plan_speedup_{name}"), speedup));
+    }
     for (name, sweep) in [
         ("PR", pr_sweep),
         ("SpMV", spmv_sweep),
@@ -428,6 +482,29 @@ fn main() {
     assert!(
         spmv_gather >= 2.0,
         "SpMV gather phase must be >= 2x faster in bulk, got {spmv_gather:.2}x"
+    );
+    // Plan-replay gates. Bit-identity caps the ceiling: the per-line
+    // TLB/LLC simulation dominates both paths, so replay only sheds the
+    // per-element mapping-lookup/translation/bounds work (~1.05–1.5x
+    // measured; see the module doc and EXPERIMENTS.md). Gate what holds
+    // robustly across hosts and runs: no kernel regresses, and replay is
+    // a net win on average. (Per-kernel ratios wobble run to run — the
+    // absolute deltas are tens of microseconds on a shared host — so the
+    // positive gate averages across kernels instead of picking one.)
+    for (name, speedup) in plan_speedups {
+        assert!(
+            speedup >= 0.85,
+            "{name} steady-state plan replay must not regress below the \
+             window engine (>= 0.85x), got {speedup:.2}x"
+        );
+    }
+    let geomean = (plan_speedups.iter().map(|&(_, s)| s.ln()).sum::<f64>()
+        / plan_speedups.len() as f64)
+        .exp();
+    assert!(
+        geomean >= 1.0,
+        "plan replay must be a net win across the plan-migrated kernels; \
+         geometric-mean speedup was {geomean:.2}x"
     );
 
     // The sharded-engine wall-clock gate needs real hardware threads to

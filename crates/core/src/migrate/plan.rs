@@ -158,6 +158,12 @@ pub fn promotion_budget(free_bytes: usize, config: &MigrationConfig) -> usize {
 /// upcoming promotion wants to move. Warm residue that the new hot set
 /// does not displace stays put, so alternating phases do not thrash the
 /// whole fast tier on every optimize.
+///
+/// Demoting a region frees only the bytes of it *currently resident* on
+/// the fast tier — a candidate run can straddle tiers after a partial or
+/// interrupted earlier migration — so the prospective budget accumulates
+/// `resident_bytes`, not region lengths. Counting full lengths here
+/// under-evicts exactly when residency is partial.
 pub fn build_demotion_plan(
     registry: &Registry,
     analysis: &Analysis,
@@ -170,11 +176,13 @@ pub fn build_demotion_plan(
     candidates.sort_by(colder_first);
 
     let free = machine.free_bytes(atmem_hms::TierId::FAST);
+    let mut freed = 0usize;
     let mut plan = MigrationPlan::default();
     for region in candidates {
-        if promotion_budget(free + plan.total_bytes, config) >= demand_bytes {
+        if promotion_budget(free + freed, config) >= demand_bytes {
             plan.dropped_bytes += region.range.len;
         } else {
+            freed += machine.resident_bytes(region.range, atmem_hms::TierId::FAST);
             plan.total_bytes += region.range.len;
             plan.regions.push(region);
         }
@@ -210,10 +218,23 @@ pub fn build_demotion_cascade(
         r.dst = Some(atmem_hms::TierId::new(1.min(num_tiers - 1)));
     }
     let mut hops = vec![top];
-    // Middle hops: tier k must absorb what hop k-1 demotes into it.
+    // Middle hops: tier k must absorb what hop k-1 demotes into it. Two
+    // accounting subtleties, both flushed out by the overcommitted-middle-
+    // tier scenario test in `tests/migration.rs`:
+    //
+    // * The hotter hop's transient footprint on tier k exceeds its
+    //   `total_bytes`: the staged mechanism allocates a staging buffer on
+    //   the destination for the region in flight, so the peak is
+    //   `total_bytes + max(region len)` (staging is freed per region —
+    //   see `promotion_budget`'s sufficiency argument).
+    // * Demoting a tier-k region frees only the bytes of it *resident on
+    //   tier k*; candidates only need `resident_bytes > 0`, so sizing the
+    //   hop by region lengths under-evicts partially-resident residue.
     for k in 1..num_tiers.saturating_sub(1) {
         let src = atmem_hms::TierId::new(k);
-        let incoming = hops.last().expect("cascade has a hottest hop").total_bytes;
+        let above = hops.last().expect("cascade has a hottest hop");
+        let staging = above.regions.iter().map(|r| r.range.len).max().unwrap_or(0);
+        let incoming = above.total_bytes + staging;
         if machine.free_bytes(src) >= incoming {
             break;
         }
@@ -221,10 +242,12 @@ pub fn build_demotion_cascade(
         let mut candidates = demotion_candidates(registry, analysis, machine, config, src);
         candidates.sort_by(colder_first);
         let mut plan = MigrationPlan::default();
+        let mut freed = 0usize;
         for mut region in candidates {
-            if plan.total_bytes >= shortfall {
+            if freed >= shortfall {
                 plan.dropped_bytes += region.range.len;
             } else {
+                freed += machine.resident_bytes(region.range, src);
                 region.dst = Some(atmem_hms::TierId::new(k + 1));
                 plan.total_bytes += region.range.len;
                 plan.regions.push(region);

@@ -54,6 +54,7 @@ use crate::error::{HmsError, Result};
 use crate::machine::Scalar;
 use crate::mapping::{Mapping, MappingTable, PageKind};
 use crate::pebs::Pebs;
+use crate::plan::{SweepPlan, WindowPlan};
 use crate::platform::Platform;
 use crate::tier::{Tier, TierId, TierSpec};
 use crate::tlb::Tlb;
@@ -69,11 +70,11 @@ pub const MAX_TIERS: usize = 8;
 /// loop monomorphizes branch-free. `OP_RMW` is simulated as a read followed
 /// by a guaranteed-hit write of the same line, exactly like
 /// [`CoreHandle::read_modify_write`].
-const OP_READ: u8 = 0;
+pub(crate) const OP_READ: u8 = 0;
 /// Write each element (see [`OP_READ`]).
-const OP_WRITE: u8 = 1;
+pub(crate) const OP_WRITE: u8 = 1;
 /// Read-modify-write each element (see [`OP_READ`]).
-const OP_RMW: u8 = 2;
+pub(crate) const OP_RMW: u8 = 2;
 
 /// Access totals local to one simulated core.
 #[derive(Debug, Default)]
@@ -217,13 +218,13 @@ impl<'a> TiersView<'a> {
 
     /// The spec of `tier`.
     #[inline]
-    fn spec(&self, tier: TierId) -> &TierSpec {
+    pub(crate) fn spec(&self, tier: TierId) -> &TierSpec {
         self.spec_at(tier.index())
     }
 
     /// The spec of the tier at `index`.
     #[inline]
-    fn spec_at(&self, index: usize) -> &TierSpec {
+    pub(crate) fn spec_at(&self, index: usize) -> &TierSpec {
         debug_assert!(index < self.count);
         // SAFETY: the pointer was taken from a tier borrowed for 'a and the
         // spec is never mutated while mapped (tiers are read-mostly shared
@@ -233,7 +234,7 @@ impl<'a> TiersView<'a> {
 
     /// Borrows `len` bytes of `tier`'s storage starting at `offset`.
     #[inline]
-    fn bytes(&self, tier: TierId, offset: usize, len: usize) -> &[u8] {
+    pub(crate) fn bytes(&self, tier: TierId, offset: usize, len: usize) -> &[u8] {
         let v = &self.views[tier.index()];
         assert!(offset + len <= v.cap, "tier storage slice out of bounds");
         // SAFETY: in bounds (checked), storage outlives 'a, and the
@@ -245,7 +246,7 @@ impl<'a> TiersView<'a> {
     /// `offset`.
     #[allow(clippy::mut_from_ref)] // the view is a shared window over storage owned elsewhere
     #[inline]
-    fn bytes_mut(&self, tier: TierId, offset: usize, len: usize) -> &mut [u8] {
+    pub(crate) fn bytes_mut(&self, tier: TierId, offset: usize, len: usize) -> &mut [u8] {
         let v = &self.views[tier.index()];
         assert!(offset + len <= v.cap, "tier storage slice out of bounds");
         // SAFETY: in bounds (checked), storage outlives 'a, and the
@@ -265,10 +266,10 @@ impl<'a> TiersView<'a> {
 /// resident core.
 #[derive(Debug)]
 pub struct CoreHandle<'a> {
-    core: &'a mut CoreCtx,
-    mappings: &'a MappingTable,
-    platform: &'a Platform,
-    tiers: TiersView<'a>,
+    pub(crate) core: &'a mut CoreCtx,
+    pub(crate) mappings: &'a MappingTable,
+    pub(crate) platform: &'a Platform,
+    pub(crate) tiers: TiersView<'a>,
 }
 
 impl<'a> CoreHandle<'a> {
@@ -509,6 +510,7 @@ impl<'a> CoreHandle<'a> {
         out: &mut [T],
     ) -> Result<()> {
         assert_eq!(indices.len(), out.len(), "index/output length mismatch");
+        check_window_width(elem_count);
         self.access_window::<T, OP_READ>(base, elem_count, indices, |k, bytes| {
             out[k] = T::from_le_slice(bytes);
         })
@@ -528,6 +530,7 @@ impl<'a> CoreHandle<'a> {
         values: &[T],
     ) -> Result<()> {
         assert_eq!(indices.len(), values.len(), "index/value length mismatch");
+        check_window_width(elem_count);
         self.access_window::<T, OP_WRITE>(base, elem_count, indices, |k, bytes| {
             values[k].write_le_slice(bytes);
         })
@@ -547,6 +550,7 @@ impl<'a> CoreHandle<'a> {
         indices: &[u32],
         mut f: impl FnMut(usize, T) -> T,
     ) -> Result<()> {
+        check_window_width(elem_count);
         self.access_window::<T, OP_RMW>(base, elem_count, indices, |k, bytes| {
             let old = T::from_le_slice(bytes);
             f(k, old).write_le_slice(bytes);
@@ -632,7 +636,10 @@ impl<'a> CoreHandle<'a> {
 
         for (k, &i) in indices.iter().enumerate() {
             let i = i as usize;
-            debug_assert!(
+            // Hard check, not debug_assert: in release builds an out-of-range
+            // index would silently alias a neighboring element of the same
+            // mapping (the window engine trusts `i` for address arithmetic).
+            assert!(
                 i < elem_count,
                 "window index {i} out of bounds ({elem_count})"
             );
@@ -1008,13 +1015,27 @@ impl<'a> CoreHandle<'a> {
     }
 }
 
+/// Rejects index windows over objects too large for `u32` indices. The
+/// window engine addresses elements through `&[u32]`, so a vec beyond
+/// 2^32 elements would silently truncate indices on the billion-edge path;
+/// such sweeps must go through the `u64`/range-based plan tier instead
+/// (see [`crate::plan`]).
+#[inline]
+pub(crate) fn check_window_width(elem_count: usize) {
+    assert!(
+        elem_count <= u32::MAX as usize + 1,
+        "window over {elem_count} elements exceeds u32 index range; \
+         use the range-based plan tier for large sweeps"
+    );
+}
+
 /// End of the TLB translation unit containing `va` under `mapping`: the
 /// address at which [`Mapping::tlb_key`] first changes. Huge mappings share
 /// one key per huge unit; base pages in a fully covered coalescing group
 /// share one key per group; everything else is per-page. Mirrors the key
 /// logic exactly so `access_block` batches precisely the accesses the
 /// per-element loop would send to the same TLB entry.
-fn tlb_unit_end(mapping: &Mapping, va: VirtAddr, coalesce: usize) -> VirtAddr {
+pub(crate) fn tlb_unit_end(mapping: &Mapping, va: VirtAddr, coalesce: usize) -> VirtAddr {
     let vpage = va.page_index();
     let end_page = match mapping.kind {
         PageKind::Huge2M => (vpage / HUGE_PAGE_FRAMES as u64 + 1) * HUGE_PAGE_FRAMES as u64,
@@ -1142,6 +1163,56 @@ pub trait MemPort {
         indices: &[u32],
         f: impl FnMut(usize, T) -> T,
     ) -> Result<()>;
+
+    /// The current mapping-table generation; compiled plans are valid only
+    /// while it is unchanged (see [`crate::plan`]).
+    fn mapping_generation(&self) -> u64;
+
+    /// Whether compiled-plan replay is currently allowed: `false` whenever
+    /// per-access detail is observable (PEBS sampling, tracing, or an armed
+    /// fault plan), in which case callers must use the window path.
+    fn plan_ready(&self) -> bool;
+
+    /// Lowers an indexed window into a reusable [`WindowPlan`] without
+    /// touching simulated state (see [`crate::plan`]).
+    ///
+    /// # Errors
+    ///
+    /// [`HmsError::Unmapped`] if any element is unmapped; nothing has been
+    /// charged.
+    fn compile_window<T: Scalar>(
+        &mut self,
+        base: VirtAddr,
+        elem_count: u64,
+        indices: &[u32],
+    ) -> Result<WindowPlan>;
+
+    /// Replays a compiled window as a gather — bit-identical to
+    /// [`read_gather`](MemPort::read_gather) over the plan's indices.
+    fn run_plan_gather<T: Scalar>(&mut self, plan: &WindowPlan, out: &mut [T]);
+
+    /// Replays a compiled window as a scatter — bit-identical to
+    /// [`write_scatter`](MemPort::write_scatter) over the plan's indices.
+    fn run_plan_scatter<T: Scalar>(&mut self, plan: &WindowPlan, values: &[T]);
+
+    /// Replays a compiled window as a read-modify-write sweep —
+    /// bit-identical to [`gather_update`](MemPort::gather_update) over the
+    /// plan's indices.
+    fn run_plan_update<T: Scalar>(&mut self, plan: &WindowPlan, f: impl FnMut(usize, T) -> T);
+
+    /// Lowers a contiguous element sweep into a reusable [`SweepPlan`]
+    /// without touching simulated state (see [`crate::plan`]).
+    ///
+    /// # Errors
+    ///
+    /// [`HmsError::Unmapped`] if any byte of the range is unmapped; nothing
+    /// has been charged.
+    fn compile_sweep(&mut self, range: VirtRange, elem: usize) -> Result<SweepPlan>;
+
+    /// Replays a compiled sweep's accounting — bit-identical to
+    /// [`access_block`](MemPort::access_block) over the plan's range; data
+    /// moves through [`SweepPlan::segments`] and the storage-slice APIs.
+    fn run_plan_sweep(&mut self, plan: &SweepPlan, write: bool);
 }
 
 impl MemPort for CoreHandle<'_> {
@@ -1210,6 +1281,43 @@ impl MemPort for CoreHandle<'_> {
         f: impl FnMut(usize, T) -> T,
     ) -> Result<()> {
         CoreHandle::gather_update(self, base, elem_count, indices, f)
+    }
+
+    fn mapping_generation(&self) -> u64 {
+        CoreHandle::mapping_generation(self)
+    }
+
+    fn plan_ready(&self) -> bool {
+        CoreHandle::plan_ready(self)
+    }
+
+    fn compile_window<T: Scalar>(
+        &mut self,
+        base: VirtAddr,
+        elem_count: u64,
+        indices: &[u32],
+    ) -> Result<WindowPlan> {
+        CoreHandle::compile_window::<T>(self, base, elem_count, indices)
+    }
+
+    fn run_plan_gather<T: Scalar>(&mut self, plan: &WindowPlan, out: &mut [T]) {
+        CoreHandle::run_plan_gather(self, plan, out)
+    }
+
+    fn run_plan_scatter<T: Scalar>(&mut self, plan: &WindowPlan, values: &[T]) {
+        CoreHandle::run_plan_scatter(self, plan, values)
+    }
+
+    fn run_plan_update<T: Scalar>(&mut self, plan: &WindowPlan, f: impl FnMut(usize, T) -> T) {
+        CoreHandle::run_plan_update(self, plan, f)
+    }
+
+    fn compile_sweep(&mut self, range: VirtRange, elem: usize) -> Result<SweepPlan> {
+        CoreHandle::compile_sweep(self, range, elem)
+    }
+
+    fn run_plan_sweep(&mut self, plan: &SweepPlan, write: bool) {
+        CoreHandle::run_plan_sweep(self, plan, write)
     }
 }
 

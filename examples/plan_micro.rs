@@ -1,0 +1,73 @@
+//! Micro-benchmark isolating the plan tier's replay ceiling.
+//!
+//! Times a pure random gather and a pure sequential sweep through the
+//! window engine and through a pre-compiled plan, with no kernel logic in
+//! between. The gap between the two paths is exactly the per-element
+//! mapping-lookup, translation-key and bounds work the plan hoists into
+//! compile time; everything else (the per-line TLB walk and LLC probe) is
+//! paid identically by both sides under the bit-identity contract. This is
+//! the number that bounds the end-to-end `steady_iteration` speedups in
+//! the kernels bench — run it when those gates move to tell "the plan tier
+//! regressed" apart from "the kernel around it changed".
+
+use atmem_hms::{Machine, MemPort, Placement, Platform, TrackedVec, VirtRange};
+use std::time::Instant;
+
+fn main() {
+    let mut m = Machine::new(Platform::testing());
+    let n = 1 << 20;
+    let v = TrackedVec::<f64>::new(&mut m, n, Placement::Slow).unwrap();
+    v.fill(&mut m, 1.0);
+    // random gather indices
+    let idx: Vec<u32> = (0..n as u64)
+        .map(|j| {
+            let mut x = j.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            x ^= x >> 31;
+            (x % n as u64) as u32
+        })
+        .collect();
+    let mut out = vec![0.0f64; n];
+    // window path
+    let t = Instant::now();
+    for _ in 0..5 {
+        v.gather(&mut m, &idx, &mut out);
+    }
+    let wt = t.elapsed();
+    // plan path
+    let plan = m
+        .compile_window::<f64>(v.range().start, n as u64, &idx)
+        .unwrap();
+    let t = Instant::now();
+    for _ in 0..5 {
+        m.run_plan_gather::<f64>(&plan, &mut out);
+    }
+    let pt = t.elapsed();
+    println!(
+        "gather  window {:?}  plan {:?}  speedup {:.2}x",
+        wt,
+        pt,
+        wt.as_secs_f64() / pt.as_secs_f64()
+    );
+
+    // sequential sweep
+    let mut buf = vec![0.0f64; n];
+    let t = Instant::now();
+    for _ in 0..5 {
+        v.read_slice(&mut m, 0, &mut buf);
+    }
+    let wt = t.elapsed();
+    let splan = m
+        .compile_sweep(VirtRange::new(v.range().start, n * 8), 8)
+        .unwrap();
+    let t = Instant::now();
+    for _ in 0..5 {
+        m.run_plan_sweep(&splan, false);
+    }
+    let pt = t.elapsed();
+    println!(
+        "sweep   window {:?}  plan {:?}  speedup {:.2}x (plan side excludes data copy)",
+        wt,
+        pt,
+        wt.as_secs_f64() / pt.as_secs_f64()
+    );
+}

@@ -1,8 +1,12 @@
 //! Integration and property tests of both migration mechanisms.
 
+use atmem::analyzer::local::LocalSelection;
 use atmem::migrate::plan::{MigrationPlan, PlannedRegion};
 use atmem::migrate::staged::execute_plan;
-use atmem::{MigrationConfig, MigrationMechanism, ObjectId};
+use atmem::{
+    build_demotion_cascade, chunk_geometry, Analysis, ChunkConfig, MigrationConfig,
+    MigrationMechanism, ObjectAnalysis, ObjectId, Registry,
+};
 use atmem_hms::{Machine, Placement, Platform, TierId, VirtRange};
 use atmem_prop::prelude::*;
 
@@ -213,6 +217,114 @@ fn demotion_cascade_is_audit_clean_after_every_hop() {
     }
     for (range, seed) in [(hot, 3u64), (warm, 5)] {
         for i in (0..(range.len / 8) as u64).step_by(127) {
+            assert_eq!(
+                m.peek::<u64>(range.start.add(i * 8)).unwrap(),
+                i.wrapping_mul(seed),
+                "data torn at word {i}"
+            );
+        }
+    }
+}
+
+/// End-to-end cascade scenario with a *genuinely overcommitted* middle
+/// tier. Object A (64 KiB, all non-critical) sits on the top tier and must
+/// be demoted; object B half-occupies a 128 KiB middle tier, but every one
+/// of B's chunks is only *half resident* there (the other half was mbind'd
+/// down earlier), so region lengths overcount the middle-tier bytes a
+/// demotion frees by 2x.
+///
+/// The numbers are an exact fit and pin two cascade-accounting rules:
+///
+/// * the hotter hop's transient footprint on the middle tier is
+///   `total_bytes + max region len` (in-flight staging + fresh remap
+///   frames), not `total_bytes` — here 96 KiB against 64 KiB free, so a
+///   middle hop is required at all;
+/// * the middle hop must be sized by *freed resident bytes*, not region
+///   lengths — two 32 KiB regions of B free only 32 KiB, so both are
+///   needed. Either rule dropped, and the top hop's second region fails
+///   its frame allocation.
+#[test]
+fn cascade_sizes_middle_hop_by_resident_bytes_and_staging_headroom() {
+    const KIB: usize = 1024;
+    let platform =
+        Platform::testing_three().with_tier_capacities(&[64 * KIB, 128 * KIB, 1024 * KIB]);
+    let mut m = Machine::new(platform);
+    // Object A: 16 pages on the top tier, to be demoted in full.
+    let a = m.alloc(64 * KIB, Placement::Fast).unwrap();
+    let a = VirtRange::new(a.start, 64 * KIB);
+    // Object B: 32 pages, mbind'd up to the middle tier, then the tail two
+    // pages of every 4-page chunk mbind'd back down — every chunk keeps
+    // `resident_bytes > 0` on the middle tier (so it stays a demotion
+    // candidate) at exactly half its length.
+    let b = m.alloc(128 * KIB, Placement::Slow).unwrap();
+    let b = VirtRange::new(b.start, 128 * KIB);
+    m.migrate_mbind(b, TierId::new(1)).unwrap();
+    for chunk in 0..8u64 {
+        let tail = VirtRange::new(
+            b.start.add(chunk * 16 * KIB as u64 + 8 * KIB as u64),
+            8 * KIB,
+        );
+        m.migrate_mbind(tail, TierId::new(2)).unwrap();
+    }
+    for (range, seed) in [(a, 23u64), (b, 29)] {
+        for i in 0..(range.len / 8) as u64 {
+            m.poke::<u64>(range.start.add(i * 8), i.wrapping_mul(seed))
+                .unwrap();
+        }
+    }
+    assert_eq!(m.free_bytes(TierId::new(1)), 64 * KIB, "fixture drifted");
+
+    let mut registry = Registry::new();
+    let chunks = |bytes: usize, target| {
+        chunk_geometry(
+            bytes,
+            &ChunkConfig {
+                target_chunks: target,
+                min_chunk_bytes: bytes / target,
+            },
+        )
+    };
+    let id_a = registry.register("a", a, chunks(a.len, 16));
+    let id_b = registry.register("b", b, chunks(b.len, 8));
+    let object = |id, n: usize| ObjectAnalysis {
+        id,
+        selection: LocalSelection {
+            priorities: (0..n).map(|i| i as f64 * 0.1).collect(),
+            theta: 0.5,
+            critical: vec![false; n],
+        },
+        weight: 1.0,
+        tr_threshold: 0.5,
+        critical: vec![false; n],
+        promoted_chunks: 0,
+    };
+    let analysis = Analysis {
+        objects: vec![object(id_a, 16), object(id_b, 8)],
+    };
+    let config = MigrationConfig {
+        max_region_bytes: 32 * KIB,
+        ..MigrationConfig::default()
+    };
+
+    let hops = build_demotion_cascade(&registry, &analysis, &m, &config, usize::MAX / 2);
+    assert_eq!(hops.len(), 2, "middle tier is overcommitted: {hops:?}");
+    // The middle hop (executed first) must take TWO of B's regions: each
+    // 32 KiB region frees only 16 KiB of middle-tier residue.
+    assert_eq!(hops[0].regions.len(), 2, "{:?}", hops[0]);
+    for (i, hop) in hops.iter().enumerate() {
+        let out = execute_plan(&mut m, hop, &config, TierId::new(2)).unwrap();
+        assert_eq!(out.regions_skipped, 0, "hop {i} skipped regions: {out:?}");
+        assert_eq!(out.regions_failed, 0, "hop {i} failed regions: {out:?}");
+        assert_eq!(out.bytes_moved, hop.total_bytes, "hop {i} incomplete");
+        assert!(
+            m.audit().is_empty(),
+            "hop {i} left violations: {:?}",
+            m.audit()
+        );
+    }
+    assert_eq!(m.resident_bytes(a, TierId::new(1)), a.len);
+    for (range, seed) in [(a, 23u64), (b, 29)] {
+        for i in (0..(range.len / 8) as u64).step_by(101) {
             assert_eq!(
                 m.peek::<u64>(range.start.add(i * 8)).unwrap(),
                 i.wrapping_mul(seed),

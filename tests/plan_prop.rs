@@ -1,0 +1,291 @@
+//! Plan-vs-window bit-identity property test — the compiled-plan tier's
+//! central gate.
+//!
+//! Two identical machines execute the same random access program over the
+//! same random placement: one through the window engine (`gather`,
+//! `scatter`, `read_slice`, ...), one through the compiled-plan helpers
+//! (`gather_planned`, ...) with persistent plan slots. The program mixes
+//! sequential sweeps, random gathers/scatters/updates (duplicates
+//! included), strided windows, mid-run `mbind` migrations (which bump the
+//! mapping generation and force recompiles), and PEBS/trace toggles
+//! (which gate `plan_ready` and force the per-access fallback). The whole
+//! program runs twice so the second pass replays cached plans instead of
+//! compiling fresh ones.
+//!
+//! After the program, *everything observable* must match bit-for-bit:
+//! every read buffer, every machine counter, the simulated clock (f64 by
+//! bit pattern), the drained PEBS sample stream, the drained trace
+//! stream, the full data image, and a clean audit on both machines.
+
+use atmem_hms::{
+    Machine, Placement, Platform, SweepPlan, TierId, TrackedVec, VirtRange, WindowPlan,
+};
+use atmem_prop::prelude::*;
+
+const PAGE: usize = 4096;
+const ELEMS_PER_PAGE: usize = PAGE / 8;
+
+/// One machine + vector under a fixed access path.
+struct Harness {
+    m: Machine,
+    v: TrackedVec<u64>,
+    wslot: Option<WindowPlan>,
+    sslot: Option<SweepPlan>,
+    planned: bool,
+}
+
+impl Harness {
+    fn new(pages: usize, placement: Placement, planned: bool) -> Self {
+        let len = pages * ELEMS_PER_PAGE;
+        let mut m = Machine::new(Platform::testing());
+        let v = TrackedVec::<u64>::new(&mut m, len, placement).unwrap();
+        for i in 0..len {
+            v.poke(&mut m, i, (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        }
+        Harness {
+            m,
+            v,
+            wslot: None,
+            sslot: None,
+            planned,
+        }
+    }
+
+    /// Executes one op and returns whatever it read (empty for writes).
+    fn apply(&mut self, op: &Op) -> Vec<u64> {
+        let len = self.v.len();
+        match op {
+            Op::SweepRead { start, count } => {
+                let mut out = vec![0u64; *count];
+                if self.planned {
+                    self.v
+                        .read_slice_planned(&mut self.m, &mut self.sslot, *start, &mut out);
+                } else {
+                    self.v.read_slice(&mut self.m, *start, &mut out);
+                }
+                out
+            }
+            Op::SweepWrite { start, count, salt } => {
+                let vals: Vec<u64> = (0..*count as u64).map(|j| j.wrapping_mul(*salt)).collect();
+                if self.planned {
+                    self.v
+                        .write_slice_planned(&mut self.m, &mut self.sslot, *start, &vals);
+                } else {
+                    self.v.write_slice(&mut self.m, *start, &vals);
+                }
+                Vec::new()
+            }
+            Op::Gather { indices } => {
+                let mut out = vec![0u64; indices.len()];
+                if self.planned {
+                    self.v
+                        .gather_planned(&mut self.m, &mut self.wslot, indices, &mut out);
+                } else {
+                    self.v.gather(&mut self.m, indices, &mut out);
+                }
+                out
+            }
+            Op::Scatter { indices, salt } => {
+                let vals: Vec<u64> = (0..indices.len() as u64)
+                    .map(|j| j.wrapping_mul(*salt))
+                    .collect();
+                if self.planned {
+                    self.v
+                        .scatter_planned(&mut self.m, &mut self.wslot, indices, &vals);
+                } else {
+                    self.v.scatter(&mut self.m, indices, &vals);
+                }
+                Vec::new()
+            }
+            Op::Update { indices, salt } => {
+                // Non-commutative in (k, x): duplicate indices must apply
+                // in scalar order on both paths.
+                let salt = *salt;
+                let f = move |k: usize, x: u64| {
+                    x.wrapping_mul(0x100_0000_01b3)
+                        .wrapping_add(k as u64 ^ salt)
+                };
+                if self.planned {
+                    self.v
+                        .gather_update_planned(&mut self.m, &mut self.wslot, indices, f);
+                } else {
+                    self.v.gather_update(&mut self.m, indices, f);
+                }
+                Vec::new()
+            }
+            Op::Migrate { page, pages, fast } => {
+                let range = VirtRange::new(
+                    self.v.range().start.add((*page * PAGE) as u64),
+                    *pages * PAGE,
+                );
+                let tier = if *fast { TierId::FAST } else { TierId::SLOW };
+                self.m.migrate_mbind(range, tier).unwrap();
+                Vec::new()
+            }
+            Op::Pebs(on) => {
+                if *on {
+                    self.m.pebs_enable(64, 16);
+                } else {
+                    self.m.pebs_disable();
+                }
+                Vec::new()
+            }
+            Op::Trace(on) => {
+                if *on {
+                    self.m.trace_enable();
+                } else {
+                    self.m.trace_disable();
+                }
+                Vec::new()
+            }
+            Op::Stride { start, step, count } => {
+                let indices: Vec<u32> = (0..*count)
+                    .map(|j| ((start + j * step) % len) as u32)
+                    .collect();
+                self.apply(&Op::Gather { indices })
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    SweepRead {
+        start: usize,
+        count: usize,
+    },
+    SweepWrite {
+        start: usize,
+        count: usize,
+        salt: u64,
+    },
+    Gather {
+        indices: Vec<u32>,
+    },
+    Scatter {
+        indices: Vec<u32>,
+        salt: u64,
+    },
+    Update {
+        indices: Vec<u32>,
+        salt: u64,
+    },
+    Stride {
+        start: usize,
+        step: usize,
+        count: usize,
+    },
+    Migrate {
+        page: usize,
+        pages: usize,
+        fast: bool,
+    },
+    Pebs(bool),
+    Trace(bool),
+}
+
+/// Decodes one raw `(kind, a, b)` tuple into an in-bounds op.
+fn decode(kind: u32, a: u64, b: u64, len: usize, total_pages: usize) -> Op {
+    // Splitmix-style index stream so gathers hit scattered lines, with
+    // duplicates whenever the count exceeds the reachable range.
+    let indices = |n: usize| -> Vec<u32> {
+        (0..n as u64)
+            .map(|j| {
+                let mut x = a ^ j.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(b);
+                x ^= x >> 30;
+                x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                (x % len as u64) as u32
+            })
+            .collect()
+    };
+    let start = (a % len as u64) as usize;
+    let count = 1 + (b % 200) as usize;
+    match kind {
+        0 => Op::SweepRead {
+            start,
+            count: count.min(len - start),
+        },
+        1 => Op::SweepWrite {
+            start,
+            count: count.min(len - start),
+            salt: b | 1,
+        },
+        2 => Op::Gather {
+            indices: indices(count),
+        },
+        3 => Op::Scatter {
+            indices: indices(count),
+            salt: a | 1,
+        },
+        4 => Op::Update {
+            indices: indices(count),
+            salt: b,
+        },
+        5 => Op::Stride {
+            start,
+            step: 1 + (b % 97) as usize,
+            count,
+        },
+        6 => {
+            let page = (a % total_pages as u64) as usize;
+            Op::Migrate {
+                page,
+                pages: 1 + (b % (total_pages - page) as u64) as usize,
+                fast: a & 1 == 0,
+            }
+        }
+        7 => Op::Pebs(a & 1 == 0),
+        _ => Op::Trace(a & 1 == 0),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The compiled-plan access path is bit-identical to the window
+    /// engine on arbitrary access programs, placements, mid-run
+    /// migrations and instrumentation toggles.
+    #[test]
+    fn plans_are_bit_identical_to_windows(
+        raw in prop::collection::vec((0u32..9, any::<u64>(), any::<u64>()), 1..24),
+        pages in 1usize..5,
+        place in 0u32..3,
+    ) {
+        let placement = match place {
+            0 => Placement::Fast,
+            1 => Placement::Slow,
+            _ => Placement::Preferred(TierId::FAST),
+        };
+        let len = pages * ELEMS_PER_PAGE;
+        let ops: Vec<Op> = raw
+            .iter()
+            .map(|&(kind, a, b)| decode(kind, a, b, len, pages))
+            .collect();
+        let mut window = Harness::new(pages, placement, false);
+        let mut plan = Harness::new(pages, placement, true);
+        // Two passes: the first compiles, the second replays cached plans
+        // (until a migration in the stream invalidates them again).
+        for pass in 0..2 {
+            for (i, op) in ops.iter().enumerate() {
+                let a = window.apply(op);
+                let b = plan.apply(op);
+                prop_assert_eq!(a, b, "read divergence at pass {} op {} ({:?})", pass, i, op);
+            }
+        }
+        prop_assert_eq!(window.m.stats(), plan.m.stats());
+        prop_assert_eq!(
+            window.m.now().as_ns().to_bits(),
+            plan.m.now().as_ns().to_bits(),
+            "clock divergence"
+        );
+        prop_assert_eq!(window.m.pebs_drain(), plan.m.pebs_drain());
+        prop_assert_eq!(window.m.trace_drain(), plan.m.trace_drain());
+        prop_assert_eq!(
+            window.v.to_vec(&mut window.m),
+            plan.v.to_vec(&mut plan.m),
+            "data image divergence"
+        );
+        prop_assert!(window.m.audit().is_empty(), "{:?}", window.m.audit());
+        prop_assert!(plan.m.audit().is_empty(), "{:?}", plan.m.audit());
+    }
+}
