@@ -68,6 +68,24 @@ echo "==> n-tier smoke (atmem beats the autonuma baseline on three tiers)"
 # machine audit is clean for both policies.
 cargo run -q --release -p atmem-bench --example ntier_comparison > /dev/null
 
+echo "==> learned-analyzer training gate (committed mini-trace)"
+# Retrains the ranking model from the committed trace and asserts (a) the
+# fresh model generalizes to held-out groups and (b) the shipped
+# LearnedModel::pretrained() constant still ranks the committed trace
+# above its drift floor. Both runs are seeded and deterministic, so a
+# failure means the recorder, trainer or shipped weights changed — not
+# flakiness. Regenerate the trace + weights with:
+#   cargo run --release -p atmem-bench --bin learned_train -- \
+#     --record traces/analyzer_mini.trace --train traces/analyzer_mini.trace
+cargo run -q --release -p atmem-bench --bin learned_train -- --check traces/analyzer_mini.trace
+
+echo "==> analyzer-quality smoke (learned vs paper placement gates)"
+# The four cross-analyzer gates: kernel-grid parity, the strict win under
+# 50% sample loss, the one-round phase-change re-rank, and multi-round
+# autonuma convergence. Already part of tier-1 above; dedicated step so a
+# quality regression is named in CI output.
+cargo test -q --release -p atmem-bench --test analyzer_quality
+
 echo "==> bench smoke (mode-equivalence + core-sweep invariance, no timing gates)"
 # Covers the kernels' three-way Scalar/Bulk/Planned equivalence —
 # checksum, counters and simulated clock must be bit-identical, which is

@@ -58,7 +58,7 @@ pub use kcore::KCore;
 pub use kernel::{App, Kernel};
 pub use pagerank::PageRank;
 pub use pagerank_pull::PageRankPull;
-pub use runner::{run_protocol, run_protocol_cores, Mode, ProtocolResult};
+pub use runner::{run_protocol, run_protocol_cores, run_protocol_rounds, Mode, ProtocolResult};
 pub use serve::{serve_protocols, ServeReport, TenantReport, TenantSpec};
 pub use spmv::Spmv;
 pub use sssp::Sssp;

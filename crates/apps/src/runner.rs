@@ -9,7 +9,8 @@
 //! modes the figures compare.
 
 use atmem::{
-    Atmem, AtmemConfig, AtmemError, OptimizePolicy, OptimizeReport, PlacementPolicy, Result,
+    AnalyzerKind, Atmem, AtmemConfig, AtmemError, OptimizePolicy, OptimizeReport, PlacementPolicy,
+    Result,
 };
 use atmem_graph::Csr;
 use atmem_hms::{MachineStats, Platform, SimDuration};
@@ -59,8 +60,12 @@ pub struct ProtocolResult {
     pub first_iter: SimDuration,
     /// Simulated time of iteration 2 — the number the figures report.
     pub second_iter: SimDuration,
-    /// Optimization report (only for [`Mode::Atmem`]).
+    /// Optimization report of the last round (only for [`Mode::Atmem`]).
     pub optimize: Option<OptimizeReport>,
+    /// Fast-data ratio after each profile→optimize round (one entry per
+    /// round under [`Mode::Atmem`], empty otherwise). Convergence tests
+    /// read this to watch a policy climb towards its fixpoint.
+    pub round_ratios: Vec<f64>,
     /// Machine counter deltas over iteration 2 (TLB misses for Table 4).
     pub second_iter_stats: MachineStats,
     /// Fraction of registered data on the fast tier during iteration 2.
@@ -114,12 +119,51 @@ pub fn run_protocol(
 /// at its default, and an explicit conflicting policy is an error.
 pub fn run_protocol_cores(
     platform: Platform,
-    mut config: AtmemConfig,
+    config: AtmemConfig,
     csr: &Csr,
     app: App,
     mode: Mode,
     par_cores: usize,
 ) -> Result<ProtocolResult> {
+    run_protocol_rounds(platform, config, csr, app, mode, par_cores, 1)
+}
+
+/// Like [`run_protocol_cores`], but runs `rounds` profile→optimize rounds
+/// before the measured iteration (the multi-round protocol). One round is
+/// the paper's protocol; more rounds let incremental policies converge —
+/// the AutoNUMA baseline promotes at most one tier per touch-threshold
+/// epoch, so on an N-tier machine it needs up to N−1 rounds to lift the
+/// hot set to the top, and phase-adaptive configurations (demotion on)
+/// get one re-ranking opportunity per round. `round_ratios` in the result
+/// records the fast-data ratio after every round.
+///
+/// # Errors
+///
+/// Same failure modes as [`run_protocol_cores`], plus
+/// [`AtmemError::InvalidConfig`] for `rounds == 0` or multi-round requests
+/// under a mode that never optimizes.
+pub fn run_protocol_rounds(
+    platform: Platform,
+    mut config: AtmemConfig,
+    csr: &Csr,
+    app: App,
+    mode: Mode,
+    par_cores: usize,
+    rounds: usize,
+) -> Result<ProtocolResult> {
+    if rounds == 0 {
+        return Err(AtmemError::InvalidConfig {
+            what: "rounds",
+            reason: "must be positive",
+        });
+    }
+    if mode != Mode::Atmem && rounds != 1 {
+        return Err(AtmemError::InvalidConfig {
+            what: "rounds",
+            reason: "only the atmem mode runs optimize rounds; \
+                     use rounds = 1 for other modes",
+        });
+    }
     let prescribed = mode.placement_policy();
     if config.default_placement == PlacementPolicy::default() {
         config.default_placement = prescribed;
@@ -140,28 +184,41 @@ pub fn run_protocol_cores(
                      leave the policy at the default for other modes",
         });
     }
+    // And for the analyzer choice: no analyzer ever runs outside
+    // [`Mode::Atmem`], so an explicit non-default kind would be silently
+    // ignored — reject it instead.
+    if mode != Mode::Atmem && config.analyzer.kind != AnalyzerKind::default() {
+        return Err(AtmemError::InvalidConfig {
+            what: "analyzer.kind",
+            reason: "only the atmem mode runs the analyzer; \
+                     leave the kind at the default for other modes",
+        });
+    }
     let mut rt = Atmem::new(platform, config)?;
     let graph = HmsGraph::load(&mut rt, csr)?;
     let mut kernel = app.instantiate(&mut rt, graph)?;
 
-    // Iteration 1 (profiled under ATMem).
-    kernel.reset(&mut rt);
-    if mode == Mode::Atmem {
-        rt.profiling_start()?;
+    // Profile→optimize rounds (iteration 1 of the paper's protocol; more
+    // when the caller asked for the multi-round variant).
+    let mut first_iter = SimDuration::from_ns(0.0);
+    let mut optimize = None;
+    let mut round_ratios = Vec::new();
+    for round in 0..rounds {
+        kernel.reset(&mut rt);
+        if mode == Mode::Atmem {
+            rt.profiling_start()?;
+        }
+        let t0 = rt.now();
+        kernel.run_iteration(&mut MemCtx::bulk(rt.machine_mut()).with_cores(par_cores));
+        if round == 0 {
+            first_iter = SimDuration::from_ns(rt.now().as_ns() - t0.as_ns());
+        }
+        if mode == Mode::Atmem {
+            rt.profiling_stop()?;
+            optimize = Some(rt.optimize()?);
+            round_ratios.push(rt.fast_data_ratio());
+        }
     }
-    let t0 = rt.now();
-    kernel.run_iteration(&mut MemCtx::bulk(rt.machine_mut()).with_cores(par_cores));
-    let first_iter = SimDuration::from_ns(rt.now().as_ns() - t0.as_ns());
-    if mode == Mode::Atmem {
-        rt.profiling_stop()?;
-    }
-
-    // Migration before iteration 2.
-    let optimize = if mode == Mode::Atmem {
-        Some(rt.optimize()?)
-    } else {
-        None
-    };
 
     // Iteration 2 — the measured run.
     kernel.reset(&mut rt);
@@ -178,6 +235,7 @@ pub fn run_protocol_cores(
         first_iter,
         second_iter,
         optimize,
+        round_ratios,
         second_iter_stats,
         data_ratio,
         checksum,
@@ -285,6 +343,77 @@ mod tests {
         let run = run_protocol(Platform::testing(), config, &csr, App::Bfs, Mode::Atmem).unwrap();
         assert!(run.optimize.is_some());
         assert!(run.audit.is_empty(), "audit: {:?}", run.audit);
+    }
+
+    #[test]
+    fn explicit_analyzer_under_non_optimizing_mode_is_rejected() {
+        let csr = small_graph(App::Bfs);
+        let config = AtmemConfig::default().with_analyzer(AnalyzerKind::Learned);
+        let err = run_protocol(
+            Platform::testing(),
+            config.clone(),
+            &csr,
+            App::Bfs,
+            Mode::Baseline,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            AtmemError::InvalidConfig {
+                what: "analyzer.kind",
+                ..
+            }
+        ));
+        // Under Mode::Atmem the learned analyzer runs the full protocol.
+        let run = run_protocol(Platform::testing(), config, &csr, App::Bfs, Mode::Atmem).unwrap();
+        assert!(run.optimize.is_some());
+        assert!(run.data_ratio > 0.0 && run.data_ratio < 1.0);
+        assert!(run.audit.is_empty(), "audit: {:?}", run.audit);
+    }
+
+    #[test]
+    fn multi_round_protocol_records_every_round() {
+        let csr = small_graph(App::PageRank);
+        let r = run_protocol_rounds(
+            Platform::testing(),
+            AtmemConfig::default(),
+            &csr,
+            App::PageRank,
+            Mode::Atmem,
+            1,
+            3,
+        )
+        .unwrap();
+        assert_eq!(r.round_ratios.len(), 3);
+        assert!(r.round_ratios.iter().all(|&x| x > 0.0));
+        assert!(r.audit.is_empty(), "audit: {:?}", r.audit);
+        // Single-round results report exactly one entry…
+        let one = run_protocol(
+            Platform::testing(),
+            AtmemConfig::default(),
+            &csr,
+            App::PageRank,
+            Mode::Atmem,
+        )
+        .unwrap();
+        assert_eq!(one.round_ratios.len(), 1);
+        // …and invalid round counts are named errors.
+        for (mode, rounds) in [(Mode::Atmem, 0usize), (Mode::Baseline, 2)] {
+            let err = run_protocol_rounds(
+                Platform::testing(),
+                AtmemConfig::default(),
+                &csr,
+                App::PageRank,
+                mode,
+                1,
+                rounds,
+            )
+            .unwrap_err();
+            assert!(matches!(
+                err,
+                AtmemError::InvalidConfig { what: "rounds", .. }
+            ));
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! atmem_run [--app BFS|SSSP|PR|BC|CC|SpMV] [--dataset pokec|rmat24|twitter|rmat27|friendster]
 //!           [--platform nvm|knl|cxl|hbm|quad|testing|testing3]
 //!           [--mode baseline|atmem|ideal|preferred] [--policy atmem|autonuma]
+//!           [--analyzer paper|learned] [--rounds N]
 //!           [--epsilon F] [--arity M] [--chunks N] [--period P]
 //!           [--mechanism staged|direct|mbind] [--shrink S] [--cores N]
 //!           [--edge-list PATH] [--heatmap]
@@ -15,7 +16,9 @@
 
 use std::process::ExitCode;
 
-use atmem::{chunk_heatmap, AtmemConfig, MigrationMechanism, OptimizePolicy, ResidencyReport};
+use atmem::{
+    chunk_heatmap, AnalyzerKind, AtmemConfig, MigrationMechanism, OptimizePolicy, ResidencyReport,
+};
 use atmem_apps::{App, HmsGraph, MemCtx, Mode};
 use atmem_graph::{Csr, Dataset};
 use atmem_hms::Platform;
@@ -27,6 +30,7 @@ struct Options {
     platform_name: String,
     mode: Mode,
     config: AtmemConfig,
+    rounds: usize,
     shrink: u32,
     cores: usize,
     edge_list: Option<String>,
@@ -37,7 +41,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: atmem_run [--app BFS|SSSP|PR|BC|CC|SpMV] [--dataset NAME] \
          [--platform {}] [--mode baseline|atmem|ideal|preferred] \
-         [--policy atmem|autonuma] \
+         [--policy atmem|autonuma] [--analyzer paper|learned] [--rounds N] \
          [--epsilon F] [--arity M] [--chunks N] [--period P] \
          [--mechanism staged|direct|mbind] [--shrink S] [--cores N] \
          [--edge-list PATH] [--heatmap]",
@@ -53,6 +57,7 @@ fn parse_options() -> Options {
         platform_name: "nvm".to_string(),
         mode: Mode::Atmem,
         config: AtmemConfig::default(),
+        rounds: 1,
         shrink: 2,
         cores: 1,
         edge_list: None,
@@ -102,6 +107,19 @@ fn parse_options() -> Options {
                     "autonuma" => OptimizePolicy::Autonuma,
                     _ => usage(),
                 };
+            }
+            "--analyzer" => {
+                opts.config.analyzer.kind = match value("--analyzer").as_str() {
+                    "paper" => AnalyzerKind::Paper,
+                    "learned" => AnalyzerKind::Learned,
+                    _ => usage(),
+                };
+            }
+            "--rounds" => {
+                opts.rounds = value("--rounds").parse().unwrap_or_else(|_| usage());
+                if opts.rounds == 0 {
+                    usage();
+                }
             }
             "--epsilon" => {
                 opts.config.analyzer.epsilon =
@@ -189,6 +207,9 @@ fn main() -> ExitCode {
     if opts.config.policy == OptimizePolicy::Autonuma {
         println!("optimize policy: autonuma (OS-tiering baseline)");
     }
+    if opts.config.analyzer.kind == AnalyzerKind::Learned {
+        println!("analyzer: learned (learning-to-rank scorer)");
+    }
 
     // Inline protocol (rather than runner::run_protocol) so the runtime
     // stays available for the residency report and heatmap afterwards.
@@ -209,42 +230,60 @@ fn main() -> ExitCode {
                          leave the policy at the default for other modes",
             });
         }
+        // Same contract for the analyzer choice and the round count.
+        if opts.mode != Mode::Atmem && config.analyzer.kind != AnalyzerKind::default() {
+            return Err(atmem::AtmemError::InvalidConfig {
+                what: "analyzer.kind",
+                reason: "only the atmem mode runs the analyzer; \
+                         leave the kind at the default for other modes",
+            });
+        }
+        if opts.mode != Mode::Atmem && opts.rounds != 1 {
+            return Err(atmem::AtmemError::InvalidConfig {
+                what: "rounds",
+                reason: "only the atmem mode runs optimize rounds; \
+                         use --rounds 1 for other modes",
+            });
+        }
         let mut rt = atmem::Atmem::new(platform.clone(), config.clone())?;
         let graph = HmsGraph::load(&mut rt, &csr)?;
         let mut kernel = opts.app.instantiate(&mut rt, graph)?;
 
-        kernel.reset(&mut rt);
-        if opts.mode == Mode::Atmem {
-            rt.profiling_start()?;
-        }
-        let t0 = rt.now();
-        kernel.run_iteration(&mut MemCtx::bulk(rt.machine_mut()).with_cores(opts.cores));
-        let first = rt.now().as_ns() - t0.as_ns();
-        if opts.mode == Mode::Atmem {
-            let profile = rt.profiling_stop()?;
-            println!(
-                "iteration 1: {:9.3} ms   ({} samples @ period {})",
-                first / 1e6,
-                profile.samples,
-                profile.period
-            );
-            let report = rt.optimize()?;
-            println!(
-                "optimize   : moved {:.2} MiB in {} regions ({} skipped) in {} — data ratio {:.1}%",
-                report.migration.bytes_moved as f64 / (1 << 20) as f64,
-                report.migration.regions,
-                report.migration.regions_skipped,
-                report.migration.time,
-                report.data_ratio * 100.0,
-            );
-            if opts.heatmap {
-                print!(
-                    "{}",
-                    chunk_heatmap(rt.registry(), Some(&report.analysis), 64)
-                );
+        for round in 0..opts.rounds {
+            kernel.reset(&mut rt);
+            if opts.mode == Mode::Atmem {
+                rt.profiling_start()?;
             }
-        } else {
-            println!("iteration 1: {:9.3} ms", first / 1e6);
+            let t0 = rt.now();
+            kernel.run_iteration(&mut MemCtx::bulk(rt.machine_mut()).with_cores(opts.cores));
+            let first = rt.now().as_ns() - t0.as_ns();
+            if opts.mode == Mode::Atmem {
+                let profile = rt.profiling_stop()?;
+                println!(
+                    "iteration {}: {:9.3} ms   ({} samples @ period {})",
+                    round + 1,
+                    first / 1e6,
+                    profile.samples,
+                    profile.period
+                );
+                let report = rt.optimize()?;
+                println!(
+                    "optimize   : moved {:.2} MiB in {} regions ({} skipped) in {} — data ratio {:.1}%",
+                    report.migration.bytes_moved as f64 / (1 << 20) as f64,
+                    report.migration.regions,
+                    report.migration.regions_skipped,
+                    report.migration.time,
+                    report.data_ratio * 100.0,
+                );
+                if opts.heatmap && round + 1 == opts.rounds {
+                    print!(
+                        "{}",
+                        chunk_heatmap(rt.registry(), Some(&report.analysis), 64)
+                    );
+                }
+            } else {
+                println!("iteration 1: {:9.3} ms", first / 1e6);
+            }
         }
 
         kernel.reset(&mut rt);
@@ -252,7 +291,8 @@ fn main() -> ExitCode {
         kernel.run_iteration(&mut MemCtx::bulk(rt.machine_mut()).with_cores(opts.cores));
         let second = rt.now().as_ns() - t1.as_ns();
         println!(
-            "iteration 2: {:9.3} ms   (checksum {:.6e})",
+            "iteration {}: {:9.3} ms   (checksum {:.6e})",
+            opts.rounds + 1,
             second / 1e6,
             kernel.checksum(&mut rt)
         );

@@ -213,3 +213,4 @@ mod tests {
 
 pub mod experiments;
 pub mod harness;
+pub mod quality;

@@ -5,11 +5,14 @@
 //! criticality bitmap (sampled ∪ estimated) plus the numbers the reports
 //! need.
 
+pub mod features;
+pub mod learned;
 pub mod local;
 pub mod promote;
+pub mod train;
 pub mod tree;
 
-use crate::config::AnalyzerConfig;
+use crate::config::{AnalyzerConfig, AnalyzerKind};
 use crate::object::ObjectId;
 use crate::registry::Registry;
 
@@ -63,8 +66,22 @@ impl Analysis {
     }
 }
 
-/// Runs both analyzer stages over every live object in the registry.
+/// Runs the configured analyzer over every live object in the registry:
+/// the paper's two-stage pipeline, or the learned ranker when
+/// `config.kind` is [`AnalyzerKind::Learned`]. Both produce the same
+/// [`Analysis`] shape, so every consumer (the migration planner, the
+/// demotion cascade, the serving scheduler, the reports) is
+/// analyzer-agnostic.
 pub fn analyze(registry: &Registry, config: &AnalyzerConfig) -> Analysis {
+    match config.kind {
+        AnalyzerKind::Paper => analyze_paper(registry, config),
+        AnalyzerKind::Learned => learned::analyze_learned(registry, config),
+    }
+}
+
+/// The paper's Eq. 1–5 pipeline (§4.2–§4.3): local selection, then
+/// weight-adapted tree promotion.
+pub fn analyze_paper(registry: &Registry, config: &AnalyzerConfig) -> Analysis {
     let mut selections: Vec<(ObjectId, LocalSelection)> = registry
         .iter()
         .map(|o| (o.id(), local_selection(o, config)))
@@ -230,5 +247,29 @@ mod tests {
         assert!(a.objects.is_empty());
         assert_eq!(a.sampled_chunks(), 0);
         assert_eq!(a.promoted_chunks(), 0);
+    }
+
+    #[test]
+    fn analyze_dispatches_on_the_configured_kind() {
+        use crate::config::AnalyzerKind;
+        let r = registry();
+        let paper_cfg = AnalyzerConfig::default();
+        let learned_cfg = AnalyzerConfig {
+            kind: AnalyzerKind::Learned,
+            ..AnalyzerConfig::default()
+        };
+        assert_eq!(analyze(&r, &paper_cfg), analyze_paper(&r, &paper_cfg));
+        let learned = analyze(&r, &learned_cfg);
+        assert_eq!(learned, learned::analyze_learned(&r, &learned_cfg));
+        // Same output shape: one entry per object, chunk-aligned bitmaps.
+        let paper = analyze(&r, &paper_cfg);
+        assert_eq!(learned.objects.len(), paper.objects.len());
+        for (l, p) in learned.objects.iter().zip(&paper.objects) {
+            assert_eq!(l.id, p.id);
+            assert_eq!(l.critical.len(), p.critical.len());
+            assert_eq!(l.selection.priorities.len(), p.selection.priorities.len());
+        }
+        // And the learned ranker also finds the hot cluster.
+        assert!(learned.objects[0].critical[4] && learned.objects[0].critical[5]);
     }
 }

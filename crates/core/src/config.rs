@@ -8,6 +8,7 @@
 
 use atmem_hms::Placement;
 
+use crate::analyzer::learned::LearnedModel;
 use crate::error::{AtmemError, Result};
 
 /// Chunking policy (paper §4.1, "Adaptive Data Chunks").
@@ -58,9 +59,53 @@ impl Default for SamplingConfig {
     }
 }
 
+/// Which analyzer ranks chunks for placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AnalyzerKind {
+    /// The paper's Eq. 1–5 pipeline: static local-selection thresholds
+    /// plus the m-ary promotion tree.
+    #[default]
+    Paper,
+    /// The learning-to-rank scorer of
+    /// [`analyzer::learned`](crate::analyzer::learned): a linear model over
+    /// bounded chunk features, trained offline by pairwise ranking.
+    Learned,
+}
+
+/// Knobs of the [`AnalyzerKind::Learned`] scorer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LearnedConfig {
+    /// The scoring model. Defaults to the shipped pretrained weights.
+    pub model: LearnedModel,
+    /// Fraction of the registered bytes the scorer may mark critical —
+    /// the learned analogue of `max_select_frac` + promotion, targeting
+    /// the paper's 5%–18% data-ratio band. Default 0.15.
+    pub select_frac: f64,
+    /// Minimum model confidence (`sigmoid(score)`) for a chunk to be a
+    /// selection candidate at all. Default 0.5.
+    pub min_confidence: f64,
+}
+
+impl Default for LearnedConfig {
+    fn default() -> Self {
+        LearnedConfig {
+            model: LearnedModel::pretrained(),
+            select_frac: 0.15,
+            min_confidence: 0.5,
+        }
+    }
+}
+
 /// Analyzer configuration (paper §4.2–§4.3).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AnalyzerConfig {
+    /// Which analyzer [`analyze`](crate::analyzer::analyze) dispatches to.
+    /// The remaining fields configure the paper pipeline; `learned`
+    /// configures the learning-to-rank alternative.
+    pub kind: AnalyzerKind,
+    /// Knobs of the learned scorer (used only when `kind` is
+    /// [`AnalyzerKind::Learned`]).
+    pub learned: LearnedConfig,
     /// Top-N fraction for the percentile candidate of Eq. 2 (`P_n`): the
     /// local selection picks at least the top `top_n_frac` of chunks by
     /// priority. Default 0.08.
@@ -105,6 +150,8 @@ pub struct AnalyzerConfig {
 impl Default for AnalyzerConfig {
     fn default() -> Self {
         AnalyzerConfig {
+            kind: AnalyzerKind::Paper,
+            learned: LearnedConfig::default(),
             top_n_frac: 0.08,
             derivative_alpha: 0.1,
             mass_coverage: 0.70,
@@ -314,6 +361,22 @@ impl AtmemConfig {
         if !(0.0..=1.0).contains(&self.analyzer.base_tr) {
             return bad("analyzer.base_tr", "must be in [0, 1]");
         }
+        if !(0.0..=1.0).contains(&self.analyzer.learned.select_frac) {
+            return bad("analyzer.learned.select_frac", "must be in [0, 1]");
+        }
+        if !(0.0..=1.0).contains(&self.analyzer.learned.min_confidence) {
+            return bad("analyzer.learned.min_confidence", "must be in [0, 1]");
+        }
+        if !self.analyzer.learned.model.is_finite() {
+            return bad("analyzer.learned.model", "weights must be finite");
+        }
+        if self.policy == OptimizePolicy::Autonuma && self.analyzer.kind != AnalyzerKind::Paper {
+            return bad(
+                "analyzer.kind",
+                "the AutoNUMA baseline works from the raw sample stream and \
+                 never consults the chunk analyzer",
+            );
+        }
         if !(0.0..=1.0).contains(&self.migration.budget_frac) {
             return bad("migration.budget_frac", "must be in [0, 1]");
         }
@@ -346,6 +409,13 @@ impl AtmemConfig {
     #[must_use]
     pub fn with_policy(mut self, policy: OptimizePolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Selects the analyzer (the paper pipeline or the learned ranker).
+    #[must_use]
+    pub fn with_analyzer(mut self, kind: AnalyzerKind) -> Self {
+        self.analyzer.kind = kind;
         self
     }
 
@@ -439,6 +509,34 @@ mod tests {
 
         let c = AtmemConfig::default().with_epsilon(1.5);
         assert!(c.validate().is_err());
+
+        let mut c = AtmemConfig::default();
+        c.analyzer.learned.select_frac = 1.5;
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("select_frac"));
+
+        let mut c = AtmemConfig::default();
+        c.analyzer.learned.model.bias = f64::NAN;
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("finite"));
+    }
+
+    #[test]
+    fn learned_analyzer_conflicts_with_autonuma() {
+        let c = AtmemConfig::default()
+            .with_policy(OptimizePolicy::Autonuma)
+            .with_analyzer(AnalyzerKind::Learned);
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("analyzer.kind"), "{err}");
+        // Either alone is fine.
+        AtmemConfig::default()
+            .with_policy(OptimizePolicy::Autonuma)
+            .validate()
+            .unwrap();
+        AtmemConfig::default()
+            .with_analyzer(AnalyzerKind::Learned)
+            .validate()
+            .unwrap();
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //!   sampling floor), Eq. 3 classification — and (2) *promotes* prospective
 //!   chunks via an m-ary tree with a globally adapted tree-ratio threshold
 //!   (Eq. 4 weight, Eq. 5 threshold), patching information lost to sampling
-//!   and merging fragments into contiguous regions;
+//!   and merging fragments into contiguous regions — or, when configured
+//!   with [`AnalyzerKind::Learned`], a learning-to-rank scorer over bounded
+//!   chunk features ([`analyzer::learned`]) producing the same bitmaps;
 //! * an **optimizer** ([`migrate`]) that plans page-aligned regions under a
 //!   fast-tier budget and migrates them with the paper's three-stage
 //!   multi-threaded mechanism (stage to target → remap → move), preserving
@@ -59,11 +61,12 @@ pub mod report;
 pub mod runtime;
 pub mod serve;
 
-pub use analyzer::{analyze, Analysis, ObjectAnalysis};
+pub use analyzer::learned::LearnedModel;
+pub use analyzer::{analyze, analyze_paper, Analysis, ObjectAnalysis};
 pub use chunk::{chunk_geometry, ChunkGeometry};
 pub use config::{
-    AnalyzerConfig, AtmemConfig, AutonumaConfig, ChunkConfig, MigrationConfig, MigrationMechanism,
-    OptimizePolicy, PlacementPolicy, SamplingConfig,
+    AnalyzerConfig, AnalyzerKind, AtmemConfig, AutonumaConfig, ChunkConfig, LearnedConfig,
+    MigrationConfig, MigrationMechanism, OptimizePolicy, PlacementPolicy, SamplingConfig,
 };
 pub use error::{AtmemError, Result};
 pub use migrate::{

@@ -35,6 +35,11 @@ pub struct DataObject {
     geometry: ChunkGeometry,
     /// Sampled LLC read misses attributed to each chunk.
     samples: Vec<u64>,
+    /// The previous profiling round's sample counts, stashed by
+    /// [`DataObject::reset_samples`]. Gives phase-aware analyzers (the
+    /// learned scorer's kernel-phase-delta feature) a one-round history
+    /// without any extra bookkeeping at the call sites.
+    prev_samples: Vec<u64>,
 }
 
 impl DataObject {
@@ -49,6 +54,7 @@ impl DataObject {
             name: name.into(),
             range,
             samples: vec![0; geometry.num_chunks],
+            prev_samples: vec![0; geometry.num_chunks],
             geometry,
         }
     }
@@ -128,8 +134,21 @@ impl DataObject {
         self.samples.iter().sum()
     }
 
-    /// Clears the sample counters (between profiling rounds).
+    /// Per-chunk sample counts of the previous profiling round (all zero
+    /// before the second round).
+    pub fn prev_samples(&self) -> &[u64] {
+        &self.prev_samples
+    }
+
+    /// Total samples the previous profiling round attributed.
+    pub fn total_prev_samples(&self) -> u64 {
+        self.prev_samples.iter().sum()
+    }
+
+    /// Clears the sample counters (between profiling rounds), stashing the
+    /// outgoing counts as the previous round's profile.
     pub(crate) fn reset_samples(&mut self) {
+        std::mem::swap(&mut self.prev_samples, &mut self.samples);
         self.samples.fill(0);
     }
 }
@@ -170,6 +189,10 @@ mod tests {
         assert!(!o.record_sample(VirtAddr::new(0x0)));
         o.reset_samples();
         assert_eq!(o.total_samples(), 0);
+        assert_eq!(o.prev_samples()[1], 1, "reset stashes the old round");
+        assert_eq!(o.total_prev_samples(), 1);
+        o.reset_samples();
+        assert_eq!(o.total_prev_samples(), 0, "history is one round deep");
     }
 
     #[test]

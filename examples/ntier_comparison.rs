@@ -1,59 +1,40 @@
 //! ATMem vs an AutoNUMA-style OS-tiering baseline on a three-tier machine.
 //!
 //! Both policies run the same profiled PageRank workload on the
-//! HBM-DRAM-CXL platform for a few profile→optimize rounds. ATMem's
-//! analyzer promotes its critical chunks straight to the hottest tier
-//! with headroom; the AutoNUMA baseline only ever promotes a hot page one
-//! hop hotter per round and pays `mbind`'s remap costs, so it climbs the
-//! tier ladder slowly — the gap in hot-tier data ratio at the same
-//! fast-tier budget is the point of the comparison.
+//! HBM-DRAM-CXL platform through the multi-round protocol
+//! ([`run_protocol_rounds`]). ATMem's analyzer promotes its critical
+//! chunks straight to the hottest tier with headroom; the AutoNUMA
+//! baseline only ever promotes a hot page one hop hotter per round and
+//! pays `mbind`'s remap costs, so it climbs the tier ladder slowly — the
+//! gap in hot-tier data ratio at the same fast-tier budget, and the number
+//! of rounds each policy needs to converge, are the point of the
+//! comparison.
 //!
 //! Run with: `cargo run -p atmem-bench --release --example ntier_comparison`
 
-use atmem::{Atmem, AtmemConfig, OptimizePolicy};
-use atmem_apps::{App, HmsGraph, MemCtx};
+use atmem::{AtmemConfig, OptimizePolicy};
+use atmem_apps::{run_protocol_rounds, App, Mode, ProtocolResult};
 use atmem_graph::{Csr, Dataset};
 use atmem_hms::Platform;
 
-const ROUNDS: usize = 3;
+const ROUNDS: usize = 4;
 
-struct PolicyRun {
-    /// Hot-tier (tier 0) data ratio after each optimize round.
-    ratios: Vec<f64>,
-    /// Per-tier residency after the final round, hottest first.
-    residency: Vec<f64>,
-    /// Simulated time of the final measured iteration, in ms.
-    final_iter_ms: f64,
-}
-
-fn run_policy(platform: &Platform, csr: &Csr, policy: OptimizePolicy) -> atmem::Result<PolicyRun> {
-    let config = AtmemConfig::default().with_policy(policy);
-    let mut rt = Atmem::new(platform.clone(), config)?;
-    let graph = HmsGraph::load(&mut rt, csr)?;
-    let mut kernel = App::PageRank.instantiate(&mut rt, graph)?;
-
-    let mut ratios = Vec::new();
-    for _ in 0..ROUNDS {
-        kernel.reset(&mut rt);
-        rt.profiling_start()?;
-        kernel.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
-        rt.profiling_stop()?;
-        let report = rt.optimize()?;
-        ratios.push(report.data_ratio);
-    }
-
-    kernel.reset(&mut rt);
-    let t0 = rt.now();
-    kernel.run_iteration(&mut MemCtx::bulk(rt.machine_mut()));
-    let final_iter_ms = (rt.now().as_ns() - t0.as_ns()) / 1e6;
-
-    let audit = rt.machine_mut().audit();
-    assert!(audit.is_empty(), "audit violations: {audit:?}");
-    Ok(PolicyRun {
-        ratios,
-        residency: rt.data_ratio_vector(),
-        final_iter_ms,
-    })
+fn run_policy(
+    platform: &Platform,
+    csr: &Csr,
+    policy: OptimizePolicy,
+) -> atmem::Result<ProtocolResult> {
+    let r = run_protocol_rounds(
+        platform.clone(),
+        AtmemConfig::default().with_policy(policy),
+        csr,
+        App::PageRank,
+        Mode::Atmem,
+        1,
+        ROUNDS,
+    )?;
+    assert!(r.audit.is_empty(), "audit violations: {:?}", r.audit);
+    Ok(r)
 }
 
 fn main() -> atmem::Result<()> {
@@ -81,29 +62,51 @@ fn main() -> atmem::Result<()> {
     };
     for (name, run) in [("atmem", &atmem), ("autonuma", &autonuma)] {
         println!(
-            "{name:<9} hot-tier ratio per round: {}   residency: [{}]   final iter: {:.3} ms",
-            fmt_vec(&run.ratios),
-            fmt_vec(&run.residency),
-            run.final_iter_ms,
+            "{name:<9} hot-tier ratio per round: {}   final iter: {:.3} ms",
+            fmt_vec(&run.round_ratios),
+            run.second_iter.as_ns() / 1e6,
         );
     }
 
-    let atmem_hot = *atmem.ratios.last().unwrap();
-    let autonuma_hot = *autonuma.ratios.last().unwrap();
+    let atmem_hot = *atmem.round_ratios.last().unwrap();
+    let autonuma_hot = *autonuma.round_ratios.last().unwrap();
     println!(
         "\natmem holds {:.1}% of the data on the hot tier vs autonuma's {:.1}% \
          at the same budget ({:.2}x final-iteration speedup)",
         atmem_hot * 100.0,
         autonuma_hot * 100.0,
-        autonuma.final_iter_ms / atmem.final_iter_ms,
+        autonuma.second_iter.as_ns() / atmem.second_iter.as_ns(),
     );
     assert!(
         atmem_hot > autonuma_hot,
         "atmem must beat the OS-tiering baseline on hot-tier data ratio"
     );
     assert!(
-        atmem.final_iter_ms <= autonuma.final_iter_ms,
+        atmem.second_iter.as_ns() <= autonuma.second_iter.as_ns(),
         "atmem must not be slower than the OS-tiering baseline"
     );
+
+    // Convergence contracts of the multi-round protocol. ATMem reaches its
+    // placement in the very first round; the one-hop-per-round AutoNUMA
+    // ladder climbs monotonically and has levelled off by the last round.
+    assert!(
+        (atmem.round_ratios[0] - atmem_hot).abs() < 0.05,
+        "atmem should converge in one round: {:?}",
+        atmem.round_ratios
+    );
+    for w in autonuma.round_ratios.windows(2) {
+        assert!(
+            w[1] >= w[0] - 0.02,
+            "autonuma climbing must be monotone: {:?}",
+            autonuma.round_ratios
+        );
+    }
+    let last_step = autonuma.round_ratios[ROUNDS - 1] - autonuma.round_ratios[ROUNDS - 2];
+    assert!(
+        last_step.abs() < 0.05,
+        "autonuma should have converged by round {ROUNDS}: {:?}",
+        autonuma.round_ratios
+    );
+    println!("convergence: atmem in 1 round, autonuma levelled off by round {ROUNDS}");
     Ok(())
 }

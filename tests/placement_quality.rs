@@ -1,8 +1,9 @@
 //! Placement-quality integration tests: does ATMem put the *right* data on
 //! the fast tier, across graph shapes and configurations?
 
-use atmem::{Atmem, AtmemConfig};
+use atmem::{AnalyzerKind, Atmem, AtmemConfig};
 use atmem_apps::{run_protocol, App, HmsGraph, Kernel, MemCtx, Mode, PageRank};
+use atmem_bench::quality::{budget_config, budget_platform, run_case};
 use atmem_graph::{erdos_renyi, Dataset};
 use atmem_hms::{Platform, TierId};
 
@@ -16,36 +17,20 @@ fn fine_grained_beats_coarse_grained_on_skew_only() {
     // structure).
     let skewed = Dataset::Twitter.build_small(6);
     let uniform = erdos_renyi(skewed.num_vertices(), skewed.num_edges(), 17);
-    // Fast tier holds only ~25% of the ~230 KiB working set, and the LLC is
-    // tiny relative to the hot set (as on the real testbeds) so the miss
-    // profile keeps the graph's skew.
-    let platform = Platform::testing()
-        .with_capacities(64 * 1024, 32 * 1024 * 1024)
-        .with_llc(atmem_hms::CacheConfig::new(4096, 4, 64));
+    // Fast tier holds only ~25% of the ~230 KiB working set (see
+    // `quality::budget_platform` for the capacity/LLC rationale).
+    let platform = budget_platform(64 * 1024);
 
-    // Second-iteration time under the same capacity budget. (The paper's
-    // objective is "maximum performance gain per byte"; with a fixed budget
-    // that is equivalent to comparing the achieved time.)
+    // Second-iteration time under the same capacity budget, via the shared
+    // quality harness.
     let placed_time = |csr: &atmem_graph::Csr, coarse: bool| {
-        // Both granularities run at the sweep's permissive end so that the
-        // capacity budget, not the promotion threshold, is the binding
-        // constraint — matching how the paper finds its optimal region
-        // (Figures 9/10).
-        let mut config = AtmemConfig::default().with_epsilon(0.1);
+        let mut config = budget_config();
         if coarse {
             config.chunks.target_chunks = 1;
         }
-        // Keep the staging reserve from eating the tiny budget.
-        config.migration.max_region_bytes = 16 * 1024;
-        let placed =
-            run_protocol(platform.clone(), config, csr, App::PageRank, Mode::Atmem).unwrap();
-        let moved = placed
-            .optimize
-            .as_ref()
-            .map(|o| o.migration.bytes_moved)
-            .unwrap_or(0);
-        assert!(moved > 0, "nothing migrated (coarse={coarse})");
-        placed.second_iter.as_ns()
+        let placed = run_case(&platform, config, csr, App::PageRank, AnalyzerKind::Paper);
+        assert!(placed.bytes_moved > 0, "nothing migrated (coarse={coarse})");
+        placed.second_iter_ns
     };
 
     let fine_skewed = placed_time(&skewed, false);
